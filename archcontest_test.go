@@ -1,0 +1,76 @@
+package archcontest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeBasics(t *testing.T) {
+	if len(Benchmarks()) != 11 || len(PaletteNames()) != 11 || len(Palette()) != 11 {
+		t.Fatal("registry sizes wrong")
+	}
+	if _, err := WorkloadFor("mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadFor("eon"); err == nil {
+		t.Error("eon accepted")
+	}
+	if _, err := PaletteCore("nope"); err == nil {
+		t.Error("unknown core accepted")
+	}
+	if _, err := GenerateTrace("nope", 10); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeRunAndContest(t *testing.T) {
+	tr, err := GenerateTrace("twolf", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := MustRun(MustPaletteCore("twolf"), tr)
+	if own.IPT() <= 0 {
+		t.Fatal("single run IPT")
+	}
+	res, err := ContestRun([]CoreConfig{
+		MustPaletteCore("twolf"), MustPaletteCore("vpr"),
+	}, tr, ContestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPT() < 0.9*own.IPT() {
+		t.Errorf("contest IPT %.3f far below own core %.3f", res.IPT(), own.IPT())
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := Experiments()
+	if len(ids) == 0 || ids[0] != "fig1" {
+		t.Fatalf("experiment list %v", ids)
+	}
+	lab := NewLab(LabConfig{N: 15000})
+	tab, err := RunExperiment(lab, "appendixA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "Appendix A") {
+		t.Error("table rendering")
+	}
+	if _, err := RunExperiment(lab, "figZZ"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeCustomize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing in short mode")
+	}
+	tr := MustGenerateTrace("gzip", 8000)
+	res, err := CustomizeCore(tr, ExploreOptions{Seed: 2, Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestIPT <= 0 {
+		t.Error("exploration produced no result")
+	}
+}

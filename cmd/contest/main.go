@@ -1,0 +1,60 @@
+// Command contest runs one contesting experiment: a benchmark trace
+// executed on N named palette cores in a leader-follower arrangement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/sim"
+	"archcontest/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("contest: ")
+	bench := flag.String("bench", "gcc", "benchmark name")
+	cores := flag.String("cores", "", "comma-separated palette core names (default: best pair search input required)")
+	n := flag.Int("n", 500000, "trace length in instructions")
+	latency := flag.Float64("latency", 1.0, "core-to-core latency in ns")
+	flag.Parse()
+
+	tr := workload.MustGenerate(*bench, *n)
+	var cfgs []config.CoreConfig
+	for _, name := range strings.Split(*cores, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, err := config.PaletteCore(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfgs = append(cfgs, c)
+	}
+	if len(cfgs) < 2 {
+		log.Fatal("need -cores with at least two palette names, e.g. -cores bzip,crafty")
+	}
+
+	for _, c := range cfgs {
+		r := sim.MustRun(c, tr, sim.RunOptions{WritePolicy: cache.WriteThrough})
+		fmt.Printf("%-22s alone: IPT %.3f\n", c.Name, r.IPT())
+	}
+	own := sim.MustRun(config.MustPaletteCore(*bench), tr, sim.RunOptions{})
+	fmt.Printf("%-22s own customized core (write-back): IPT %.3f\n", *bench, own.IPT())
+
+	res, err := contest.Run(cfgs, tr, contest.Options{LatencyNs: *latency})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contested %v @ %.3gns: IPT %.3f  (speedup over own core %.1f%%)\n",
+		res.Cores, *latency, res.IPT(), 100*(res.IPT()/own.IPT()-1))
+	fmt.Printf("winner=%s leadChanges=%d saturated=%v injected=%v\n",
+		res.Cores[res.Winner], res.LeadChanges, res.Saturated,
+		[]int64{res.PerCore[0].Injected, res.PerCore[1].Injected})
+}

@@ -1,0 +1,44 @@
+// Command explore runs the simulated-annealing design-space exploration
+// (the XpScalar stand-in) to customize a core for a benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"archcontest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("explore: ")
+	bench := flag.String("bench", "gcc", "benchmark to customize for")
+	n := flag.Int("n", 100_000, "objective trace length in instructions")
+	steps := flag.Int("steps", 120, "annealing steps")
+	seed := flag.Uint64("seed", 1, "annealing seed")
+	verbose := flag.Bool("v", false, "log accepted moves")
+	flag.Parse()
+
+	tr, err := archcontest.GenerateTrace(*bench, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := archcontest.ExploreOptions{Seed: *seed, Steps: *steps}
+	if *verbose {
+		opts.Progress = func(step int, cfg archcontest.CoreConfig, ipt float64) {
+			fmt.Printf("step %3d: IPT %.3f  %v\n", step, ipt, cfg)
+		}
+	}
+	res, err := archcontest.CustomizeCore(tr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d design points\n", res.Evaluated)
+	fmt.Printf("best IPT %.3f\n%v\n", res.BestIPT, res.Best)
+
+	// Compare against the paper's customized core for the benchmark.
+	ref := archcontest.MustPaletteCore(*bench)
+	refRun := archcontest.MustRun(ref, tr)
+	fmt.Printf("paper palette core %q on the same trace: IPT %.3f\n", ref.Name, refRun.IPT())
+}

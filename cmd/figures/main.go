@@ -1,0 +1,63 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation from the reproduction's simulators.
+//
+// Usage:
+//
+//	figures                      # every experiment at the default scale
+//	figures -experiment fig6     # one experiment
+//	figures -n 200000            # shorter traces (faster, noisier)
+//	figures -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"archcontest/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	n := flag.Int("n", 1_000_000, "trace length in instructions")
+	experiment := flag.String("experiment", "", "experiment ID (empty = all); comma-separated IDs allowed")
+	latency := flag.Float64("latency", 1.0, "core-to-core latency in ns")
+	pairs := flag.Int("pairs", 3, "oracle-shortlisted candidate pairs per benchmark")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.RegistryOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.RegistryOrder
+	if *experiment != "" {
+		ids = strings.Split(*experiment, ",")
+	}
+	lab := experiments.NewLab(experiments.Config{
+		N:              *n,
+		LatencyNs:      *latency,
+		CandidatePairs: *pairs,
+	})
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		exp, ok := experiments.Registry[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		tab, err := exp(lab)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s computed in %v at n=%d)\n\n", id, time.Since(start).Round(time.Millisecond), *n)
+	}
+}

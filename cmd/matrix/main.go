@@ -1,0 +1,71 @@
+// Command matrix prints the benchmark x core IPT matrix (the reproduction's
+// Appendix A equivalent) for calibration and inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"archcontest/internal/config"
+	"archcontest/internal/sim"
+	"archcontest/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "instructions per trace")
+	flag.Parse()
+	benches := workload.Benchmarks()
+	cores := config.Palette()
+	ipt := make(map[string]map[string]float64)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	start := time.Now()
+	for _, b := range benches {
+		tr := workload.MustGenerate(b, *n)
+		ipt[b] = map[string]float64{}
+		for _, c := range cores {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(b string, c config.CoreConfig) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r, err := sim.Run(c, tr, sim.RunOptions{})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				mu.Lock()
+				ipt[b][c.Name] = r.IPT()
+				mu.Unlock()
+			}(b, c)
+		}
+	}
+	wg.Wait()
+	fmt.Printf("elapsed %v for %d runs of %d insts\n", time.Since(start), len(benches)*len(cores), *n)
+	fmt.Printf("%-8s", "")
+	for _, c := range cores {
+		fmt.Printf("%8s", c.Name)
+	}
+	fmt.Println("   best")
+	for _, b := range benches {
+		fmt.Printf("%-8s", b)
+		best, bestV := "", 0.0
+		for _, c := range cores {
+			v := ipt[b][c.Name]
+			fmt.Printf("%8.2f", v)
+			if v > bestV {
+				bestV, best = v, c.Name
+			}
+		}
+		mark := ""
+		if best == b {
+			mark = " *"
+		}
+		fmt.Printf("   %s%s\n", best, mark)
+	}
+}

@@ -1,0 +1,40 @@
+// hetdesign walks the paper's Section 6 flow: measure every benchmark on
+// every customized core, then design constrained heterogeneous CMPs under
+// the three figures of merit (avg, har, cw-har) and compare them to the
+// best homogeneous design and to the full palette — the reproduction of
+// Table 1 and Figure 9 on a scale of your choosing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"archcontest"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 200_000, "trace length in instructions")
+	flag.Parse()
+
+	lab := archcontest.NewLab(archcontest.LabConfig{N: *n})
+
+	fmt.Printf("measuring %d benchmarks x %d cores at %d instructions each...\n\n",
+		len(archcontest.Benchmarks()), len(archcontest.Palette()), *n)
+
+	for _, id := range []string{"appendixA", "table1", "fig9"} {
+		tab, err := archcontest.RunExperiment(lab, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Println()
+	}
+
+	fmt.Println("The three figures of merit pick different pairs: avg chases raw")
+	fmt.Println("throughput, har minimizes total one-by-one runtime, and cw-har")
+	fmt.Println("balances single-thread performance against queueing when every")
+	fmt.Println("job heads for its preferred core under heavy load.")
+}

@@ -1,0 +1,41 @@
+// latencysweep measures how the global-result-bus propagation delay erodes
+// the contesting speedup (the paper's Figure 8 flow) for one benchmark:
+// the lagging distance a core must close at a lead change grows with the
+// core-to-core latency, so fine-grain gains fade as the bus slows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"archcontest"
+)
+
+func main() {
+	log.SetFlags(0)
+	bench := flag.String("bench", "twolf", "benchmark name")
+	a := flag.String("a", "twolf", "first palette core")
+	b := flag.String("b", "vpr", "second palette core")
+	n := flag.Int("n", 300_000, "trace length in instructions")
+	flag.Parse()
+
+	tr := archcontest.MustGenerateTrace(*bench, *n)
+	own := archcontest.MustRun(archcontest.MustPaletteCore(*bench), tr)
+	fmt.Printf("%s on its own core: IPT %.3f\n\n", *bench, own.IPT())
+
+	pair := []archcontest.CoreConfig{
+		archcontest.MustPaletteCore(*a),
+		archcontest.MustPaletteCore(*b),
+	}
+	fmt.Printf("%-10s %-10s %-12s %-8s\n", "latency", "IPT", "speedup", "lead changes")
+	for _, lat := range []float64{1, 2, 5, 10, 20, 50, 100} {
+		res, err := archcontest.ContestRun(pair, tr, archcontest.ContestOptions{LatencyNs: lat})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-10.3f %+-12.1f %d\n",
+			fmt.Sprintf("%gns", lat), res.IPT(), 100*(res.IPT()/own.IPT()-1), res.LeadChanges)
+	}
+	fmt.Println("\nspeedup is % over the benchmark's own customized core")
+}

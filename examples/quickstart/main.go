@@ -1,0 +1,52 @@
+// Quickstart: run one benchmark on its own customized core, then contest it
+// against a second core type and observe the speedup that fine-grain
+// leader-follower execution delivers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"archcontest"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 300k-instruction synthetic stand-in for twolf's SimPoint:
+	// conflict-heavy scratch traffic, pointer chasing, and hard branches,
+	// varying at sub-thousand-instruction granularity.
+	tr := archcontest.MustGenerateTrace("twolf", 300_000)
+	fmt.Printf("trace: %s, %d instructions, mix %v\n", tr.Name(), tr.Len(), tr.Mix())
+
+	// Baseline: twolf's own customized core (paper Appendix A).
+	own := archcontest.MustRun(archcontest.MustPaletteCore("twolf"), tr)
+	fmt.Printf("own customized core:  IPT %.3f (%.2f IPC at %.2fGHz)\n",
+		own.IPT(), own.Stats.IPC(), archcontest.MustPaletteCore("twolf").FrequencyGHz())
+
+	// A second opinion: vpr's core — different cache geometry, faster clock.
+	vpr := archcontest.MustRun(archcontest.MustPaletteCore("vpr"), tr)
+	fmt.Printf("vpr's core:           IPT %.3f\n", vpr.IPT())
+
+	// Contest the two. Both cores execute the same trace; the one better
+	// suited to each fine-grain region leads, the other stays close by
+	// consuming broadcast results, and leadership flips at phase changes.
+	res, err := archcontest.ContestRun([]archcontest.CoreConfig{
+		archcontest.MustPaletteCore("twolf"),
+		archcontest.MustPaletteCore("vpr"),
+	}, tr, archcontest.ContestOptions{LatencyNs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best := own.IPT()
+	if vpr.IPT() > best {
+		best = vpr.IPT()
+	}
+	fmt.Printf("2-way contesting:     IPT %.3f\n", res.IPT())
+	fmt.Printf("  over own core:   %+.1f%%\n", 100*(res.IPT()/own.IPT()-1))
+	fmt.Printf("  over best single: %+.1f%%\n", 100*(res.IPT()/best-1))
+	fmt.Printf("  lead changes: %d, winner: %s, injected results: %d + %d\n",
+		res.LeadChanges, res.Cores[res.Winner],
+		res.PerCore[0].Injected, res.PerCore[1].Injected)
+}

@@ -1,0 +1,3 @@
+module archcontest
+
+go 1.22

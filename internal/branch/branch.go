@@ -1,0 +1,169 @@
+// Package branch implements the dynamic branch direction predictors used by
+// the core model: a bimodal table of two-bit counters and a gshare predictor
+// (global history XORed into the counter index).
+//
+// The Appendix-A core configurations of the paper do not vary the predictor,
+// so every core uses the same predictor geometry by default; the package
+// still exposes the parameters because the exploration tool and the ablation
+// benches exercise them.
+package branch
+
+import "fmt"
+
+// Predictor predicts conditional branch directions.
+//
+// Predict returns the predicted direction for the branch at pc. Update
+// trains the predictor with the resolved outcome; it must be called exactly
+// once per predicted branch, in program order (the trace-driven core model
+// resolves branches in program order with respect to the predictor because
+// it never fetches wrong-path instructions).
+type Predictor interface {
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+	// Reset clears all learned state.
+	Reset()
+}
+
+// counter is a saturating two-bit counter; values 2 and 3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a per-PC table of two-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^logSize counters,
+// initialized to weakly taken.
+func NewBimodal(logSize int) *Bimodal {
+	if logSize < 1 || logSize > 24 {
+		panic(fmt.Sprintf("branch: bimodal logSize %d out of range", logSize))
+	}
+	b := &Bimodal{
+		table: make([]counter, 1<<logSize),
+		mask:  1<<logSize - 1,
+	}
+	b.Reset()
+	return b
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2 // weakly taken
+	}
+}
+
+// Gshare is a global-history predictor: the counter index is the branch PC
+// XORed with the global history register.
+type Gshare struct {
+	table       []counter
+	mask        uint64
+	history     uint64
+	historyBits int
+}
+
+// NewGshare returns a gshare predictor with 2^logSize counters and the given
+// global history length. historyBits must not exceed logSize.
+func NewGshare(logSize, historyBits int) *Gshare {
+	if logSize < 1 || logSize > 24 {
+		panic(fmt.Sprintf("branch: gshare logSize %d out of range", logSize))
+	}
+	if historyBits < 0 || historyBits > logSize {
+		panic(fmt.Sprintf("branch: gshare historyBits %d out of range for logSize %d", historyBits, logSize))
+	}
+	g := &Gshare{
+		table:       make([]counter, 1<<logSize),
+		mask:        1<<logSize - 1,
+		historyBits: historyBits,
+	}
+	g.Reset()
+	return g
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor. It trains the counter and shifts the outcome
+// into the global history.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= 1<<g.historyBits - 1
+}
+
+// Reset implements Predictor.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.history = 0
+}
+
+// Config selects and sizes a predictor.
+type Config struct {
+	// Kind is "gshare" or "bimodal".
+	Kind string
+	// LogSize is the log2 of the counter table size.
+	LogSize int
+	// HistoryBits is the global history length (gshare only).
+	HistoryBits int
+}
+
+// DefaultConfig is the predictor used by every Appendix-A core: a 4K-entry
+// gshare with 10 bits of global history.
+func DefaultConfig() Config {
+	return Config{Kind: "gshare", LogSize: 12, HistoryBits: 10}
+}
+
+// New builds the predictor described by the config.
+func (c Config) New() (Predictor, error) {
+	switch c.Kind {
+	case "gshare":
+		if c.LogSize < 1 || c.LogSize > 24 || c.HistoryBits < 0 || c.HistoryBits > c.LogSize {
+			return nil, fmt.Errorf("branch: invalid gshare config %+v", c)
+		}
+		return NewGshare(c.LogSize, c.HistoryBits), nil
+	case "bimodal":
+		if c.LogSize < 1 || c.LogSize > 24 {
+			return nil, fmt.Errorf("branch: invalid bimodal config %+v", c)
+		}
+		return NewBimodal(c.LogSize), nil
+	default:
+		return nil, fmt.Errorf("branch: unknown predictor kind %q", c.Kind)
+	}
+}

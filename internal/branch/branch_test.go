@@ -1,0 +1,193 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"archcontest/internal/xrand"
+)
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	pc := uint64(0x400)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal failed to learn always-taken")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal failed to learn always-not-taken")
+	}
+}
+
+func TestBimodalIsolation(t *testing.T) {
+	b := NewBimodal(10)
+	// Two PCs that map to different table entries.
+	pcA, pcB := uint64(0x400), uint64(0x404)
+	for i := 0; i < 10; i++ {
+		b.Update(pcA, true)
+		b.Update(pcB, false)
+	}
+	if !b.Predict(pcA) || b.Predict(pcB) {
+		t.Error("per-PC counters interfere for non-aliasing PCs")
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	g := NewGshare(12, 8)
+	pc := uint64(0x400)
+	pattern := []bool{true, true, false, true, false, false}
+	// Train over the repeating pattern.
+	for round := 0; round < 200; round++ {
+		for _, taken := range pattern {
+			g.Update(pc, taken)
+		}
+	}
+	// After training, predictions should track the pattern exactly.
+	correct := 0
+	for round := 0; round < 10; round++ {
+		for _, taken := range pattern {
+			if g.Predict(pc) == taken {
+				correct++
+			}
+			g.Update(pc, taken)
+		}
+	}
+	if correct < 55 { // 60 predictions total
+		t.Errorf("gshare got %d/60 on a learnable pattern", correct)
+	}
+}
+
+func TestGshareBeatsBimodalOnPattern(t *testing.T) {
+	// An alternating branch defeats two-bit counters but is trivial with
+	// history.
+	g := NewGshare(12, 8)
+	b := NewBimodal(12)
+	pc := uint64(0x80)
+	gCorrect, bCorrect := 0, 0
+	taken := false
+	for i := 0; i < 2000; i++ {
+		taken = !taken
+		if g.Predict(pc) == taken {
+			gCorrect++
+		}
+		if b.Predict(pc) == taken {
+			bCorrect++
+		}
+		g.Update(pc, taken)
+		b.Update(pc, taken)
+	}
+	if gCorrect <= bCorrect {
+		t.Errorf("gshare %d should beat bimodal %d on alternating branch", gCorrect, bCorrect)
+	}
+	if gCorrect < 1900 {
+		t.Errorf("gshare only %d/2000 on alternating branch", gCorrect)
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := NewGshare(10, 6)
+	pc := uint64(0x40)
+	for i := 0; i < 20; i++ {
+		g.Update(pc, false)
+	}
+	if g.Predict(pc) {
+		t.Fatal("did not learn not-taken")
+	}
+	g.Reset()
+	if !g.Predict(pc) {
+		t.Error("reset should restore weakly-taken default")
+	}
+}
+
+func TestRandomBranchesNearChance(t *testing.T) {
+	g := NewGshare(12, 10)
+	r := xrand.New(77)
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		pc := uint64(r.Intn(64)) * 4
+		taken := r.Bool(0.5)
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+	}
+	acc := float64(correct) / n
+	if acc < 0.45 || acc > 0.58 {
+		t.Errorf("accuracy on random outcomes %g, expected near 0.5", acc)
+	}
+}
+
+func TestConfigNew(t *testing.T) {
+	for _, c := range []Config{
+		DefaultConfig(),
+		{Kind: "bimodal", LogSize: 10},
+		{Kind: "gshare", LogSize: 14, HistoryBits: 12},
+	} {
+		p, err := c.New()
+		if err != nil {
+			t.Errorf("config %+v: %v", c, err)
+			continue
+		}
+		p.Predict(0x40)
+		p.Update(0x40, true)
+	}
+}
+
+func TestConfigNewRejectsInvalid(t *testing.T) {
+	for _, c := range []Config{
+		{Kind: "nonsense", LogSize: 10},
+		{Kind: "gshare", LogSize: 0},
+		{Kind: "gshare", LogSize: 10, HistoryBits: 20},
+		{Kind: "bimodal", LogSize: 30},
+	} {
+		if _, err := c.New(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestNewPanicsOnBadSizes(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bimodal":       func() { NewBimodal(0) },
+		"gshare-size":   func() { NewGshare(0, 0) },
+		"gshare-hist":   func() { NewGshare(10, 11) },
+		"gshare-himax":  func() { NewGshare(25, 10) },
+		"bimodal-large": func() { NewBimodal(25) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: counters saturate — after >=4 consistent updates the prediction
+// matches the bias for any predictor kind and any PC.
+func TestSaturationProperty(t *testing.T) {
+	f := func(pcRaw uint32, taken bool, useGshare bool) bool {
+		var p Predictor
+		if useGshare {
+			p = NewGshare(10, 0) // no history: pure per-PC counters
+		} else {
+			p = NewBimodal(10)
+		}
+		pc := uint64(pcRaw)
+		for i := 0; i < 4; i++ {
+			p.Update(pc, taken)
+		}
+		return p.Predict(pc) == taken
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package cache models the private data-cache hierarchy of a core: a
+// set-associative L1, a set-associative L2, and a fixed-latency memory
+// behind them.
+//
+// The model is a timing model, not a storage model: it tracks tags and LRU
+// state, never data. Accesses return the latency an instruction pays, and
+// mutate tag state at access time. Write policy matters to contesting — the
+// paper configures private levels as write-through while contesting so that
+// stores can be merged below the private hierarchy — so both write-through
+// and write-back allocation behaviours are implemented.
+package cache
+
+import "fmt"
+
+// Config describes one cache level, using the same fields as the paper's
+// Appendix A (associativity, block size, number of sets, access latency in
+// cycles).
+type Config struct {
+	// Sets is the number of sets; must be a power of two.
+	Sets int
+	// Assoc is the associativity (ways per set).
+	Assoc int
+	// BlockBytes is the line size in bytes; must be a power of two.
+	BlockBytes int
+	// LatencyCycles is the access (hit) latency in core cycles.
+	LatencyCycles int
+}
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets %d not a positive power of two", c.Sets)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: associativity %d not positive", c.Assoc)
+	}
+	if c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a positive power of two", c.BlockBytes)
+	}
+	if c.LatencyCycles < 1 {
+		return fmt.Errorf("cache: latency %d below one cycle", c.LatencyCycles)
+	}
+	return nil
+}
+
+// SizeBytes reports the total capacity of the level.
+func (c Config) SizeBytes() int { return c.Sets * c.Assoc * c.BlockBytes }
+
+func (c Config) String() string {
+	return fmt.Sprintf("%dsets x %dway x %dB (%dKB, %dcyc)",
+		c.Sets, c.Assoc, c.BlockBytes, c.SizeBytes()/1024, c.LatencyCycles)
+}
+
+// Cache is one set-associative level with true-LRU replacement.
+type Cache struct {
+	cfg        Config
+	tags       []uint64 // sets*assoc entries; tag 0 means empty via valid bit
+	valid      []bool
+	dirty      []bool
+	stamp      []uint64 // last-use timestamp per line; lowest is LRU
+	tick       uint64   // monotonically increasing use counter
+	setMask    uint64
+	blockShift uint
+
+	// Stats accumulates access counts.
+	Stats Stats
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate reports misses per access (0 if no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// New builds a cache level from the config. It panics on an invalid config;
+// validate configurations at the boundary with Config.Validate.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Sets * cfg.Assoc
+	c := &Cache{
+		cfg:     cfg,
+		tags:    make([]uint64, n),
+		valid:   make([]bool, n),
+		dirty:   make([]bool, n),
+		stamp:   make([]uint64, n),
+		setMask: uint64(cfg.Sets - 1),
+	}
+	for bs := cfg.BlockBytes; bs > 1; bs >>= 1 {
+		c.blockShift++
+	}
+	return c
+}
+
+// Config reports the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.stamp[i] = 0
+	}
+	c.tick = 0
+	c.Stats = Stats{}
+}
+
+func (c *Cache) set(addr uint64) (base int, tag uint64) {
+	block := addr >> c.blockShift
+	return int(block&c.setMask) * c.cfg.Assoc, block >> uintLog2(c.cfg.Sets)
+}
+
+func uintLog2(n int) uint {
+	var s uint
+	for ; n > 1; n >>= 1 {
+		s++
+	}
+	return s
+}
+
+// touch promotes way w of the set starting at base to MRU.
+func (c *Cache) touch(base, w int) {
+	c.tick++
+	c.stamp[base+w] = c.tick
+}
+
+// Probe reports whether addr hits without changing any state (no stats, no
+// LRU update). Used by tests and by the hierarchy's inclusive checks.
+func (c *Cache) Probe(addr uint64) bool {
+	base, tag := c.set(addr)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up addr, allocating on miss. write marks the line dirty when
+// the level is used write-back. It returns whether the access hit and, on
+// miss, whether a dirty victim was evicted (the caller charges write-back
+// traffic if it models it).
+func (c *Cache) Access(addr uint64, write bool) (hit bool, wroteBack bool) {
+	c.Stats.Accesses++
+	base, tag := c.set(addr)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.touch(base, w)
+			if write {
+				c.dirty[base+w] = true
+			}
+			return true, false
+		}
+	}
+	c.Stats.Misses++
+	// Choose the least-recently-used way, preferring invalid ways.
+	victim := 0
+	best := ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.stamp[base+w] < best {
+			best = c.stamp[base+w]
+			victim = w
+		}
+	}
+	if c.valid[base+victim] && c.dirty[base+victim] {
+		wroteBack = true
+		c.Stats.Writebacks++
+	}
+	c.valid[base+victim] = true
+	c.tags[base+victim] = tag
+	c.dirty[base+victim] = write
+	c.touch(base, victim)
+	return false, wroteBack
+}
+
+// WritePolicy selects how stores interact with the private levels.
+type WritePolicy uint8
+
+const (
+	// WriteThrough sends every store through the private levels (contesting
+	// mode: the merged instance below is handled by the store queue).
+	WriteThrough WritePolicy = iota
+	// WriteBack dirties lines and writes back on eviction.
+	WriteBack
+)
+
+func (p WritePolicy) String() string {
+	if p == WriteThrough {
+		return "write-through"
+	}
+	return "write-back"
+}
+
+// Bandwidth occupancies of the shared structures behind the L1, in core
+// cycles per access. Back-to-back misses queue, so a core whose L1 filters
+// nothing becomes L2-bandwidth-bound — the realistic cost of a tiny L1 —
+// and transfer time grows with the burst length, so huge blocks buy their
+// latency amortization with bandwidth, the classic block-size trade-off.
+const (
+	l2OccupancyBase  = 2  // L2 port cycles per access
+	l2OccupancyDiv   = 32 // plus one cycle per this many bytes of L1 fill
+	memOccupancyBase = 4  // memory channel cycles per access
+	memOccupancyDiv  = 16 // plus one cycle per this many bytes transferred
+)
+
+// L2OccupancyCycles reports how long one access filling a block of the
+// given size occupies the L2 port.
+func L2OccupancyCycles(fillBytes int) int64 {
+	return l2OccupancyBase + int64(fillBytes/l2OccupancyDiv)
+}
+
+// MemOccupancyCycles reports how long one access transferring a block of
+// the given size occupies the memory channel.
+func MemOccupancyCycles(blockBytes int) int64 {
+	return memOccupancyBase + int64(blockBytes/memOccupancyDiv)
+}
+
+// Hierarchy is a two-level private hierarchy over a fixed-latency memory,
+// with a simple occupancy-based bandwidth model for the L2 and the memory
+// channel.
+type Hierarchy struct {
+	L1, L2 *Cache
+	// MemLatencyCycles is the latency of an access that misses both levels.
+	MemLatencyCycles int
+	// Policy is the store write policy of the private levels.
+	Policy WritePolicy
+
+	l2Free, memFree int64 // next cycle each shared structure is free
+}
+
+// NewHierarchy builds the hierarchy. Configurations must be valid.
+func NewHierarchy(l1, l2 Config, memLatency int, policy WritePolicy) (*Hierarchy, error) {
+	if err := l1.Validate(); err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	if err := l2.Validate(); err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	if memLatency < 1 {
+		return nil, fmt.Errorf("cache: memory latency %d below one cycle", memLatency)
+	}
+	return &Hierarchy{
+		L1:               New(l1),
+		L2:               New(l2),
+		MemLatencyCycles: memLatency,
+		Policy:           policy,
+	}, nil
+}
+
+// Reset invalidates both levels and clears statistics and port state.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.l2Free = 0
+	h.memFree = 0
+}
+
+// l2Access runs one access through the L2 port starting no earlier than
+// `earliest`, and returns the cycle the L2 delivers.
+func (h *Hierarchy) l2Access(addr uint64, earliest int64, write bool) (doneAt int64, hit bool) {
+	start := earliest
+	if h.l2Free > start {
+		start = h.l2Free
+	}
+	h.l2Free = start + L2OccupancyCycles(h.L1.Config().BlockBytes)
+	hit, _ = h.L2.Access(addr, write)
+	return start + int64(h.L2.Config().LatencyCycles), hit
+}
+
+// memAccess runs one access through the memory channel starting no earlier
+// than `earliest`, and returns the cycle memory delivers.
+func (h *Hierarchy) memAccess(earliest int64) int64 {
+	start := earliest
+	if h.memFree > start {
+		start = h.memFree
+	}
+	h.memFree = start + MemOccupancyCycles(h.L2.Config().BlockBytes)
+	return start + int64(h.MemLatencyCycles)
+}
+
+// Load looks up a read of addr issued at cycle `now` and returns its
+// latency in cycles, including any queueing on the L2 port and the memory
+// channel.
+func (h *Hierarchy) Load(addr uint64, now int64) int {
+	l1Done := now + int64(h.L1.Config().LatencyCycles)
+	if hit, _ := h.L1.Access(addr, false); hit {
+		return int(l1Done - now)
+	}
+	l2Done, hit := h.l2Access(addr, l1Done, false)
+	if hit {
+		return int(l2Done - now)
+	}
+	return int(h.memAccess(l2Done) - now)
+}
+
+// Store performs a write of addr at cycle `now` and returns the latency the
+// store occupies its cache port. Under write-through the store also
+// propagates to L2 (the merged write below L2 is the synchronizing store
+// queue's job); under write-back it dirties the L1 line, filling it on a
+// miss.
+func (h *Hierarchy) Store(addr uint64, now int64) int {
+	l1Lat := int64(h.L1.Config().LatencyCycles)
+	switch h.Policy {
+	case WriteThrough:
+		// No-allocate on L1 store miss keeps write-through simple. The
+		// write-through traffic drains through a coalescing write buffer in
+		// the background, so it updates L2 state but does not occupy the
+		// L2 port in the load path and costs only the L1 port time.
+		h.L1.Access(addr, false)
+		h.L2.Access(addr, true)
+		return int(l1Lat)
+	default: // WriteBack
+		if hit, _ := h.L1.Access(addr, true); hit {
+			return int(l1Lat)
+		}
+		// Allocate-on-write-miss: fill from L2/memory.
+		l2Done, hit := h.l2Access(addr, now+l1Lat, false)
+		if hit {
+			return int(l2Done - now)
+		}
+		return int(h.memAccess(l2Done) - now)
+	}
+}

@@ -1,0 +1,228 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaletteComplete(t *testing.T) {
+	names := PaletteNames()
+	if len(names) != 11 {
+		t.Fatalf("%d palette cores, want 11", len(names))
+	}
+	for _, n := range names {
+		c := MustPaletteCore(n)
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if c.Name != n {
+			t.Errorf("core named %q registered as %q", c.Name, n)
+		}
+	}
+	if _, err := PaletteCore("eon"); err == nil {
+		t.Error("eon should not be in the palette")
+	}
+}
+
+// Spot-check transcription of the paper's Appendix A against distinctive
+// entries.
+func TestAppendixATranscription(t *testing.T) {
+	mcf := MustPaletteCore("mcf")
+	if mcf.ROBSize != 1024 || mcf.Width != 3 || mcf.WakeupLatency != 0 {
+		t.Errorf("mcf core mis-transcribed: %v", mcf)
+	}
+	if mcf.L2D.SizeBytes() != 4<<20 {
+		t.Errorf("mcf L2 = %dKB, want 4MB", mcf.L2D.SizeBytes()>>10)
+	}
+	if mcf.L2D.LatencyCycles != 27 || mcf.MemLatencyCycles != 120 {
+		t.Errorf("mcf latencies: %v", mcf)
+	}
+
+	crafty := MustPaletteCore("crafty")
+	if crafty.Width != 8 || crafty.ClockPeriodNs != 0.19 || crafty.FrontEndDepth != 12 {
+		t.Errorf("crafty core mis-transcribed: %v", crafty)
+	}
+	if crafty.L1D.Sets != 16384 || crafty.L1D.BlockBytes != 8 || crafty.L1D.Assoc != 1 {
+		t.Errorf("crafty L1D mis-transcribed: %v", crafty.L1D)
+	}
+
+	bzip := MustPaletteCore("bzip")
+	if bzip.ClockPeriodNs != 0.49 || bzip.ROBSize != 512 || bzip.WakeupLatency != 0 {
+		t.Errorf("bzip core mis-transcribed: %v", bzip)
+	}
+	if bzip.L2D.SizeBytes() != 2<<20 {
+		t.Errorf("bzip L2 = %dKB, want 2MB", bzip.L2D.SizeBytes()>>10)
+	}
+
+	twolf := MustPaletteCore("twolf")
+	if twolf.L1D.Assoc != 8 || twolf.L1D.Sets != 128 {
+		t.Errorf("twolf L1D mis-transcribed: %v", twolf.L1D)
+	}
+
+	parser := MustPaletteCore("parser")
+	if parser.L2D.BlockBytes != 512 || parser.L2D.Sets != 32 {
+		t.Errorf("parser L2D mis-transcribed: %v", parser.L2D)
+	}
+
+	vpr := MustPaletteCore("vpr")
+	if vpr.L1D.SizeBytes() != 8<<10 {
+		t.Errorf("vpr L1 = %dKB, want 8KB", vpr.L1D.SizeBytes()>>10)
+	}
+}
+
+// All palette cores should put main memory at a comparable absolute
+// distance (the paper's configurations cluster around 52-62ns).
+func TestMemoryLatencyAbsolute(t *testing.T) {
+	for _, c := range Palette() {
+		ns := c.MemLatencyNs()
+		if ns < 50 || ns < 45 || ns > 65 {
+			t.Errorf("%s: memory at %.1fns, outside the palette's 50-65ns band", c.Name, ns)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := MustPaletteCore("gcc")
+	mutations := map[string]func(*CoreConfig){
+		"no name":   func(c *CoreConfig) { c.Name = "" },
+		"clock":     func(c *CoreConfig) { c.ClockPeriodNs = 0 },
+		"fe depth":  func(c *CoreConfig) { c.FrontEndDepth = 0 },
+		"width":     func(c *CoreConfig) { c.Width = 0 },
+		"wide":      func(c *CoreConfig) { c.Width = 64 },
+		"rob":       func(c *CoreConfig) { c.ROBSize = 2 },
+		"iq":        func(c *CoreConfig) { c.IQSize = 0 },
+		"iq > rob":  func(c *CoreConfig) { c.IQSize = c.ROBSize + 1 },
+		"lsq":       func(c *CoreConfig) { c.LSQSize = 0 },
+		"wakeup":    func(c *CoreConfig) { c.WakeupLatency = -1 },
+		"sched":     func(c *CoreConfig) { c.SchedDepth = 0 },
+		"mem":       func(c *CoreConfig) { c.MemLatencyCycles = 1 },
+		"l1":        func(c *CoreConfig) { c.L1D.Sets = 3 },
+		"l2":        func(c *CoreConfig) { c.L2D.Assoc = 0 },
+		"predictor": func(c *CoreConfig) { c.Predictor.Kind = "bogus" },
+	}
+	for name, mut := range mutations {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWithL2(t *testing.T) {
+	bzip := MustPaletteCore("bzip")
+	parser := MustPaletteCore("parser")
+	hybrid := bzip.WithL2(parser)
+	if hybrid.L2D != parser.L2D {
+		t.Error("L2 not replaced")
+	}
+	if hybrid.L1D != bzip.L1D || hybrid.Width != bzip.Width || hybrid.ClockPeriodNs != bzip.ClockPeriodNs {
+		t.Error("non-L2 fields changed")
+	}
+	if !strings.Contains(hybrid.Name, "bzip") || !strings.Contains(hybrid.Name, "parser") {
+		t.Errorf("hybrid name %q", hybrid.Name)
+	}
+	if err := hybrid.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockHelpers(t *testing.T) {
+	c := MustPaletteCore("bzip")
+	if c.Clock().PeriodNs() != 0.49 {
+		t.Errorf("clock period %g", c.Clock().PeriodNs())
+	}
+	if g := c.FrequencyGHz(); g < 2.0 || g > 2.1 {
+		t.Errorf("frequency %g", g)
+	}
+}
+
+func TestDerive(t *testing.T) {
+	p := FreeParams{
+		Name: "probe", ClockPeriodNs: 0.30, Width: 4,
+		ROBSize: 256, IQSize: 32, LSQSize: 128,
+		L1Sets: 1024, L1Assoc: 2, L1Block: 32,
+		L2Sets: 1024, L2Assoc: 8, L2Block: 128,
+	}
+	c, err := Derive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ~57ns of memory at 0.30ns per cycle.
+	if c.MemLatencyCycles < 170 || c.MemLatencyCycles > 210 {
+		t.Errorf("memory latency %d cycles", c.MemLatencyCycles)
+	}
+	// Faster clock must deepen the front end.
+	p2 := p
+	p2.ClockPeriodNs = 0.19
+	c2, err := Derive(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.FrontEndDepth <= c.FrontEndDepth {
+		t.Errorf("front end %d at 0.19ns vs %d at 0.30ns", c2.FrontEndDepth, c.FrontEndDepth)
+	}
+	if c2.WakeupLatency < c.WakeupLatency {
+		t.Errorf("wakeup %d at 0.19ns vs %d at 0.30ns", c2.WakeupLatency, c.WakeupLatency)
+	}
+	// Bigger caches must be slower in cycles at equal clock.
+	p3 := p
+	p3.L1Sets = 16384
+	c3, err := Derive(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.L1D.LatencyCycles <= c.L1D.LatencyCycles {
+		t.Errorf("16x larger L1 latency %d vs %d", c3.L1D.LatencyCycles, c.L1D.LatencyCycles)
+	}
+}
+
+func TestDeriveMatchesPaletteRoughly(t *testing.T) {
+	// Deriving from the palette's free parameters should land within a
+	// couple of stages/cycles of the paper's dependent parameters.
+	for _, name := range []string{"bzip", "gcc", "twolf", "mcf"} {
+		ref := MustPaletteCore(name)
+		c, err := Derive(FreeParams{
+			Name: name, ClockPeriodNs: ref.ClockPeriodNs, Width: ref.Width,
+			ROBSize: ref.ROBSize, IQSize: ref.IQSize, LSQSize: ref.LSQSize,
+			L1Sets: ref.L1D.Sets, L1Assoc: ref.L1D.Assoc, L1Block: ref.L1D.BlockBytes,
+			L2Sets: ref.L2D.Sets, L2Assoc: ref.L2D.Assoc, L2Block: ref.L2D.BlockBytes,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := c.FrontEndDepth - ref.FrontEndDepth; d < -2 || d > 2 {
+			t.Errorf("%s: derived front end %d vs paper %d", name, c.FrontEndDepth, ref.FrontEndDepth)
+		}
+		if d := c.WakeupLatency - ref.WakeupLatency; d < -1 || d > 1 {
+			t.Errorf("%s: derived wakeup %d vs paper %d", name, c.WakeupLatency, ref.WakeupLatency)
+		}
+		if ratio := float64(c.MemLatencyCycles) / float64(ref.MemLatencyCycles); ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s: derived memory %d cycles vs paper %d", name, c.MemLatencyCycles, ref.MemLatencyCycles)
+		}
+	}
+}
+
+func TestDeriveRejects(t *testing.T) {
+	if _, err := Derive(FreeParams{Name: "x", ClockPeriodNs: 0}); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := Derive(FreeParams{
+		Name: "x", ClockPeriodNs: 0.3, Width: 4, ROBSize: 256, IQSize: 32, LSQSize: 64,
+		L1Sets: 3, L1Assoc: 1, L1Block: 32, L2Sets: 128, L2Assoc: 4, L2Block: 64,
+	}); err == nil {
+		t.Error("bad L1 geometry accepted")
+	}
+}
+
+func TestStringHasKeyFields(t *testing.T) {
+	s := MustPaletteCore("vortex").String()
+	for _, want := range []string{"vortex", "7-wide", "ROB=512"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"archcontest/internal/branch"
+	"archcontest/internal/cache"
+)
+
+// The Appendix A table of the paper, transcribed column by column: the
+// customized configuration of each SPEC2000 integer benchmark found by the
+// XpScalar simulated-annealing exploration for 70nm technology.
+//
+// Row order in the paper: memory access cycles, front-end stages, width,
+// ROB size, issue-queue size, wakeup latency, scheduler/reg-file depth,
+// clock period, L1D (assoc, block, sets, latency), L2D (assoc, block, sets,
+// latency), LS-queue size.
+var palette = map[string]CoreConfig{
+	"bzip":   appendixA("bzip", 112, 4, 5, 512, 64, 0, 1, 0.49, 2, 32, 1024, 2, 4, 64, 8192, 15, 128),
+	"crafty": appendixA("crafty", 321, 12, 8, 64, 32, 3, 3, 0.19, 1, 8, 16384, 5, 16, 64, 128, 7, 64),
+	"gap":    appendixA("gap", 173, 6, 4, 128, 32, 1, 1, 0.33, 1, 8, 2048, 2, 4, 256, 128, 4, 256),
+	"gcc":    appendixA("gcc", 186, 7, 4, 256, 32, 1, 2, 0.31, 1, 8, 32768, 4, 8, 64, 1024, 6, 256),
+	"gzip":   appendixA("gzip", 198, 7, 4, 64, 32, 1, 1, 0.29, 1, 128, 256, 3, 1, 128, 4096, 5, 128),
+	"mcf":    appendixA("mcf", 120, 4, 3, 1024, 64, 0, 1, 0.45, 2, 128, 1024, 5, 4, 128, 8192, 27, 64),
+	"parser": appendixA("parser", 198, 7, 4, 512, 32, 1, 2, 0.29, 1, 64, 2048, 3, 8, 512, 32, 12, 256),
+	"perl":   appendixA("perl", 321, 12, 5, 256, 32, 3, 4, 0.19, 1, 8, 2048, 3, 16, 64, 128, 7, 128),
+	"twolf":  appendixA("twolf", 172, 6, 5, 512, 64, 1, 2, 0.33, 8, 64, 128, 3, 4, 128, 2048, 12, 256),
+	"vortex": appendixA("vortex", 213, 8, 7, 512, 32, 2, 4, 0.27, 4, 32, 1024, 5, 16, 128, 128, 6, 256),
+	"vpr":    appendixA("vpr", 172, 6, 5, 256, 64, 1, 2, 0.30, 2, 32, 128, 2, 8, 128, 1024, 12, 64),
+}
+
+func appendixA(name string, memCyc, feDepth, width, rob, iq, wakeup, sched int, clockNs float64,
+	l1Assoc, l1Block, l1Sets, l1Lat, l2Assoc, l2Block, l2Sets, l2Lat, lsq int) CoreConfig {
+	return CoreConfig{
+		Name:             name,
+		ClockPeriodNs:    clockNs,
+		FrontEndDepth:    feDepth,
+		Width:            width,
+		ROBSize:          rob,
+		IQSize:           iq,
+		LSQSize:          lsq,
+		WakeupLatency:    wakeup,
+		SchedDepth:       sched,
+		MemLatencyCycles: memCyc,
+		L1D:              cache.Config{Sets: l1Sets, Assoc: l1Assoc, BlockBytes: l1Block, LatencyCycles: l1Lat},
+		L2D:              cache.Config{Sets: l2Sets, Assoc: l2Assoc, BlockBytes: l2Block, LatencyCycles: l2Lat},
+		Predictor:        branch.DefaultConfig(),
+	}
+}
+
+// PaletteNames returns the names of the benchmark-customized cores in
+// alphabetical order (the same eleven names as the workload registry).
+func PaletteNames() []string {
+	names := make([]string, 0, len(palette))
+	for n := range palette {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaletteCore returns the customized core of the named benchmark.
+func PaletteCore(name string) (CoreConfig, error) {
+	c, ok := palette[name]
+	if !ok {
+		return CoreConfig{}, fmt.Errorf("config: no palette core %q", name)
+	}
+	return c, nil
+}
+
+// MustPaletteCore is PaletteCore for known-good names; it panics on error.
+func MustPaletteCore(name string) CoreConfig {
+	c, err := PaletteCore(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Palette returns all benchmark-customized cores, ordered by name.
+func Palette() []CoreConfig {
+	names := PaletteNames()
+	cs := make([]CoreConfig, len(names))
+	for i, n := range names {
+		cs[i] = palette[n]
+	}
+	return cs
+}

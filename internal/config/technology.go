@@ -1,0 +1,107 @@
+package config
+
+import (
+	"fmt"
+	"math"
+
+	"archcontest/internal/branch"
+	"archcontest/internal/cache"
+)
+
+// The technology model ties the dependent configuration axes to the free
+// ones the design-space exploration chooses, in the spirit of the paper's
+// statement that "the depth of pipelining of various architectural
+// units/stages is consistent with the processor's frequency and the
+// complexity of these units/stages".
+//
+// The constants below are fitted to the paper's Appendix A palette (70nm):
+// absolute front-end work of ~2ns grows slightly with width, scheduler and
+// bypass work grow with width and issue-queue size, main memory sits ~57ns
+// away, and cache access time grows with the log of capacity. The palette
+// itself is used verbatim; the model only disciplines *new* design points
+// so exploration cannot pick wide, fast, shallow, zero-wake-up cores that
+// the technology could not build.
+
+// FreeParams are the independent axes the exploration varies.
+type FreeParams struct {
+	Name          string
+	ClockPeriodNs float64
+	Width         int
+	ROBSize       int
+	IQSize        int
+	LSQSize       int
+	L1Sets        int
+	L1Assoc       int
+	L1Block       int
+	L2Sets        int
+	L2Assoc       int
+	L2Block       int
+}
+
+// Derive completes a core configuration from free parameters using the
+// technology model: pipeline depths, wake-up latency, memory latency, and
+// cache latencies are computed from the clock period and structure sizes.
+func Derive(p FreeParams) (CoreConfig, error) {
+	if p.ClockPeriodNs <= 0 {
+		return CoreConfig{}, fmt.Errorf("config: non-positive clock period %g", p.ClockPeriodNs)
+	}
+	l1 := cache.Config{Sets: p.L1Sets, Assoc: p.L1Assoc, BlockBytes: p.L1Block}
+	l2 := cache.Config{Sets: p.L2Sets, Assoc: p.L2Assoc, BlockBytes: p.L2Block}
+	l1.LatencyCycles = cacheLatencyCycles(l1NsFor(l1), p.ClockPeriodNs)
+	l2.LatencyCycles = cacheLatencyCycles(l2NsFor(l2), p.ClockPeriodNs)
+
+	feWork := 1.4 + 0.08*float64(p.Width)
+	schedWork := 0.12 + 0.005*float64(p.IQSize) + 0.03*float64(p.Width)
+	bypassWork := 0.35 + 0.035*float64(p.Width)
+	const memNs = 57.0
+
+	c := CoreConfig{
+		Name:             p.Name,
+		ClockPeriodNs:    p.ClockPeriodNs,
+		Width:            p.Width,
+		ROBSize:          p.ROBSize,
+		IQSize:           p.IQSize,
+		LSQSize:          p.LSQSize,
+		FrontEndDepth:    clampInt(roundDiv(feWork, p.ClockPeriodNs), 3, 16),
+		SchedDepth:       clampInt(roundDiv(schedWork, p.ClockPeriodNs), 1, 6),
+		WakeupLatency:    clampInt(roundDiv(bypassWork, p.ClockPeriodNs)-1, 0, 4),
+		MemLatencyCycles: clampInt(roundDiv(memNs, p.ClockPeriodNs), 10, 2000),
+		L1D:              l1,
+		L2D:              l2,
+		Predictor:        branch.DefaultConfig(),
+	}
+	if err := c.Validate(); err != nil {
+		return CoreConfig{}, err
+	}
+	return c, nil
+}
+
+func l1NsFor(c cache.Config) float64 {
+	kb := math.Max(1, float64(c.SizeBytes())/1024)
+	return 0.30 + 0.10*math.Log2(kb)
+}
+
+func l2NsFor(c cache.Config) float64 {
+	mb := float64(c.SizeBytes()) / (1 << 20)
+	return 0.3 + 3.2*mb
+}
+
+func cacheLatencyCycles(workNs, periodNs float64) int {
+	n := roundDiv(workNs, periodNs)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+func roundDiv(a, b float64) int { return int(a/b + 0.5) }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,198 @@
+// Package contest implements architectural contesting — the paper's primary
+// contribution. N cores of a heterogeneous CMP concurrently execute the
+// same dynamic instruction stream; each broadcasts its retired results on
+// its global result bus (GRB) with a configurable core-to-core latency, and
+// each consumes the other cores' results through per-sender result FIFOs.
+//
+// A core whose fetch counter has caught up with a result FIFO's pop counter
+// is trailing (the paper's Scenario #2): it pairs arriving results with the
+// instructions it fetches and completes them without executing them, which
+// keeps it within a bounded lagging distance of the leader. When the
+// workload behaviour changes, the core best suited to the new region drains
+// its FIFO, runs ahead, and becomes the leader — no phase detection, no
+// reconfiguration, no migration.
+//
+// Stores are performed redundantly in each core's private (write-through)
+// hierarchy and merged below it by a synchronizing store queue, SRT-style:
+// one merged instance proceeds to the shared level once every active core
+// has performed the store. A core whose peak consume rate cannot keep up
+// with the leader overflows its result FIFO and is detected as a saturated
+// lagger; contesting is disabled for it, exactly as the paper prescribes.
+package contest
+
+import (
+	"fmt"
+
+	"archcontest/internal/pipeline"
+	"archcontest/internal/ticks"
+)
+
+// Options configures a contested run.
+type Options struct {
+	// LatencyNs is the core-to-core (GRB propagation) latency in
+	// nanoseconds. Zero selects the paper's default of 1ns.
+	LatencyNs float64
+	// MaxLag is the result-FIFO capacity in instructions: the maximum
+	// lagging distance before a core is declared a saturated lagger. The
+	// bound must cover the deepest window plus the drain transient of a
+	// slow memory phase, so that only a *structural* rate mismatch (a
+	// follower whose peak consume rate is below the leader's retire rate)
+	// trips it. Zero selects 4096.
+	MaxLag int
+	// StoreQueueCap is the synchronizing store queue capacity in merged
+	// store entries. A full queue backpressures retirement of stores.
+	// Zero selects 256.
+	StoreQueueCap int
+	// RegionSize, if non-zero, logs per-region retirement times on every
+	// core (the system-level region log is the winner's).
+	RegionSize int
+	// NoTrainOnInject disables predictor training on injected branches.
+	NoTrainOnInject bool
+	// ExceptionEvery, if non-zero, raises a synchronous exception at every
+	// ExceptionEvery-th instruction: no core retires it before every active
+	// core has reached it and the handler has run (paper Section 4.3).
+	ExceptionEvery int64
+	// ExceptionHandlerNs is the handler service time once all cores arrive
+	// (0 selects 50ns when exceptions are enabled).
+	ExceptionHandlerNs float64
+	// ExceptionKillRefork models the older terminate-and-refork scheme
+	// instead of the paper's parallelized handler: each non-designated
+	// core adds a refork penalty of ExceptionReforkNs (0 selects 500ns).
+	ExceptionKillRefork bool
+	// ExceptionReforkNs is the per-core refork penalty under
+	// ExceptionKillRefork.
+	ExceptionReforkNs float64
+	// MaxTimeNs aborts runs exceeding the bound (0 = a generous default
+	// derived from the trace length).
+	MaxTimeNs float64
+}
+
+func (o *Options) applyDefaults(n int) {
+	if o.LatencyNs == 0 {
+		o.LatencyNs = 1.0
+	}
+	if o.MaxLag == 0 {
+		o.MaxLag = 4096
+	}
+	if o.StoreQueueCap == 0 {
+		o.StoreQueueCap = 256
+	}
+	if o.ExceptionEvery > 0 && o.ExceptionHandlerNs == 0 {
+		o.ExceptionHandlerNs = 50
+	}
+	if o.ExceptionKillRefork && o.ExceptionReforkNs == 0 {
+		o.ExceptionReforkNs = 500
+	}
+	if o.MaxTimeNs == 0 {
+		// At least 100ns, and 100ns per instruction of trace: two orders
+		// of magnitude beyond any sane IPT in this repository.
+		o.MaxTimeNs = 100 + 100*float64(n)
+	}
+}
+
+// Result summarizes a contested run.
+type Result struct {
+	// Benchmark is the trace name; Cores the contestant names.
+	Benchmark string
+	Cores     []string
+	// Insts is the trace length.
+	Insts int64
+	// Time is when the first core retired the last instruction.
+	Time ticks.Time
+	// Winner is the index of the core that finished first.
+	Winner int
+	// LeadChanges counts how often the identity of the most-retired core
+	// changed during the run.
+	LeadChanges int64
+	// Saturated marks cores whose result FIFO overflowed (contesting was
+	// disabled for them).
+	Saturated []bool
+	// PerCore holds each core's final counters.
+	PerCore []pipeline.Stats
+	// Regions is the winning core's per-region retirement log, if enabled.
+	Regions []ticks.Time
+}
+
+// IPT reports the system's instructions per nanosecond.
+func (r Result) IPT() float64 {
+	ns := r.Time.Nanoseconds()
+	if ns == 0 {
+		return 0
+	}
+	return float64(r.Insts) / ns
+}
+
+// senderRing buffers the in-flight results of one remote core on their way
+// into (and inside) this core's result FIFO: index range [lo, hi) with the
+// arrival time of each. The pop-counter/fetch-counter protocol reduces to
+// index arithmetic because results arrive in retirement order.
+type senderRing struct {
+	arr  []ticks.Time
+	lo   int64 // oldest retained index (pop counter)
+	hi   int64 // one past the newest retained index
+	next int64 // next index the sender will broadcast
+}
+
+func newSenderRing(capacity int) *senderRing {
+	return &senderRing{arr: make([]ticks.Time, capacity)}
+}
+
+// push records the arrival of result idx at time t. Results the receiver
+// has already consumed past are dropped (Scenario #1's discarded late
+// results). It reports false when the FIFO is full — the receiver is a
+// saturated lagger.
+func (s *senderRing) push(idx int64, t ticks.Time) bool {
+	if idx != s.next {
+		panic(fmt.Sprintf("contest: out-of-order GRB push %d, expected %d", idx, s.next))
+	}
+	s.next++
+	if idx < s.lo {
+		return true // receiver already fetched past this result
+	}
+	if idx-s.lo >= int64(len(s.arr)) {
+		return false
+	}
+	s.arr[idx%int64(len(s.arr))] = t
+	s.hi = idx + 1
+	return true
+}
+
+func (s *senderRing) available(idx int64, t ticks.Time) bool {
+	return idx >= s.lo && idx < s.hi && s.arr[idx%int64(len(s.arr))] <= t
+}
+
+func (s *senderRing) consumeThrough(idx int64) {
+	if idx+1 > s.lo {
+		s.lo = idx + 1
+	}
+	if s.lo > s.hi {
+		s.hi = s.lo
+	}
+}
+
+// feed is one core's view of the other cores' result buses; it implements
+// pipeline.ResultFeed.
+type feed struct {
+	senders  []*senderRing
+	disabled bool
+}
+
+func (f *feed) ResultAvailable(idx int64, t ticks.Time) bool {
+	if f.disabled {
+		return false
+	}
+	for _, s := range f.senders {
+		if s.available(idx, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *feed) ConsumeThrough(idx int64) {
+	for _, s := range f.senders {
+		s.consumeThrough(idx)
+	}
+}
+
+var _ pipeline.ResultFeed = (*feed)(nil)

@@ -1,0 +1,88 @@
+package contest
+
+import (
+	"testing"
+
+	"archcontest/internal/config"
+	"archcontest/internal/workload"
+)
+
+func TestExceptionsSlowExecution(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	plain, err := Run(cfgs, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exc, err := Run(cfgs, tr, Options{ExceptionEvery: 2000, ExceptionHandlerNs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exc.Time <= plain.Time {
+		t.Errorf("exceptions at no cost: %v vs %v", exc.Time, plain.Time)
+	}
+	// 10 exceptions x (rendezvous + 100ns handler): at least the handler
+	// time must appear.
+	minExtra := plain.Time.Add(10 * 100 * 100 / 2) // half the handler ticks as slack
+	if exc.Time < minExtra {
+		t.Errorf("exception cost %v too small", exc.Time-plain.Time)
+	}
+}
+
+func TestKillReforkCostsMoreThanParallelHandler(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	parallel, err := Run(cfgs, tr, Options{ExceptionEvery: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refork, err := Run(cfgs, tr, Options{ExceptionEvery: 2000, ExceptionKillRefork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refork.Time <= parallel.Time {
+		t.Errorf("terminate-and-refork (%v) not slower than the parallelized handler (%v)",
+			refork.Time, parallel.Time)
+	}
+}
+
+func TestExceptionsPreserveCompletion(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 10000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	r, err := Run(cfgs, tr, Options{ExceptionEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts != 10000 {
+		t.Errorf("retired %d", r.Insts)
+	}
+	// At an exception boundary both cores must have rendezvoused, so the
+	// loser cannot be more than one interval behind at the end.
+	loser := 1 - r.Winner
+	if r.PerCore[loser].Retired < r.Insts-500-1 {
+		t.Errorf("loser retired only %d of %d despite 500-instruction rendezvous", r.PerCore[loser].Retired, r.Insts)
+	}
+}
+
+func TestExceptionCoordinatorUnit(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 1000)
+	s, err := NewSystem([]config.CoreConfig{fastCore("a"), slowBigCore("b")}, tr, Options{ExceptionEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := s.exc
+	if x == nil {
+		t.Fatal("coordinator not wired")
+	}
+	if x.isException(98) || !x.isException(99) {
+		t.Error("exception indexing wrong (every 100th instruction -> idx 99)")
+	}
+	// Non-exception instructions always pass.
+	if !x.gate(0, 50, 0) {
+		t.Error("non-exception gated")
+	}
+	// Neither core has retired 99 instructions yet: the first arrival waits.
+	if x.gate(0, 99, 1000) {
+		t.Error("rendezvous passed before all cores arrived")
+	}
+}

@@ -1,0 +1,126 @@
+package contest
+
+import "fmt"
+
+// StoreQueue is the synchronizing store queue of a contesting system,
+// modelled after SRT's: it buffers privately-performed stores and tracks
+// which cores have performed each one. When the oldest store has been
+// performed by every active core, a single merged instance is performed to
+// the shared cache level. A full queue refuses new stores, which
+// backpressures retirement in the leading core and thereby bounds how far
+// it can run ahead.
+type StoreQueue struct {
+	capacity int
+	required uint64 // bitmask of cores whose instance is awaited
+	entries  []sqEntry
+	// Merged receives each merged store exactly once, in program order,
+	// when it drains to the shared level. Nil disables the callback.
+	Merged func(idx int64, addr uint64)
+
+	mergedCount int64
+}
+
+type sqEntry struct {
+	idx       int64
+	addr      uint64
+	performed uint64 // bitmask of cores that performed it privately
+}
+
+// NewStoreQueue builds a queue for n cores with the given capacity.
+func NewStoreQueue(n, capacity int) *StoreQueue {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("contest: store queue for %d cores", n))
+	}
+	if capacity < 1 {
+		panic("contest: store queue capacity below 1")
+	}
+	return &StoreQueue{
+		capacity: capacity,
+		required: 1<<n - 1,
+	}
+}
+
+// CanAccept reports whether core `core` may retire its next store: either
+// the store already has an entry (another core performed it first) or
+// there is room for a new entry.
+func (q *StoreQueue) CanAccept(core int) bool {
+	if q.required&(1<<core) == 0 {
+		return true // disabled cores are never blocked
+	}
+	if len(q.entries) < q.capacity {
+		return true
+	}
+	// Full: acceptable only if this core's next store matches an existing
+	// entry. The oldest entry this core has not yet performed is its next
+	// store (stores retire in program order on every core).
+	for i := range q.entries {
+		if q.entries[i].performed&(1<<core) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Performed records that `core` performed store idx in its private
+// hierarchy, allocating an entry if this is the first instance. It drains
+// every leading entry that all active cores have now performed.
+func (q *StoreQueue) Performed(core int, idx int64, addr uint64) {
+	bit := uint64(1) << core
+	if q.required&bit == 0 {
+		return // disabled core: its instances are ignored
+	}
+	found := false
+	for i := range q.entries {
+		if q.entries[i].idx == idx {
+			q.entries[i].performed |= bit
+			found = true
+			break
+		}
+	}
+	if !found {
+		if len(q.entries) >= q.capacity {
+			panic(fmt.Sprintf("contest: store queue overflow at store %d (CanAccept not consulted)", idx))
+		}
+		q.entries = append(q.entries, sqEntry{idx: idx, addr: addr, performed: bit})
+	}
+	q.drain()
+}
+
+// DisableCore removes a core (e.g. a saturated lagger) from the required
+// set and drains entries that no longer wait on it.
+func (q *StoreQueue) DisableCore(core int) {
+	q.required &^= 1 << core
+	q.drain()
+}
+
+func (q *StoreQueue) drain() {
+	i := 0
+	for ; i < len(q.entries); i++ {
+		e := &q.entries[i]
+		if e.performed&q.required != q.required {
+			break
+		}
+		q.mergedCount++
+		if q.Merged != nil {
+			q.Merged(e.idx, e.addr)
+		}
+	}
+	if i > 0 {
+		q.entries = append(q.entries[:0], q.entries[i:]...)
+	}
+}
+
+// Pending reports the number of buffered, unmerged stores.
+func (q *StoreQueue) Pending() int { return len(q.entries) }
+
+// MergedCount reports how many stores have drained to the shared level.
+func (q *StoreQueue) MergedCount() int64 { return q.mergedCount }
+
+// coreSink adapts the queue to one core's pipeline.StoreSink.
+type coreSink struct {
+	q    *StoreQueue
+	core int
+}
+
+func (s coreSink) CanAccept() bool                  { return s.q.CanAccept(s.core) }
+func (s coreSink) Performed(idx int64, addr uint64) { s.q.Performed(s.core, idx, addr) }

@@ -1,0 +1,184 @@
+package contest
+
+import (
+	"fmt"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/pipeline"
+	"archcontest/internal/ticks"
+	"archcontest/internal/trace"
+)
+
+// System is an N-way contesting multi-core executing one trace.
+type System struct {
+	cores   []*pipeline.Core
+	feeds   []*feed
+	queue   *StoreQueue
+	latency ticks.Duration
+	opts    Options
+	tr      *trace.Trace
+
+	saturated   []bool
+	leadChanges int64
+	leader      int
+	exc         *exceptionCoordinator
+}
+
+// NewSystem builds a contesting system over the given core configurations.
+// Private hierarchies run write-through, as contesting requires.
+func NewSystem(cfgs []config.CoreConfig, tr *trace.Trace, opts Options) (*System, error) {
+	if len(cfgs) < 2 {
+		return nil, fmt.Errorf("contest: need at least two cores, got %d", len(cfgs))
+	}
+	if len(cfgs) > 8 {
+		return nil, fmt.Errorf("contest: %d cores exceeds the supported 8", len(cfgs))
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("contest: empty trace")
+	}
+	opts.applyDefaults(tr.Len())
+	lat := ticks.FromNanoseconds(opts.LatencyNs)
+	if lat < 1 {
+		return nil, fmt.Errorf("contest: core-to-core latency %gns below one time-unit", opts.LatencyNs)
+	}
+
+	n := len(cfgs)
+	s := &System{
+		latency:   lat,
+		opts:      opts,
+		tr:        tr,
+		queue:     NewStoreQueue(n, opts.StoreQueueCap),
+		saturated: make([]bool, n),
+		feeds:     make([]*feed, n),
+		cores:     make([]*pipeline.Core, n),
+	}
+	for i := range s.feeds {
+		f := &feed{senders: make([]*senderRing, 0, n-1)}
+		for j := 0; j < n-1; j++ {
+			f.senders = append(f.senders, newSenderRing(opts.MaxLag))
+		}
+		s.feeds[i] = f
+	}
+	if opts.ExceptionEvery > 0 {
+		s.exc = &exceptionCoordinator{
+			sys:      s,
+			interval: opts.ExceptionEvery,
+			handler:  ticks.FromNanoseconds(opts.ExceptionHandlerNs),
+			barrier:  -1,
+		}
+		if opts.ExceptionKillRefork {
+			s.exc.refork = ticks.FromNanoseconds(opts.ExceptionReforkNs)
+		}
+	}
+	for i, cfg := range cfgs {
+		i := i
+		popts := pipeline.Options{
+			WritePolicy:     cache.WriteThrough,
+			RegionSize:      opts.RegionSize,
+			Feed:            s.feeds[i],
+			StoreSink:       coreSink{q: s.queue, core: i},
+			OnRetire:        func(idx int64, at ticks.Time) { s.broadcast(i, idx, at) },
+			NoTrainOnInject: opts.NoTrainOnInject,
+		}
+		if s.exc != nil {
+			popts.RetireGate = func(idx int64, at ticks.Time) bool { return s.exc.gate(i, idx, at) }
+		}
+		core, err := pipeline.NewCore(cfg, tr, popts)
+		if err != nil {
+			return nil, fmt.Errorf("contest: core %d (%s): %w", i, cfg.Name, err)
+		}
+		s.cores[i] = core
+	}
+	return s, nil
+}
+
+// senderSlot maps sender `from` into receiver `to`'s ring list (receivers
+// hold one ring per remote core, ordered by core index with self skipped).
+func senderSlot(to, from int) int {
+	if from < to {
+		return from
+	}
+	return from - 1
+}
+
+// broadcast is core `from`'s global result bus: the retired result of
+// instruction idx reaches every other core after the propagation latency.
+// A receiver whose FIFO overflows is a saturated lagger: contesting is
+// disabled for it and its stores stop gating the store queue.
+func (s *System) broadcast(from int, idx int64, at ticks.Time) {
+	arrival := at.Add(s.latency)
+	for to := range s.cores {
+		if to == from || s.saturated[to] || s.feeds[to].disabled {
+			continue
+		}
+		ring := s.feeds[to].senders[senderSlot(to, from)]
+		// Drop anything the receiver has already fetched past; the receiver
+		// also consumes on its own cycle, but a slow receiver's view must
+		// not overflow on what it would discard anyway.
+		if !ring.push(idx, arrival) {
+			s.declareSaturated(to)
+		}
+	}
+}
+
+func (s *System) declareSaturated(core int) {
+	s.saturated[core] = true
+	s.feeds[core].disabled = true
+	s.queue.DisableCore(core)
+}
+
+// Run executes the contest to completion: the system finishes when the
+// first core retires the whole trace.
+func (s *System) Run() (Result, error) {
+	maxTime := ticks.Time(ticks.FromNanoseconds(s.opts.MaxTimeNs))
+	n := len(s.cores)
+	for {
+		// Step the core with the earliest next clock edge; ties resolve by
+		// core index, the paper's round-robin handshake order.
+		min := 0
+		for i := 1; i < n; i++ {
+			if s.cores[i].Now() < s.cores[min].Now() {
+				min = i
+			}
+		}
+		c := s.cores[min]
+		if c.Now() > maxTime {
+			return Result{}, fmt.Errorf("contest: %s exceeded %gns without finishing", s.tr.Name(), s.opts.MaxTimeNs)
+		}
+		c.Step()
+		if r := c.Retired(); r > s.cores[s.leader].Retired() && min != s.leader {
+			s.leader = min
+			s.leadChanges++
+		}
+		if c.Done() {
+			return s.result(min), nil
+		}
+	}
+}
+
+func (s *System) result(winner int) Result {
+	res := Result{
+		Benchmark:   s.tr.Name(),
+		Insts:       int64(s.tr.Len()),
+		Time:        s.cores[winner].Stats().FinishTime,
+		Winner:      winner,
+		LeadChanges: s.leadChanges,
+		Saturated:   append([]bool(nil), s.saturated...),
+		Regions:     s.cores[winner].RegionTimes(),
+	}
+	for _, c := range s.cores {
+		res.Cores = append(res.Cores, c.Config().Name)
+		res.PerCore = append(res.PerCore, c.Stats())
+	}
+	return res
+}
+
+// Run builds and runs a contesting system in one call.
+func Run(cfgs []config.CoreConfig, tr *trace.Trace, opts Options) (Result, error) {
+	s, err := NewSystem(cfgs, tr, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,335 @@
+// Package experiments drives the reproduction of every table and figure in
+// the paper's evaluation. A Lab caches the expensive shared artifacts — the
+// synthetic traces, the 11x11 benchmark-by-core single-core runs with
+// 20-instruction region logs, and the per-benchmark switching studies — and
+// each experiment derives its rows from them plus whatever contested runs
+// it needs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/merit"
+	"archcontest/internal/sim"
+	"archcontest/internal/switching"
+	"archcontest/internal/trace"
+	"archcontest/internal/workload"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// N is the trace length in instructions (default 1,000,000 — the scaled
+	// stand-in for the paper's 100M-instruction SimPoints).
+	N int
+	// LatencyNs is the core-to-core latency (default 1ns, the paper's
+	// three cycles of a 3GHz core).
+	LatencyNs float64
+	// CandidatePairs is how many oracle-shortlisted pairs are contested per
+	// benchmark when searching for its best contesting pair (default 3; the
+	// pair containing the benchmark's own core is always added).
+	CandidatePairs int
+	// Parallelism bounds concurrent simulations (default NumCPU).
+	Parallelism int
+}
+
+func (c *Config) applyDefaults() {
+	if c.N == 0 {
+		c.N = 1_000_000
+	}
+	if c.LatencyNs == 0 {
+		c.LatencyNs = 1.0
+	}
+	if c.CandidatePairs == 0 {
+		c.CandidatePairs = 3
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+}
+
+// Lab holds the cached shared state of an experiment campaign.
+type Lab struct {
+	cfg     Config
+	benches []string
+	cores   []config.CoreConfig
+
+	mu       sync.Mutex
+	traces   map[string]*trace.Trace
+	runs     map[string][]sim.Result // bench -> per-core single runs (region-logged)
+	matrix   *merit.Matrix
+	studies  map[string]*switching.Study
+	bestPair map[string]contest.Result
+}
+
+// NewLab builds a lab over the full benchmark registry and Appendix A
+// palette.
+func NewLab(cfg Config) *Lab {
+	cfg.applyDefaults()
+	return &Lab{
+		cfg:      cfg,
+		benches:  workload.Benchmarks(),
+		cores:    config.Palette(),
+		traces:   make(map[string]*trace.Trace),
+		runs:     make(map[string][]sim.Result),
+		studies:  make(map[string]*switching.Study),
+		bestPair: make(map[string]contest.Result),
+	}
+}
+
+// Benchmarks reports the benchmark names.
+func (l *Lab) Benchmarks() []string { return l.benches }
+
+// Cores reports the palette.
+func (l *Lab) Cores() []config.CoreConfig { return l.cores }
+
+// N reports the configured trace length.
+func (l *Lab) N() int { return l.cfg.N }
+
+// Trace returns (generating and caching) the benchmark's trace.
+func (l *Lab) Trace(bench string) (*trace.Trace, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if tr, ok := l.traces[bench]; ok {
+		return tr, nil
+	}
+	p, err := workload.ProfileFor(bench)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Generate(p, l.cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	l.traces[bench] = tr
+	return tr, nil
+}
+
+// parallel runs fn(i) for i in [0, n) on up to Parallelism goroutines and
+// returns the first error.
+func (l *Lab) parallel(n int, fn func(i int) error) error {
+	sem := make(chan struct{}, l.cfg.Parallelism)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs <- fn(i)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runs returns (computing and caching) the benchmark's single-core runs on
+// every palette core, region-logged, in palette order. Single-core runs use
+// the write-back policy (stand-alone, non-contesting mode).
+func (l *Lab) Runs(bench string) ([]sim.Result, error) {
+	l.mu.Lock()
+	if rs, ok := l.runs[bench]; ok {
+		l.mu.Unlock()
+		return rs, nil
+	}
+	l.mu.Unlock()
+	tr, err := l.Trace(bench)
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]sim.Result, len(l.cores))
+	err = l.parallel(len(l.cores), func(i int) error {
+		r, err := sim.Run(l.cores[i], tr, sim.RunOptions{LogRegions: true})
+		if err != nil {
+			return err
+		}
+		rs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.runs[bench] = rs
+	l.mu.Unlock()
+	return rs, nil
+}
+
+// Matrix returns (computing and caching) the benchmark x core IPT matrix
+// from stand-alone runs.
+func (l *Lab) Matrix() (*merit.Matrix, error) {
+	l.mu.Lock()
+	if l.matrix != nil {
+		m := l.matrix
+		l.mu.Unlock()
+		return m, nil
+	}
+	l.mu.Unlock()
+
+	names := make([]string, len(l.cores))
+	for i, c := range l.cores {
+		names[i] = c.Name
+	}
+	m := merit.NewMatrix(l.benches, names)
+	for b, bench := range l.benches {
+		rs, err := l.Runs(bench)
+		if err != nil {
+			return nil, err
+		}
+		for c, r := range rs {
+			m.IPT[b][c] = r.IPT()
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.matrix = m
+	l.mu.Unlock()
+	return m, nil
+}
+
+// Study returns (computing and caching) the benchmark's switching study.
+func (l *Lab) Study(bench string) (*switching.Study, error) {
+	l.mu.Lock()
+	if s, ok := l.studies[bench]; ok {
+		l.mu.Unlock()
+		return s, nil
+	}
+	l.mu.Unlock()
+	rs, err := l.Runs(bench)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(l.cores))
+	baseline := -1
+	for i, c := range l.cores {
+		names[i] = c.Name
+		if c.Name == bench {
+			baseline = i
+		}
+	}
+	if baseline < 0 {
+		return nil, fmt.Errorf("experiments: no customized core for %s", bench)
+	}
+	s, err := switching.NewStudy(names, rs, baseline)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.studies[bench] = s
+	l.mu.Unlock()
+	return s, nil
+}
+
+// Contest runs a contested execution of the benchmark on the named palette
+// cores at the lab's latency.
+func (l *Lab) Contest(bench string, coreNames []string, opts contest.Options) (contest.Result, error) {
+	tr, err := l.Trace(bench)
+	if err != nil {
+		return contest.Result{}, err
+	}
+	cfgs := make([]config.CoreConfig, len(coreNames))
+	for i, n := range coreNames {
+		c, err := config.PaletteCore(n)
+		if err != nil {
+			return contest.Result{}, err
+		}
+		cfgs[i] = c
+	}
+	if opts.LatencyNs == 0 {
+		opts.LatencyNs = l.cfg.LatencyNs
+	}
+	return contest.Run(cfgs, tr, opts)
+}
+
+// BestPair finds (and caches) the benchmark's best 2-way contesting pair:
+// the oracle switching analysis shortlists CandidatePairs fine-grain pairs
+// (plus the best pair containing the benchmark's own core), each shortlisted
+// pair is contested, and the highest-IPT contest wins.
+func (l *Lab) BestPair(bench string) (contest.Result, error) {
+	l.mu.Lock()
+	if r, ok := l.bestPair[bench]; ok {
+		l.mu.Unlock()
+		return r, nil
+	}
+	l.mu.Unlock()
+
+	study, err := l.Study(bench)
+	if err != nil {
+		return contest.Result{}, err
+	}
+	pairs := study.TopPairs(l.cfg.CandidatePairs)
+	// Always consider the best pair that includes the benchmark's own core.
+	own := -1
+	for i, c := range l.cores {
+		if c.Name == bench {
+			own = i
+		}
+	}
+	for _, pr := range study.TopPairs(len(l.cores) * len(l.cores)) {
+		if pr.A == own || pr.B == own {
+			pairs = append(pairs, pr)
+			break
+		}
+	}
+	seen := map[[2]int]bool{}
+	results := make([]contest.Result, 0, len(pairs))
+	var candidates [][2]int
+	for _, pr := range pairs {
+		key := [2]int{pr.A, pr.B}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		candidates = append(candidates, key)
+	}
+	results = make([]contest.Result, len(candidates))
+	err = l.parallel(len(candidates), func(i int) error {
+		pr := candidates[i]
+		r, err := l.Contest(bench, []string{l.cores[pr[0]].Name, l.cores[pr[1]].Name}, contest.Options{})
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return contest.Result{}, err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].IPT() > results[j].IPT() })
+	best := results[0]
+	l.mu.Lock()
+	l.bestPair[bench] = best
+	l.mu.Unlock()
+	return best, nil
+}
+
+// OwnCoreIPT reports the benchmark's stand-alone IPT on its own customized
+// core — the baseline of Figures 6, 7, and 8.
+func (l *Lab) OwnCoreIPT(bench string) (float64, error) {
+	m, err := l.Matrix()
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.BenchIndex(bench)
+	if err != nil {
+		return 0, err
+	}
+	c, err := m.CoreIndex(bench)
+	if err != nil {
+		return 0, err
+	}
+	return m.IPT[b][c], nil
+}

@@ -1,0 +1,222 @@
+// Package explore is the XpScalar stand-in: a simulated-annealing
+// design-space exploration that customizes a core configuration for a
+// workload. It varies the same free axes the paper's tool varies —
+// superscalar width, register-file/ROB size, issue-queue size, load/store
+// queue size, L1 and L2 cache geometry, and clock frequency — with the
+// dependent parameters (pipeline depths, wake-up latency, memory and cache
+// latencies) derived by the technology model in internal/config.
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"archcontest/internal/config"
+	"archcontest/internal/sim"
+	"archcontest/internal/trace"
+	"archcontest/internal/xrand"
+)
+
+// Discrete menus for each free axis, spanning the Appendix A palette.
+var (
+	clockMenu = []float64{0.19, 0.23, 0.27, 0.29, 0.31, 0.33, 0.37, 0.41, 0.45, 0.49}
+	widthMenu = []int{2, 3, 4, 5, 6, 7, 8}
+	robMenu   = []int{32, 64, 128, 256, 512, 1024}
+	iqMenu    = []int{16, 32, 64, 128}
+	lsqMenu   = []int{32, 64, 128, 256}
+	setsMenu  = []int{32, 128, 256, 1024, 2048, 4096, 8192, 16384, 32768}
+	assocMenu = []int{1, 2, 4, 8, 16}
+	blockMenu = []int{8, 16, 32, 64, 128, 256, 512}
+	l1SizeMax = 256 << 10
+	l1SizeMin = 4 << 10
+	l2SizeMax = 4 << 20
+	l2SizeMin = 64 << 10
+)
+
+// Options configures an annealing run.
+type Options struct {
+	// Seed drives the annealing schedule deterministically.
+	Seed uint64
+	// Steps is the number of annealing moves (default 200).
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule, in
+	// relative objective units (defaults 0.10 and 0.005).
+	StartTemp, EndTemp float64
+	// Progress, if non-nil, observes every accepted move.
+	Progress func(step int, cfg config.CoreConfig, ipt float64)
+}
+
+func (o *Options) applyDefaults() {
+	if o.Steps == 0 {
+		o.Steps = 200
+	}
+	if o.StartTemp == 0 {
+		o.StartTemp = 0.10
+	}
+	if o.EndTemp == 0 {
+		o.EndTemp = 0.005
+	}
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Best is the highest-IPT configuration found.
+	Best config.CoreConfig
+	// BestIPT is its measured IPT on the objective trace.
+	BestIPT float64
+	// Evaluated counts simulated design points.
+	Evaluated int
+}
+
+// state is a point in the free-parameter space.
+type state struct {
+	clock                  int // menu indices
+	width                  int
+	rob, iq, lsq           int
+	l1Sets, l1Assoc, l1Blk int
+	l2Sets, l2Assoc, l2Blk int
+}
+
+func (s state) params(name string) config.FreeParams {
+	return config.FreeParams{
+		Name:          name,
+		ClockPeriodNs: clockMenu[s.clock],
+		Width:         widthMenu[s.width],
+		ROBSize:       robMenu[s.rob],
+		IQSize:        iqMenu[s.iq],
+		LSQSize:       lsqMenu[s.lsq],
+		L1Sets:        setsMenu[s.l1Sets],
+		L1Assoc:       assocMenu[s.l1Assoc],
+		L1Block:       blockMenu[s.l1Blk],
+		L2Sets:        setsMenu[s.l2Sets],
+		L2Assoc:       assocMenu[s.l2Assoc],
+		L2Block:       blockMenu[s.l2Blk],
+	}
+}
+
+// valid enforces structural sanity: cache sizes within the technology
+// bounds and an issue queue no larger than the window.
+func (s state) valid() bool {
+	l1 := setsMenu[s.l1Sets] * assocMenu[s.l1Assoc] * blockMenu[s.l1Blk]
+	l2 := setsMenu[s.l2Sets] * assocMenu[s.l2Assoc] * blockMenu[s.l2Blk]
+	if l1 < l1SizeMin || l1 > l1SizeMax {
+		return false
+	}
+	if l2 < l2SizeMin || l2 > l2SizeMax || l2 < 2*l1 {
+		return false
+	}
+	return iqMenu[s.iq] <= robMenu[s.rob]
+}
+
+func defaultState() state {
+	return state{
+		clock: 5, width: 2, rob: 3, iq: 1, lsq: 2,
+		l1Sets: 3, l1Assoc: 1, l1Blk: 3,
+		l2Sets: 4, l2Assoc: 3, l2Blk: 4,
+	}
+}
+
+// neighbor perturbs one randomly chosen axis by one menu step.
+func neighbor(s state, r *xrand.RNG) state {
+	for {
+		n := s
+		axis := r.Intn(11)
+		dir := 1
+		if r.Bool(0.5) {
+			dir = -1
+		}
+		bump := func(v, max int) int {
+			v += dir
+			if v < 0 {
+				v = 0
+			}
+			if v >= max {
+				v = max - 1
+			}
+			return v
+		}
+		switch axis {
+		case 0:
+			n.clock = bump(n.clock, len(clockMenu))
+		case 1:
+			n.width = bump(n.width, len(widthMenu))
+		case 2:
+			n.rob = bump(n.rob, len(robMenu))
+		case 3:
+			n.iq = bump(n.iq, len(iqMenu))
+		case 4:
+			n.lsq = bump(n.lsq, len(lsqMenu))
+		case 5:
+			n.l1Sets = bump(n.l1Sets, len(setsMenu))
+		case 6:
+			n.l1Assoc = bump(n.l1Assoc, len(assocMenu))
+		case 7:
+			n.l1Blk = bump(n.l1Blk, len(blockMenu))
+		case 8:
+			n.l2Sets = bump(n.l2Sets, len(setsMenu))
+		case 9:
+			n.l2Assoc = bump(n.l2Assoc, len(assocMenu))
+		case 10:
+			n.l2Blk = bump(n.l2Blk, len(blockMenu))
+		}
+		if n != s && n.valid() {
+			return n
+		}
+	}
+}
+
+// Customize anneals a core configuration that maximizes IPT on the trace.
+func Customize(tr *trace.Trace, opts Options) (Result, error) {
+	if tr == nil || tr.Len() == 0 {
+		return Result{}, fmt.Errorf("explore: empty trace")
+	}
+	opts.applyDefaults()
+	r := xrand.New(opts.Seed)
+
+	evaluate := func(s state) (config.CoreConfig, float64, error) {
+		cfg, err := config.Derive(s.params("explore-" + tr.Name()))
+		if err != nil {
+			return config.CoreConfig{}, 0, err
+		}
+		res, err := sim.Run(cfg, tr, sim.RunOptions{MaxCycles: int64(tr.Len()) * 200})
+		if err != nil {
+			return config.CoreConfig{}, 0, err
+		}
+		return cfg, res.IPT(), nil
+	}
+
+	cur := defaultState()
+	if !cur.valid() {
+		return Result{}, fmt.Errorf("explore: invalid initial state")
+	}
+	curCfg, curIPT, err := evaluate(cur)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Best: curCfg, BestIPT: curIPT, Evaluated: 1}
+
+	cool := math.Pow(opts.EndTemp/opts.StartTemp, 1/math.Max(1, float64(opts.Steps-1)))
+	temp := opts.StartTemp
+	for step := 0; step < opts.Steps; step++ {
+		cand := neighbor(cur, r)
+		candCfg, candIPT, err := evaluate(cand)
+		if err != nil {
+			// An occasional underivable point is skipped, not fatal.
+			continue
+		}
+		res.Evaluated++
+		rel := (candIPT - curIPT) / curIPT
+		if rel >= 0 || r.Bool(math.Exp(rel/temp)) {
+			cur, curIPT = cand, candIPT
+			if opts.Progress != nil {
+				opts.Progress(step, candCfg, candIPT)
+			}
+			if candIPT > res.BestIPT {
+				res.Best, res.BestIPT = candCfg, candIPT
+			}
+		}
+		temp *= cool
+	}
+	res.Best.Name = "custom-" + tr.Name()
+	return res, nil
+}

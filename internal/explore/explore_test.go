@@ -1,0 +1,101 @@
+package explore
+
+import (
+	"testing"
+
+	"archcontest/internal/config"
+	"archcontest/internal/workload"
+	"archcontest/internal/xrand"
+)
+
+func TestCustomizeImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing in short mode")
+	}
+	tr := workload.MustGenerate("crafty", 20000)
+	res, err := Customize(tr, Options{Seed: 1, Steps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestIPT <= 0 {
+		t.Fatalf("best IPT %g", res.BestIPT)
+	}
+	if res.Evaluated < 10 {
+		t.Errorf("only %d design points evaluated", res.Evaluated)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Errorf("best config invalid: %v", err)
+	}
+	if res.Best.Name != "custom-crafty" {
+		t.Errorf("best config name %q", res.Best.Name)
+	}
+}
+
+func TestCustomizeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing in short mode")
+	}
+	tr := workload.MustGenerate("gzip", 10000)
+	a, err := Customize(tr, Options{Seed: 7, Steps: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Customize(tr, Options{Seed: 7, Steps: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestIPT != b.BestIPT || a.Best.String() != b.Best.String() {
+		t.Error("annealing not deterministic for equal seeds")
+	}
+}
+
+func TestCustomizeRejectsEmpty(t *testing.T) {
+	if _, err := Customize(nil, Options{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestNeighborStaysValid(t *testing.T) {
+	s := defaultState()
+	if !s.valid() {
+		t.Fatal("default state invalid")
+	}
+	r := xrand.New(99)
+	for i := 0; i < 2000; i++ {
+		s = neighbor(s, r)
+		if !s.valid() {
+			t.Fatalf("neighbor produced invalid state %+v at step %d", s, i)
+		}
+	}
+}
+
+func TestStateParamsDerive(t *testing.T) {
+	// Every menu extreme must derive into a valid core configuration when
+	// the state passes its own validity check.
+	s := defaultState()
+	cfg, err := config.Derive(s.params("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing in short mode")
+	}
+	tr := workload.MustGenerate("perl", 8000)
+	calls := 0
+	_, err := Customize(tr, Options{
+		Seed: 3, Steps: 20,
+		Progress: func(step int, cfg config.CoreConfig, ipt float64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress callback never invoked (no accepted moves in 20 steps is implausible)")
+	}
+}

@@ -1,0 +1,121 @@
+// Package isa defines the dynamic-instruction representation shared by the
+// trace generator, the out-of-order core model, and the contesting system.
+//
+// The representation is deliberately compact: contesting operates on the
+// retired results of a dynamic instruction stream, so the only properties
+// that matter to any measured effect are the operation class, the register
+// dependences, memory addresses, and branch outcomes. There is no encoding,
+// no virtual memory, and no wrong-path instruction stream (the core model is
+// trace-driven and charges misprediction penalties in time instead).
+package isa
+
+import "fmt"
+
+// RegID names an architectural register. Register 0 reads as always-ready
+// and is not renamed (like the zero register of most RISC ISAs); use it as
+// the "no register" marker for absent sources and destinations.
+type RegID uint8
+
+// NumRegs is the number of architectural registers, including the zero
+// register.
+const NumRegs = 64
+
+// NoReg is the absent-register marker.
+const NoReg RegID = 0
+
+// OpClass is the execution class of an instruction.
+type OpClass uint8
+
+const (
+	// OpALU is a single-cycle integer operation.
+	OpALU OpClass = iota
+	// OpMul is a pipelined integer multiply.
+	OpMul
+	// OpDiv is an unpipelined integer divide.
+	OpDiv
+	// OpLoad reads memory into a register.
+	OpLoad
+	// OpStore writes a register to memory.
+	OpStore
+	// OpBranch is a conditional branch. Its outcome is part of the trace.
+	OpBranch
+	numOpClasses
+)
+
+// NumOpClasses is the number of distinct operation classes.
+const NumOpClasses = int(numOpClasses)
+
+var opNames = [...]string{"alu", "mul", "div", "load", "store", "branch"}
+
+func (c OpClass) String() string {
+	if int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return fmt.Sprintf("op(%d)", uint8(c))
+}
+
+// Valid reports whether c names a defined operation class.
+func (c OpClass) Valid() bool { return c < numOpClasses }
+
+// Latency reports the execution latency of the class in cycles, exclusive of
+// memory hierarchy time (loads and stores add cache access latency on top of
+// their one-cycle address generation).
+func (c OpClass) Latency() int {
+	switch c {
+	case OpALU, OpBranch:
+		return 1
+	case OpMul:
+		return 3
+	case OpDiv:
+		return 12
+	case OpLoad, OpStore:
+		return 1 // address generation; hierarchy latency is added by the core
+	default:
+		panic("isa: latency of invalid op class")
+	}
+}
+
+// Pipelined reports whether multiple operations of the class may be in
+// flight in one functional unit (divides are not).
+func (c OpClass) Pipelined() bool { return c != OpDiv }
+
+// Inst is one dynamic instruction of a trace. Instructions are identified by
+// their index in the trace; the index doubles as the paper's retired-
+// instruction number used by the pop-counter/fetch-counter protocol.
+type Inst struct {
+	// PC is the static instruction address (used by branch predictors).
+	PC uint64
+	// Addr is the effective memory address of a load or store; zero otherwise.
+	Addr uint64
+	// Src1, Src2 are source registers (NoReg if absent).
+	Src1, Src2 RegID
+	// Dst is the destination register (NoReg for stores and branches).
+	Dst RegID
+	// Op is the execution class.
+	Op OpClass
+	// Taken is the branch outcome (branches only).
+	Taken bool
+}
+
+// HasDst reports whether the instruction produces a register value.
+func (in *Inst) HasDst() bool { return in.Dst != NoReg }
+
+// IsMem reports whether the instruction accesses data memory.
+func (in *Inst) IsMem() bool { return in.Op == OpLoad || in.Op == OpStore }
+
+func (in Inst) String() string {
+	switch in.Op {
+	case OpBranch:
+		t := "not-taken"
+		if in.Taken {
+			t = "taken"
+		}
+		return fmt.Sprintf("branch pc=%#x src=r%d,r%d %s", in.PC, in.Src1, in.Src2, t)
+	case OpLoad:
+		return fmt.Sprintf("load pc=%#x r%d<-[%#x] src=r%d", in.PC, in.Dst, in.Addr, in.Src1)
+	case OpStore:
+		return fmt.Sprintf("store pc=%#x [%#x]<-r%d addr-src=r%d", in.PC, in.Addr, in.Src2, in.Src1)
+	default:
+		return fmt.Sprintf("%s pc=%#x r%d<-r%d,r%d", in.Op, in.PC, in.Dst, in.Src1, in.Src2)
+	}
+}

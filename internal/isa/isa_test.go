@@ -1,0 +1,85 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpClassNames(t *testing.T) {
+	want := map[OpClass]string{
+		OpALU: "alu", OpMul: "mul", OpDiv: "div",
+		OpLoad: "load", OpStore: "store", OpBranch: "branch",
+	}
+	for op, name := range want {
+		if op.String() != name {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), op.String(), name)
+		}
+		if !op.Valid() {
+			t.Errorf("%s not valid", name)
+		}
+	}
+	if OpClass(200).Valid() {
+		t.Error("OpClass(200) reported valid")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if OpALU.Latency() != 1 || OpBranch.Latency() != 1 {
+		t.Error("ALU/branch latency must be 1")
+	}
+	if OpMul.Latency() <= OpALU.Latency() {
+		t.Error("multiply should be slower than ALU")
+	}
+	if OpDiv.Latency() <= OpMul.Latency() {
+		t.Error("divide should be slower than multiply")
+	}
+	if OpDiv.Pipelined() {
+		t.Error("divide should be unpipelined")
+	}
+	if !OpALU.Pipelined() || !OpLoad.Pipelined() {
+		t.Error("ALU and load should be pipelined")
+	}
+}
+
+func TestLatencyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OpClass(99).Latency()
+}
+
+func TestInstPredicates(t *testing.T) {
+	ld := Inst{Op: OpLoad, Dst: 3, Addr: 0x100}
+	if !ld.HasDst() || !ld.IsMem() {
+		t.Error("load should have dst and be mem")
+	}
+	st := Inst{Op: OpStore, Src1: 1, Src2: 2, Addr: 0x100}
+	if st.HasDst() || !st.IsMem() {
+		t.Error("store should have no dst and be mem")
+	}
+	br := Inst{Op: OpBranch, Src1: 1}
+	if br.HasDst() || br.IsMem() {
+		t.Error("branch should have no dst and not be mem")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	br := Inst{Op: OpBranch, PC: 0x40, Taken: true}
+	if s := br.String(); !strings.Contains(s, "taken") || !strings.Contains(s, "0x40") {
+		t.Errorf("branch string %q", s)
+	}
+	ld := Inst{Op: OpLoad, PC: 0x44, Dst: 5, Addr: 0x1000}
+	if s := ld.String(); !strings.Contains(s, "load") || !strings.Contains(s, "0x1000") {
+		t.Errorf("load string %q", s)
+	}
+	alu := Inst{Op: OpALU, PC: 0x48, Dst: 2, Src1: 1}
+	if s := alu.String(); !strings.Contains(s, "alu") {
+		t.Errorf("alu string %q", s)
+	}
+	st := Inst{Op: OpStore, PC: 0x4c, Addr: 0x2000}
+	if s := st.String(); !strings.Contains(s, "store") {
+		t.Errorf("store string %q", s)
+	}
+}

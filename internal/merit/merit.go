@@ -1,0 +1,261 @@
+// Package merit implements the paper's Section 6 figures of merit for
+// constrained heterogeneous CMP design, and the exhaustive combination
+// search that derives the HET-A/B/C/D, HOM, and HET-ALL designs from a
+// benchmark x core-type IPT matrix.
+package merit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is the performance (IPT: instructions per nanosecond) of every
+// benchmark on every core type.
+type Matrix struct {
+	Benchmarks []string
+	Cores      []string
+	// IPT[b][c] is benchmark b's IPT on core c.
+	IPT [][]float64
+}
+
+// NewMatrix builds an empty matrix with the given axes.
+func NewMatrix(benchmarks, cores []string) *Matrix {
+	m := &Matrix{Benchmarks: benchmarks, Cores: cores}
+	m.IPT = make([][]float64, len(benchmarks))
+	for i := range m.IPT {
+		m.IPT[i] = make([]float64, len(cores))
+	}
+	return m
+}
+
+// Validate checks that every entry is a positive, finite IPT.
+func (m *Matrix) Validate() error {
+	if len(m.Benchmarks) == 0 || len(m.Cores) == 0 {
+		return fmt.Errorf("merit: empty matrix")
+	}
+	if len(m.IPT) != len(m.Benchmarks) {
+		return fmt.Errorf("merit: %d rows for %d benchmarks", len(m.IPT), len(m.Benchmarks))
+	}
+	for b, row := range m.IPT {
+		if len(row) != len(m.Cores) {
+			return fmt.Errorf("merit: row %s has %d entries", m.Benchmarks[b], len(row))
+		}
+		for c, v := range row {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("merit: IPT[%s][%s] = %g", m.Benchmarks[b], m.Cores[c], v)
+			}
+		}
+	}
+	return nil
+}
+
+// CoreIndex reports the index of the named core.
+func (m *Matrix) CoreIndex(name string) (int, error) {
+	for i, c := range m.Cores {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("merit: no core %q in matrix", name)
+}
+
+// BenchIndex reports the index of the named benchmark.
+func (m *Matrix) BenchIndex(name string) (int, error) {
+	for i, b := range m.Benchmarks {
+		if b == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("merit: no benchmark %q in matrix", name)
+}
+
+// BestIn reports, for benchmark b, the most suitable core among the given
+// core indices and its IPT.
+func (m *Matrix) BestIn(b int, cores []int) (best int, ipt float64) {
+	best = cores[0]
+	ipt = m.IPT[b][best]
+	for _, c := range cores[1:] {
+		if m.IPT[b][c] > ipt {
+			best, ipt = c, m.IPT[b][c]
+		}
+	}
+	return best, ipt
+}
+
+// FigureOfMerit names one of the paper's three design criteria.
+type FigureOfMerit int
+
+const (
+	// Avg is the arithmetic-mean IPT across benchmarks, each on its most
+	// suitable available core: raw throughput, robust to unknown benchmark
+	// frequencies.
+	Avg FigureOfMerit = iota
+	// Har is the harmonic-mean IPT: minimizes total time of the benchmarks
+	// submitted one by one.
+	Har
+	// CwHar is the contention-weighted harmonic-mean IPT: each benchmark's
+	// IPT is divided by the number of benchmarks that share its preferred
+	// core type, modelling queueing under heavy load (Little's law).
+	CwHar
+)
+
+func (f FigureOfMerit) String() string {
+	switch f {
+	case Avg:
+		return "avg"
+	case Har:
+		return "har"
+	case CwHar:
+		return "cw-har"
+	default:
+		return fmt.Sprintf("merit(%d)", int(f))
+	}
+}
+
+// Score evaluates the figure of merit for the CMP design consisting of the
+// given core types.
+func (m *Matrix) Score(f FigureOfMerit, cores []int) float64 {
+	n := len(m.Benchmarks)
+	best := make([]int, n)
+	ipt := make([]float64, n)
+	for b := 0; b < n; b++ {
+		best[b], ipt[b] = m.BestIn(b, cores)
+	}
+	switch f {
+	case Avg:
+		sum := 0.0
+		for _, v := range ipt {
+			sum += v
+		}
+		return sum / float64(n)
+	case Har:
+		inv := 0.0
+		for _, v := range ipt {
+			inv += 1 / v
+		}
+		return float64(n) / inv
+	case CwHar:
+		// Little's law: a core type preferred by k benchmarks sees a queue
+		// proportional to k, so each benchmark's effective IPT is divided
+		// by the number of sharers of its preferred core.
+		sharers := map[int]int{}
+		for _, c := range best {
+			sharers[c]++
+		}
+		inv := 0.0
+		for b := 0; b < n; b++ {
+			inv += float64(sharers[best[b]]) / ipt[b]
+		}
+		return float64(n) / inv
+	default:
+		panic(fmt.Sprintf("merit: unknown figure of merit %d", int(f)))
+	}
+}
+
+// HarmonicMeanBest reports the harmonic-mean IPT of the benchmarks, each on
+// its most suitable core of the design — the common yardstick of the
+// paper's Table 1, regardless of which merit designed the CMP.
+func (m *Matrix) HarmonicMeanBest(cores []int) float64 {
+	return m.Score(Har, cores)
+}
+
+// Design is a constrained heterogeneous CMP design.
+type Design struct {
+	// Name labels the design (HET-A, HOM, ...).
+	Name string
+	// Merit is the criterion that selected it.
+	Merit FigureOfMerit
+	// Cores are the selected core-type indices.
+	Cores []int
+	// Score is the value of the selecting criterion.
+	Score float64
+}
+
+// BestCombination exhaustively searches all k-subsets of core types for the
+// one maximizing the figure of merit.
+func (m *Matrix) BestCombination(f FigureOfMerit, k int) (Design, error) {
+	n := len(m.Cores)
+	if k < 1 || k > n {
+		return Design{}, fmt.Errorf("merit: cannot pick %d of %d core types", k, n)
+	}
+	var best Design
+	found := false
+	comb := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			score := m.Score(f, comb)
+			if !found || score > best.Score {
+				found = true
+				best = Design{Merit: f, Cores: append([]int(nil), comb...), Score: score}
+			}
+			return
+		}
+		for c := start; c <= n-(k-depth); c++ {
+			comb[depth] = c
+			rec(c+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	sort.Ints(best.Cores)
+	return best, nil
+}
+
+// CoreNames resolves a design's core indices to names.
+func (m *Matrix) CoreNames(d Design) []string {
+	out := make([]string, len(d.Cores))
+	for i, c := range d.Cores {
+		out[i] = m.Cores[c]
+	}
+	return out
+}
+
+// PaperDesigns derives the five CMP designs of the paper's Table 1 plus
+// HET-D of Section 7.3 from the matrix:
+//
+//	HET-A: best pair by avg          HET-B: best pair by har
+//	HET-C: best pair by cw-har       HOM:   best single core by har
+//	HET-D: best triple by har        HET-ALL: every core type
+type PaperDesigns struct {
+	HetA, HetB, HetC, Hom, HetD, HetAll Design
+}
+
+// DerivePaperDesigns runs the combination searches of Sections 6 and 7.
+func (m *Matrix) DerivePaperDesigns() (PaperDesigns, error) {
+	if err := m.Validate(); err != nil {
+		return PaperDesigns{}, err
+	}
+	var (
+		d   PaperDesigns
+		err error
+	)
+	if d.HetA, err = m.BestCombination(Avg, 2); err != nil {
+		return d, err
+	}
+	d.HetA.Name = "HET-A"
+	if d.HetB, err = m.BestCombination(Har, 2); err != nil {
+		return d, err
+	}
+	d.HetB.Name = "HET-B"
+	if d.HetC, err = m.BestCombination(CwHar, 2); err != nil {
+		return d, err
+	}
+	d.HetC.Name = "HET-C"
+	if d.Hom, err = m.BestCombination(Har, 1); err != nil {
+		return d, err
+	}
+	d.Hom.Name = "HOM"
+	if len(m.Cores) >= 3 {
+		if d.HetD, err = m.BestCombination(Har, 3); err != nil {
+			return d, err
+		}
+		d.HetD.Name = "HET-D"
+	}
+	all := make([]int, len(m.Cores))
+	for i := range all {
+		all[i] = i
+	}
+	d.HetAll = Design{Name: "HET-ALL", Merit: Har, Cores: all, Score: m.Score(Har, all)}
+	return d, nil
+}

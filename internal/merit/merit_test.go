@@ -1,0 +1,205 @@
+package merit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"archcontest/internal/xrand"
+)
+
+func sample() *Matrix {
+	m := NewMatrix([]string{"b0", "b1", "b2", "b3"}, []string{"c0", "c1", "c2"})
+	// c0 is a generalist; c1 wins b1 big; c2 wins b3 big.
+	m.IPT = [][]float64{
+		{2.0, 1.0, 1.0},
+		{1.0, 4.0, 1.0},
+		{2.0, 1.5, 1.8},
+		{1.0, 1.0, 3.0},
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	m := sample()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.IPT[1][1] = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero IPT accepted")
+	}
+	m.IPT[1][1] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Error("NaN accepted")
+	}
+	bad := NewMatrix(nil, nil)
+	if err := bad.Validate(); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestIndices(t *testing.T) {
+	m := sample()
+	if i, err := m.CoreIndex("c1"); err != nil || i != 1 {
+		t.Errorf("CoreIndex: %d %v", i, err)
+	}
+	if _, err := m.CoreIndex("zz"); err == nil {
+		t.Error("unknown core accepted")
+	}
+	if i, err := m.BenchIndex("b3"); err != nil || i != 3 {
+		t.Errorf("BenchIndex: %d %v", i, err)
+	}
+	if _, err := m.BenchIndex("zz"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBestIn(t *testing.T) {
+	m := sample()
+	c, ipt := m.BestIn(1, []int{0, 1, 2})
+	if c != 1 || ipt != 4.0 {
+		t.Errorf("best (%d, %g)", c, ipt)
+	}
+	c, ipt = m.BestIn(1, []int{0, 2})
+	if c != 0 && c != 2 {
+		t.Errorf("restricted best %d", c)
+	}
+	if ipt != 1.0 {
+		t.Errorf("restricted ipt %g", ipt)
+	}
+}
+
+func TestScores(t *testing.T) {
+	m := sample()
+	all := []int{0, 1, 2}
+	// Best per benchmark: 2, 4, 2, 3.
+	avg := m.Score(Avg, all)
+	if math.Abs(avg-11.0/4) > 1e-9 {
+		t.Errorf("avg %g", avg)
+	}
+	har := m.Score(Har, all)
+	wantHar := 4 / (1/2.0 + 1/4.0 + 1/2.0 + 1/3.0)
+	if math.Abs(har-wantHar) > 1e-9 {
+		t.Errorf("har %g, want %g", har, wantHar)
+	}
+	// Sharers: c0 2x (b0, b2), c1 1x, c2 1x.
+	cw := m.Score(CwHar, all)
+	wantCw := 4 / (2/2.0 + 1/4.0 + 2/2.0 + 1/3.0)
+	if math.Abs(cw-wantCw) > 1e-9 {
+		t.Errorf("cw-har %g, want %g", cw, wantCw)
+	}
+	if m.HarmonicMeanBest(all) != har {
+		t.Error("HarmonicMeanBest disagrees with Score(Har)")
+	}
+}
+
+func TestBestCombination(t *testing.T) {
+	m := sample()
+	d, err := m.BestCombination(Har, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cores) != 2 {
+		t.Fatalf("cores %v", d.Cores)
+	}
+	// Exhaustive check against all pairs.
+	bestScore := 0.0
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if s := m.Score(Har, []int{a, b}); s > bestScore {
+				bestScore = s
+			}
+		}
+	}
+	if math.Abs(d.Score-bestScore) > 1e-12 {
+		t.Errorf("combination score %g, exhaustive best %g", d.Score, bestScore)
+	}
+	if _, err := m.BestCombination(Har, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := m.BestCombination(Har, 4); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestDerivePaperDesigns(t *testing.T) {
+	m := sample()
+	d, err := m.DerivePaperDesigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.HetA.Cores) != 2 || len(d.HetB.Cores) != 2 || len(d.HetC.Cores) != 2 {
+		t.Error("pair designs wrong size")
+	}
+	if len(d.Hom.Cores) != 1 {
+		t.Error("HOM should be one core type")
+	}
+	if len(d.HetD.Cores) != 3 {
+		t.Error("HET-D should be three core types")
+	}
+	if len(d.HetAll.Cores) != 3 {
+		t.Error("HET-ALL should include every core type")
+	}
+	// The yardstick ordering the paper's Table 1 reports: adding core types
+	// cannot hurt harmonic-mean best IPT.
+	hom := m.HarmonicMeanBest(d.Hom.Cores)
+	hetB := m.HarmonicMeanBest(d.HetB.Cores)
+	all := m.HarmonicMeanBest(d.HetAll.Cores)
+	if hetB < hom || all < hetB {
+		t.Errorf("ordering violated: HOM %.3f, HET-B %.3f, HET-ALL %.3f", hom, hetB, all)
+	}
+	if d.HetA.Name != "HET-A" || d.Hom.Name != "HOM" {
+		t.Error("design names not set")
+	}
+	if d.HetC.Merit != CwHar {
+		t.Error("HET-C merit wrong")
+	}
+}
+
+func TestMeritStrings(t *testing.T) {
+	if Avg.String() != "avg" || Har.String() != "har" || CwHar.String() != "cw-har" {
+		t.Error("merit names")
+	}
+}
+
+// Property: for any positive matrix, every figure of merit is positive, the
+// score of a superset of core types is never worse for avg/har, and HOM <=
+// HET-ALL under har.
+func TestScoreProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nb, nc := r.Intn(5)+2, r.Intn(4)+2
+		benches := make([]string, nb)
+		cores := make([]string, nc)
+		for i := range benches {
+			benches[i] = string(rune('a' + i))
+		}
+		for i := range cores {
+			cores[i] = string(rune('p' + i))
+		}
+		m := NewMatrix(benches, cores)
+		for b := 0; b < nb; b++ {
+			for c := 0; c < nc; c++ {
+				m.IPT[b][c] = 0.1 + 3*r.Float64()
+			}
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		sub := []int{0}
+		all := make([]int, nc)
+		for i := range all {
+			all[i] = i
+		}
+		for _, fm := range []FigureOfMerit{Avg, Har} {
+			if m.Score(fm, sub) <= 0 || m.Score(fm, all) < m.Score(fm, sub)-1e-12 {
+				return false
+			}
+		}
+		return m.Score(CwHar, all) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

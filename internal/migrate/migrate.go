@@ -1,0 +1,182 @@
+// Package migrate implements the migrational baseline that architectural
+// contesting is motivated against: a heterogeneous CMP that moves a single
+// thread between cores at a fixed granularity.
+//
+// The paper's Sections 2 and 3 argue that adaptational and migrational
+// approaches are too sluggish for the sub-thousand-instruction behaviour
+// variation where the real gains live: migrating costs a pipeline drain,
+// a register-state transfer across the die, and cold private caches on the
+// destination. This package makes that argument executable: it simulates
+// execution that switches between two cores every G instructions under an
+// oracle policy (always run the region on the faster core), charging the
+// migration costs — so even with a *perfect* phase predictor, fine-grain
+// migration drowns in overheads that contesting does not pay.
+package migrate
+
+import (
+	"fmt"
+
+	"archcontest/internal/config"
+	"archcontest/internal/sim"
+	"archcontest/internal/switching"
+	"archcontest/internal/ticks"
+	"archcontest/internal/trace"
+)
+
+// Options configures a migration simulation.
+type Options struct {
+	// Granularity is the region size, in instructions, at which migration
+	// decisions are taken. Must be a multiple of sim.RegionSize.
+	Granularity int
+	// TransferNs is the register-state transfer latency per migration; the
+	// paper's core-to-core latency is the natural floor. Zero selects 10ns
+	// (a drained pipeline handing ~64 registers over a 1ns-away bus is
+	// charitably fast for a migrational design).
+	TransferNs float64
+	// DrainPenaltyInstrs approximates the pipeline drain + refill cost in
+	// instructions of lost issue on each side of a migration. Zero selects
+	// 100 (roughly one window of an average configuration).
+	DrainPenaltyInstrs int
+	// WarmCaches, if true, pretends the destination core's caches are warm
+	// (an optimistic bound isolating the transfer/drain costs).
+	WarmCaches bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.TransferNs == 0 {
+		o.TransferNs = 10
+	}
+	if o.DrainPenaltyInstrs == 0 {
+		o.DrainPenaltyInstrs = 100
+	}
+}
+
+// Result summarizes a migration simulation.
+type Result struct {
+	// Time is the total execution time including migration costs.
+	Time ticks.Duration
+	// Insts is the trace length.
+	Insts int64
+	// Migrations counts core switches.
+	Migrations int
+	// Granularity echoes the decision granularity.
+	Granularity int
+}
+
+// IPT reports instructions per nanosecond.
+func (r Result) IPT() float64 {
+	ns := r.Time.Nanoseconds()
+	if ns == 0 {
+		return 0
+	}
+	return float64(r.Insts) / ns
+}
+
+// OracleMigration simulates oracle-policy migration between two cores at
+// the given granularity, using the cores' per-region logs from stand-alone
+// runs.
+//
+// Cold-cache effects are modelled from the runs themselves: the per-region
+// times of each core already include that core's warm-cache behaviour, so a
+// cold destination is charged an additional penalty of the region time
+// difference bounded by the memory latency — concretely, each post-switch
+// region runs at the *slower* of the two cores' paces (the destination has
+// neither the source's cache state nor its own warm state) unless
+// WarmCaches is set.
+func OracleMigration(a, b sim.Result, cfgA, cfgB config.CoreConfig, opts Options) (Result, error) {
+	opts.applyDefaults()
+	if opts.Granularity < sim.RegionSize || opts.Granularity%sim.RegionSize != 0 {
+		return Result{}, fmt.Errorf("migrate: granularity %d not a multiple of the %d-instruction region size",
+			opts.Granularity, sim.RegionSize)
+	}
+	if len(a.Regions) == 0 || len(b.Regions) == 0 {
+		return Result{}, fmt.Errorf("migrate: runs lack region logs")
+	}
+	if len(a.Regions) != len(b.Regions) {
+		return Result{}, fmt.Errorf("migrate: region logs differ: %d vs %d", len(a.Regions), len(b.Regions))
+	}
+	da := switching.RegionTimes(a.Regions)
+	db := switching.RegionTimes(b.Regions)
+	step := opts.Granularity / sim.RegionSize
+
+	transfer := ticks.FromNanoseconds(opts.TransferNs)
+	var total ticks.Duration
+	migrations := 0
+	onA := true // start wherever the first region is faster
+	first := true
+	for i := 0; i < len(da); i += step {
+		end := i + step
+		if end > len(da) {
+			end = len(da)
+		}
+		var ta, tb ticks.Duration
+		for j := i; j < end; j++ {
+			ta += da[j]
+			tb += db[j]
+		}
+		wantA := ta <= tb
+		switched := false
+		if first {
+			onA = wantA
+			first = false
+		} else if wantA != onA {
+			onA = wantA
+			migrations++
+			switched = true
+			total += transfer
+			// Drain/refill: the cost of DrainPenaltyInstrs at the slower of
+			// the two cores' paces in this region.
+			worst := ta
+			if tb > worst {
+				worst = tb
+			}
+			insts := (end - i) * sim.RegionSize
+			total += ticks.Duration(int64(worst) * int64(opts.DrainPenaltyInstrs) / int64(insts))
+		}
+		regionTime := ta
+		if !onA {
+			regionTime = tb
+		}
+		if switched && !opts.WarmCaches {
+			// Cold destination caches: the first region after a migration
+			// runs at the slower core's pace.
+			if ta > regionTime {
+				regionTime = ta
+			}
+			if tb > regionTime {
+				regionTime = tb
+			}
+		}
+		total += regionTime
+	}
+	return Result{
+		Time:        total,
+		Insts:       a.Insts,
+		Migrations:  migrations,
+		Granularity: opts.Granularity,
+	}, nil
+}
+
+// Sweep evaluates oracle migration between two palette cores at several
+// granularities, returning results in ascending granularity order.
+func Sweep(cfgA, cfgB config.CoreConfig, tr *trace.Trace, granularities []int, opts Options) ([]Result, error) {
+	ra, err := sim.Run(cfgA, tr, sim.RunOptions{LogRegions: true})
+	if err != nil {
+		return nil, err
+	}
+	rb, err := sim.Run(cfgB, tr, sim.RunOptions{LogRegions: true})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(granularities))
+	for _, g := range granularities {
+		o := opts
+		o.Granularity = g
+		r, err := OracleMigration(ra, rb, cfgA, cfgB, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package migrate
+
+import (
+	"testing"
+
+	"archcontest/internal/config"
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+	"archcontest/internal/workload"
+)
+
+func regionRun(times []ticks.Time, insts int64) sim.Result {
+	return sim.Result{Regions: times, Time: times[len(times)-1], Insts: insts}
+}
+
+func TestOracleMigrationBasics(t *testing.T) {
+	// Two cores alternating strengths every region (20 insts).
+	a := regionRun([]ticks.Time{100, 400, 500, 800}, 80) // 100,300,100,300
+	b := regionRun([]ticks.Time{300, 400, 700, 800}, 80) // 300,100,300,100
+	cfg := config.MustPaletteCore("gcc")
+
+	r, err := OracleMigration(a, b, cfg, cfg, Options{Granularity: 20, TransferNs: 1, DrainPenaltyInstrs: 20, WarmCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations != 3 {
+		t.Errorf("migrations %d, want 3 (alternating every region)", r.Migrations)
+	}
+	// Ideal region times 100 each = 400 plus 3 transfers (100 ticks each)
+	// plus 3 drain penalties of 20 insts at the worst pace (300/20 insts).
+	want := ticks.Duration(400 + 3*100 + 3*300)
+	if r.Time != want {
+		t.Errorf("time %d, want %d", r.Time, want)
+	}
+}
+
+func TestColdCachesHurt(t *testing.T) {
+	a := regionRun([]ticks.Time{100, 400, 500, 800}, 80)
+	b := regionRun([]ticks.Time{300, 400, 700, 800}, 80)
+	cfg := config.MustPaletteCore("gcc")
+	warm, err := OracleMigration(a, b, cfg, cfg, Options{Granularity: 20, WarmCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OracleMigration(a, b, cfg, cfg, Options{Granularity: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Time <= warm.Time {
+		t.Errorf("cold %d not slower than warm %d", cold.Time, warm.Time)
+	}
+}
+
+func TestOracleMigrationRejects(t *testing.T) {
+	a := regionRun([]ticks.Time{100}, 20)
+	b := regionRun([]ticks.Time{100, 200}, 40)
+	cfg := config.MustPaletteCore("gcc")
+	if _, err := OracleMigration(a, b, cfg, cfg, Options{Granularity: 20}); err == nil {
+		t.Error("mismatched logs accepted")
+	}
+	if _, err := OracleMigration(a, a, cfg, cfg, Options{Granularity: 30}); err == nil {
+		t.Error("non-multiple granularity accepted")
+	}
+	if _, err := OracleMigration(sim.Result{}, a, cfg, cfg, Options{Granularity: 20}); err == nil {
+		t.Error("missing region log accepted")
+	}
+}
+
+func TestSweepAgainstRealRuns(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 30000)
+	a := config.MustPaletteCore("twolf")
+	b := config.MustPaletteCore("vpr")
+	res, err := Sweep(a, b, tr, []int{20, 320, 5120}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for _, r := range res {
+		if r.IPT() <= 0 {
+			t.Errorf("granularity %d: IPT %g", r.Granularity, r.IPT())
+		}
+	}
+	// The migrational pathology: at fine granularity the overheads are paid
+	// constantly, so fine-grain migration must not beat coarse by the kind
+	// of margin the oracle (overhead-free) switching enjoys.
+	fine, coarse := res[0], res[2]
+	if fine.Migrations <= coarse.Migrations {
+		t.Errorf("fine granularity migrated %d times vs coarse %d", fine.Migrations, coarse.Migrations)
+	}
+}

@@ -1,0 +1,174 @@
+package pipeline
+
+// Unit-level tests of the contesting hooks: a fake ResultFeed and StoreSink
+// drive a single core through injection, early branch resolution, and store
+// backpressure without a full contest.System.
+
+import (
+	"testing"
+
+	"archcontest/internal/isa"
+	"archcontest/internal/ticks"
+	"archcontest/internal/trace"
+)
+
+// allFeed makes every result available from time zero: the core is always
+// trailing and should advance at its full width via injection.
+type allFeed struct{ consumed int64 }
+
+func (f *allFeed) ResultAvailable(idx int64, t ticks.Time) bool { return true }
+func (f *allFeed) ConsumeThrough(idx int64)                     { f.consumed = idx }
+
+// afterFeed makes results available only from a given absolute time.
+type afterFeed struct {
+	at ticks.Time
+}
+
+func (f *afterFeed) ResultAvailable(idx int64, t ticks.Time) bool { return t >= f.at }
+func (f *afterFeed) ConsumeThrough(idx int64)                     {}
+
+func TestInjectionRunsAtFullWidth(t *testing.T) {
+	// A trace that would crawl when executed (serial chain of L2 misses)
+	// retires at ~width IPC when every result is injected.
+	insts := make([]isa.Inst, 0, 4000)
+	for i := 0; i < 2000; i++ {
+		addr := 0x100000 + uint64(i)*7919*64%(1<<27)
+		insts = append(insts,
+			isa.Inst{Op: isa.OpLoad, PC: 0x40, Dst: 10, Src1: 10, Addr: addr},
+			isa.Inst{Op: isa.OpALU, PC: 0x44, Dst: 10, Src1: 10},
+		)
+	}
+	tr := trace.New("chainload", insts)
+	cfg := testConfig()
+
+	slow := runToCompletion(t, cfg, tr, Options{})
+	feed := &allFeed{}
+	fast := runToCompletion(t, cfg, tr, Options{Feed: feed})
+
+	if fast.Stats().Injected != int64(len(insts)) {
+		t.Errorf("injected %d of %d", fast.Stats().Injected, len(insts))
+	}
+	if ipc := fast.Stats().IPC(); ipc < float64(cfg.Width)*0.7 {
+		t.Errorf("injected IPC %.2f well below width %d", ipc, cfg.Width)
+	}
+	if fast.Stats().Cycles*4 > slow.Stats().Cycles {
+		t.Errorf("injection only %dx faster (injected %d cycles vs %d)",
+			slow.Stats().Cycles/fast.Stats().Cycles, fast.Stats().Cycles, slow.Stats().Cycles)
+	}
+	// Injected loads never touch the private caches.
+	if fast.Stats().L1D.Accesses != 0 {
+		t.Errorf("injected run made %d L1 accesses", fast.Stats().L1D.Accesses)
+	}
+}
+
+func TestInjectedBranchesDontMispredict(t *testing.T) {
+	insts := make([]isa.Inst, 0, 2000)
+	taken := false
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 1})
+		taken = !taken
+		insts = append(insts, isa.Inst{Op: isa.OpBranch, PC: 0x80, Src1: 10, Taken: taken})
+	}
+	tr := trace.New("br", insts)
+	c := runToCompletion(t, testConfig(), tr, Options{Feed: &allFeed{}})
+	st := c.Stats()
+	if st.Mispredicts != 0 {
+		t.Errorf("%d mispredicts while fully injected", st.Mispredicts)
+	}
+}
+
+func TestEarlyBranchResolution(t *testing.T) {
+	// An alternating branch is mispredicted by the bimodal test predictor;
+	// results become available shortly after the run starts, so the stalled
+	// branch should resolve early from the feed (the Figure 5 corner case).
+	insts := make([]isa.Inst, 0, 400)
+	taken := false
+	for i := 0; i < 200; i++ {
+		// A slow load feeds the branch so its own resolution is late.
+		addr := 0x100000 + uint64(i)*64*977%(1<<26)
+		insts = append(insts,
+			isa.Inst{Op: isa.OpLoad, PC: 0x40, Dst: 10, Src1: 1, Addr: addr},
+			isa.Inst{Op: isa.OpALU, PC: 0x44, Dst: 11, Src1: 10},
+		)
+		taken = !taken
+		insts = append(insts, isa.Inst{Op: isa.OpBranch, PC: 0x80, Src1: 11, Taken: taken})
+	}
+	tr := trace.New("early", insts)
+	// Results arrive at cycle ~1000 (50k ticks at the 0.5ns test clock):
+	// late enough that the core has fetched and mispredicted branches the
+	// normal way, early enough that plenty of trace remains.
+	c := runToCompletion(t, testConfig(), tr, Options{Feed: &afterFeed{at: 50_000}})
+	if c.Stats().EarlyResolved == 0 {
+		t.Error("no branches resolved early despite available results")
+	}
+}
+
+// blockingSink refuses stores after the first `limit` and counts attempts.
+type blockingSink struct {
+	limit     int
+	performed int
+}
+
+func (s *blockingSink) CanAccept() bool { return s.performed < s.limit }
+func (s *blockingSink) Performed(idx int64, addr uint64) {
+	s.performed++
+	if s.performed > s.limit {
+		panic("store performed past CanAccept refusal")
+	}
+}
+
+func TestStoreSinkBackpressure(t *testing.T) {
+	insts := make([]isa.Inst, 0, 64)
+	for i := 0; i < 32; i++ {
+		insts = append(insts,
+			isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 1},
+			isa.Inst{Op: isa.OpStore, PC: 0x44, Src1: 1, Src2: 10, Addr: 0x1000 + uint64(i)*8},
+		)
+	}
+	tr := trace.New("stores", insts)
+	sink := &blockingSink{limit: 5}
+	c, err := NewCore(testConfig(), tr, Options{StoreSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && !c.Done(); i++ {
+		c.Step()
+	}
+	if c.Done() {
+		t.Fatal("core finished despite a permanently refusing store sink")
+	}
+	if sink.performed != 5 {
+		t.Errorf("performed %d stores, want exactly the accepted 5", sink.performed)
+	}
+	// Retirement must be stuck at the refused store, not before or after.
+	if got := c.Retired(); got != 11 {
+		t.Errorf("retired %d instructions, want 11 (5 stores + 6 ALUs)", got)
+	}
+}
+
+func TestNoTrainOnInject(t *testing.T) {
+	// With training disabled, a fully-injected run leaves the predictor
+	// cold; re-running the same core state is not observable directly, so
+	// assert via the mispredict counter of a mixed feed: available only for
+	// the first half, so the second half executes with whatever the
+	// predictor learned.
+	insts := make([]isa.Inst, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 1})
+		insts = append(insts, isa.Inst{Op: isa.OpBranch, PC: 0x80, Src1: 10, Taken: true})
+	}
+	tr := trace.New("train", insts)
+	halfFeed := func() ResultFeed { return &prefixFeed{until: 1000} }
+
+	trained := runToCompletion(t, testConfig(), tr, Options{Feed: halfFeed()}).Stats()
+	cold := runToCompletion(t, testConfig(), tr, Options{Feed: halfFeed(), NoTrainOnInject: true}).Stats()
+	if cold.Mispredicts < trained.Mispredicts {
+		t.Errorf("cold predictor mispredicted %d, trained %d", cold.Mispredicts, trained.Mispredicts)
+	}
+}
+
+// prefixFeed injects only the first `until` instructions.
+type prefixFeed struct{ until int64 }
+
+func (f *prefixFeed) ResultAvailable(idx int64, t ticks.Time) bool { return idx < f.until }
+func (f *prefixFeed) ConsumeThrough(idx int64)                     {}

@@ -1,0 +1,603 @@
+// Package pipeline implements the cycle-level out-of-order superscalar core
+// model that stands in for the paper's modified SimpleScalar sim-mase.
+//
+// The model is trace-driven and correct-path-only: it never fetches
+// wrong-path instructions, and instead charges a mispredicted branch the
+// time from its fetch to its resolution plus the front-end refill. All
+// Appendix-A configuration axes are modelled: clock period, front-end
+// depth, dispatch/issue/commit width, ROB/IQ/LSQ capacities, wake-up
+// latency, scheduler depth, the two-level private data cache hierarchy, and
+// main-memory latency in core cycles.
+//
+// Contesting hooks: a core can be given a ResultFeed (arrived results of
+// other cores' retired instructions), a StoreSink (the synchronizing store
+// queue), and a retire observer (the core's outgoing global result bus).
+// The fetch-counter/pop-counter protocol of the paper maps onto the trace
+// index: a core is trailing exactly when the feed already holds a result
+// for the next instruction it fetches (Scenario #2); otherwise it executes
+// normally and late results are discarded (Scenario #1), except that
+// results for the in-flight mispredicted branch gating fetch are kept and
+// used to resolve it early (the Figure 5 corner case).
+package pipeline
+
+import (
+	"fmt"
+
+	"archcontest/internal/branch"
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/isa"
+	"archcontest/internal/ticks"
+	"archcontest/internal/trace"
+)
+
+// ResultFeed supplies this core with the retired-instruction results
+// broadcast by the other cores of a contesting system.
+type ResultFeed interface {
+	// ResultAvailable reports whether the result of dynamic instruction idx
+	// has arrived at this core by absolute time t.
+	ResultAvailable(idx int64, t ticks.Time) bool
+	// ConsumeThrough informs the feed that all results up to and including
+	// idx have been consumed or may be discarded. The core never consumes
+	// past its oldest unresolved mispredicted branch, so arrived branch
+	// outcomes stay queryable for early resolution.
+	ConsumeThrough(idx int64)
+}
+
+// StoreSink receives privately-performed stores; it is the synchronizing
+// store queue of a contesting system. A sink that cannot accept stalls
+// retirement of the oldest store.
+type StoreSink interface {
+	CanAccept() bool
+	Performed(idx int64, addr uint64)
+}
+
+// Options configures the optional behaviour of a core.
+type Options struct {
+	// WritePolicy selects the private-cache store policy. Contesting
+	// requires write-through (the default used by the contest package);
+	// stand-alone runs default to write-back, as the paper permits in
+	// non-contesting modes.
+	WritePolicy cache.WritePolicy
+	// RegionSize, if non-zero, records the absolute time of every
+	// RegionSize-th retirement (the paper logs every 20 instructions).
+	RegionSize int
+	// Feed, if non-nil, enables contesting-mode result consumption.
+	Feed ResultFeed
+	// StoreSink, if non-nil, receives retired stores and may backpressure.
+	StoreSink StoreSink
+	// OnRetire, if non-nil, observes every retirement (the outgoing GRB).
+	OnRetire func(idx int64, at ticks.Time)
+	// RetireGate, if non-nil, is consulted before retiring each
+	// instruction; returning false stalls retirement this cycle. The
+	// contest layer uses it to model synchronous-exception rendezvous
+	// (paper Section 4.3): an excepting instruction retires only once every
+	// active core has reached it and the parallelized handler has run.
+	RetireGate func(idx int64, at ticks.Time) bool
+	// NoTrainOnInject disables branch predictor training on injected
+	// branches (ablation; the default trains so a trailing core's predictor
+	// stays warm).
+	NoTrainOnInject bool
+}
+
+// Stats aggregates a core's execution counters.
+type Stats struct {
+	Cycles        int64
+	Retired       int64
+	Branches      int64
+	Mispredicts   int64
+	EarlyResolved int64
+	Injected      int64
+	Forwarded     int64
+	L1D, L2D      cache.Stats
+	FinishTime    ticks.Time
+}
+
+// IPC reports retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// IPT reports retired instructions per nanosecond (the paper's
+// "instructions per time" metric).
+func (s Stats) IPT() float64 {
+	ns := s.FinishTime.Nanoseconds()
+	if ns == 0 {
+		return 0
+	}
+	return float64(s.Retired) / ns
+}
+
+// MispredictRate reports mispredictions per branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+const noSeq = int64(-1)
+
+// entry is one in-flight dynamic instruction.
+type entry struct {
+	seq           int64
+	dispatchReady int64 // first cycle the front end can deliver it
+	prod1, prod2  int64 // in-window producer seqs, noSeq if none
+	readyHint     int64 // lower bound on source readiness from retired producers
+	storeDep      int64 // older in-window store to the same address, noSeq if none
+	completeCycle int64
+	valueReady    int64 // completeCycle + wake-up latency
+	completed     bool
+	injected      bool
+	mispredicted  bool
+}
+
+// Core is one simulated out-of-order processor executing a trace.
+type Core struct {
+	cfg  config.CoreConfig
+	opts Options
+	clk  ticks.Clock
+	tr   *trace.Trace
+	pred branch.Predictor
+	hier *cache.Hierarchy
+
+	cycle int64
+
+	ring     []entry
+	ringSize int64
+
+	headSeq  int64 // oldest in-flight instruction (next to retire)
+	dispSeq  int64 // next instruction to dispatch
+	tailSeq  int64 // next instruction to fetch into the window
+	fetchEnd int64 // trace length
+
+	iq  []int64 // seqs of dispatched, un-issued instructions (ascending)
+	lsq int     // occupied LSQ entries
+
+	lastWriter [isa.NumRegs]int64 // in-window producer of each register
+	regReadyAt [isa.NumRegs]int64 // readiness cycle once the producer retired
+
+	lastStore map[uint64]int64 // in-window store seq per address
+
+	pendingBranch int64 // mispredicted branch gating fetch, noSeq if none
+	divFree       int64 // next cycle the divider is free
+
+	stats          Stats
+	regionSize     int
+	regions        []ticks.Time
+	retireInRegion int
+}
+
+// NewCore builds a core for the configuration and trace.
+func NewCore(cfg config.CoreConfig, tr *trace.Trace, opts Options) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("pipeline: empty trace")
+	}
+	pred, err := cfg.Predictor.New()
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cfg.L1D, cfg.L2D, cfg.MemLatencyCycles, opts.WritePolicy)
+	if err != nil {
+		return nil, err
+	}
+	ringSize := int64(cfg.ROBSize + cfg.Width*cfg.FrontEndDepth + 2*cfg.Width)
+	c := &Core{
+		cfg:           cfg,
+		opts:          opts,
+		clk:           cfg.Clock(),
+		tr:            tr,
+		pred:          pred,
+		hier:          hier,
+		ring:          make([]entry, ringSize),
+		ringSize:      ringSize,
+		fetchEnd:      int64(tr.Len()),
+		iq:            make([]int64, 0, cfg.IQSize),
+		lastStore:     make(map[uint64]int64),
+		pendingBranch: noSeq,
+		regionSize:    opts.RegionSize,
+	}
+	for r := range c.lastWriter {
+		c.lastWriter[r] = noSeq
+	}
+	return c, nil
+}
+
+// Config reports the core's configuration.
+func (c *Core) Config() config.CoreConfig { return c.cfg }
+
+// Clock reports the core's clock.
+func (c *Core) Clock() ticks.Clock { return c.clk }
+
+// Cycle reports the current cycle number (the number of Step calls).
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Now reports the absolute time of the current cycle's clock edge.
+func (c *Core) Now() ticks.Time { return c.clk.TimeOfCycle(c.cycle) }
+
+// Retired reports how many instructions have retired.
+func (c *Core) Retired() int64 { return c.stats.Retired }
+
+// FetchIndex reports the core's fetch counter: the index of the next
+// correct-path instruction it will fetch.
+func (c *Core) FetchIndex() int64 { return c.tailSeq }
+
+// Done reports whether the core has retired the whole trace.
+func (c *Core) Done() bool { return c.stats.Retired >= c.fetchEnd }
+
+// Stats returns a snapshot of the execution counters, including cache
+// statistics.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.L1D = c.hier.L1.Stats
+	s.L2D = c.hier.L2.Stats
+	return s
+}
+
+// RegionTimes returns the absolute retirement time of each region boundary
+// (every RegionSize-th instruction). The returned slice aliases internal
+// state and must not be modified.
+func (c *Core) RegionTimes() []ticks.Time { return c.regions }
+
+func (c *Core) at(seq int64) *entry { return &c.ring[seq%c.ringSize] }
+
+// Step advances the core by one clock cycle.
+func (c *Core) Step() {
+	if c.Done() {
+		c.cycle++
+		return
+	}
+	c.doRetire()
+	c.doIssue()
+	c.doDispatch()
+	c.doFetch()
+	c.cycle++
+	c.stats.Cycles = c.cycle
+}
+
+// doRetire commits up to Width completed instructions in order.
+func (c *Core) doRetire() {
+	now := c.cycle
+	for n := 0; n < c.cfg.Width && c.headSeq < c.dispSeq; n++ {
+		e := c.at(c.headSeq)
+		if !e.completed || e.completeCycle > now {
+			return
+		}
+		if c.opts.RetireGate != nil && !c.opts.RetireGate(e.seq, c.clk.TimeOfCycle(now)) {
+			return // exception rendezvous in progress
+		}
+		in := c.tr.At(e.seq)
+		if in.Op == isa.OpStore {
+			if c.opts.StoreSink != nil && !c.opts.StoreSink.CanAccept() {
+				return // synchronizing store queue is full
+			}
+			// Perform the store in the private hierarchy at commit.
+			c.hier.Store(in.Addr, now)
+			if c.opts.StoreSink != nil {
+				c.opts.StoreSink.Performed(e.seq, in.Addr)
+			}
+			if c.lastStore[in.Addr] == e.seq {
+				delete(c.lastStore, in.Addr)
+			}
+		}
+		if in.Op == isa.OpBranch {
+			c.stats.Branches++
+			if e.mispredicted {
+				c.stats.Mispredicts++
+			}
+		}
+		if in.HasDst() && c.lastWriter[in.Dst] == e.seq {
+			// The architectural value now lives in the register file.
+			c.regReadyAt[in.Dst] = e.valueReady
+			c.lastWriter[in.Dst] = noSeq
+		}
+		if in.IsMem() {
+			c.lsq--
+		}
+		c.headSeq++
+		c.stats.Retired++
+		at := c.clk.TimeOfCycle(now)
+		if c.regionSize > 0 {
+			c.retireInRegion++
+			if c.retireInRegion == c.regionSize {
+				c.retireInRegion = 0
+				c.regions = append(c.regions, at)
+			}
+		}
+		if c.opts.OnRetire != nil {
+			c.opts.OnRetire(e.seq, at)
+		}
+		if c.stats.Retired >= c.fetchEnd {
+			c.stats.FinishTime = at
+			return
+		}
+	}
+}
+
+// srcReady reports whether the value produced by in-window producer p is
+// available at cycle `now`, and the cycle it became (or becomes) available.
+func (c *Core) srcReady(p int64) (avail bool, readyAt int64) {
+	if p == noSeq {
+		return true, 0
+	}
+	pe := c.at(p)
+	if p < c.headSeq {
+		// Producer retired. Its ring slot normally still holds its wake-up
+		// time; if the slot was already reused by a much younger fetch, the
+		// value has long been architectural (the retirement was at least a
+		// full window ago), so it is simply ready.
+		if pe.seq == p {
+			return true, pe.valueReady
+		}
+		return true, 0
+	}
+	if !pe.completed {
+		return false, 0
+	}
+	return true, pe.valueReady
+}
+
+// doIssue selects up to Width ready instructions from the issue queue,
+// oldest first, and schedules their completion.
+func (c *Core) doIssue() {
+	now := c.cycle
+	issued := 0
+	w := 0
+	for r := 0; r < len(c.iq); r++ {
+		seq := c.iq[r]
+		e := c.at(seq)
+		if issued >= c.cfg.Width {
+			c.iq[w] = seq
+			w++
+			continue
+		}
+		ready, at1 := c.srcReady(e.prod1)
+		if ready {
+			var at2 int64
+			ready, at2 = c.srcReady(e.prod2)
+			if at2 > at1 {
+				at1 = at2
+			}
+		}
+		if ready && at1 < e.readyHint {
+			at1 = e.readyHint
+		}
+		if !ready || at1 > now {
+			c.iq[w] = seq
+			w++
+			continue
+		}
+		in := c.tr.At(seq)
+		execLat := in.Op.Latency()
+		if in.Op == isa.OpLoad {
+			if dep := e.storeDep; dep != noSeq {
+				// An older store to the same address forwards its data: from
+				// the LSQ while in-window (once its data is ready), or from
+				// the write buffer after it retires.
+				if dep >= c.headSeq {
+					de := c.at(dep)
+					if !de.completed || de.completeCycle > now {
+						c.iq[w] = seq
+						w++
+						continue
+					}
+				}
+				execLat = 1
+				c.stats.Forwarded++
+			} else {
+				execLat = c.hier.Load(in.Addr, now)
+			}
+		}
+		if in.Op == isa.OpDiv {
+			if c.divFree > now {
+				c.iq[w] = seq
+				w++
+				continue
+			}
+			c.divFree = now + int64(c.cfg.SchedDepth) + int64(execLat)
+		}
+		e.completed = true
+		e.completeCycle = now + int64(c.cfg.SchedDepth) + int64(execLat)
+		// Dependents wake through the bypass network: they can issue
+		// execLat + WakeupLatency cycles after the producer issues, with
+		// their own scheduler pipeline overlapping the producer's (wake-up
+		// 0 means back-to-back for single-cycle operations).
+		e.valueReady = now + int64(execLat) + int64(c.cfg.WakeupLatency)
+		issued++
+	}
+	c.iq = c.iq[:w]
+}
+
+// producerOf resolves the current producer of register r at dispatch time.
+func (c *Core) producerOf(r isa.RegID) (prod int64, hint int64) {
+	if r == isa.NoReg {
+		return noSeq, 0
+	}
+	if p := c.lastWriter[r]; p != noSeq {
+		return p, 0
+	}
+	return noSeq, c.regReadyAt[r]
+}
+
+// doDispatch renames and dispatches up to Width front-end instructions into
+// the window. Injected instructions complete here (value written straight
+// into the register file, stealing write ports within the core's width).
+func (c *Core) doDispatch() {
+	now := c.cycle
+	for n := 0; n < c.cfg.Width && c.dispSeq < c.tailSeq; n++ {
+		e := c.at(c.dispSeq)
+		if e.dispatchReady > now {
+			return
+		}
+		if c.dispSeq-c.headSeq >= int64(c.cfg.ROBSize) {
+			return // ROB full
+		}
+		in := c.tr.At(e.seq)
+		if in.IsMem() && c.lsq >= c.cfg.LSQSize {
+			return // LSQ full
+		}
+		needIQ := !e.injected && !e.completed // early-resolved branches skip the IQ too
+		if needIQ && len(c.iq) >= c.cfg.IQSize {
+			return // issue queue full
+		}
+
+		if in.IsMem() {
+			c.lsq++
+		}
+		switch {
+		case e.injected:
+			// Result injection: complete at rename. Branches were already
+			// completed in fetch; register producers write their value now;
+			// stores become ready immediately and perform at commit.
+			if !e.completed {
+				e.completed = true
+				e.completeCycle = now
+				e.valueReady = now
+			}
+			c.stats.Injected++
+			if in.HasDst() {
+				c.lastWriter[in.Dst] = noSeq
+				c.regReadyAt[in.Dst] = now
+			}
+		case e.completed:
+			// Branch resolved early by an arrived result before dispatch:
+			// nothing left to execute.
+		default:
+			e.prod1, e.readyHint = c.producerOf(in.Src1)
+			var h2 int64
+			e.prod2, h2 = c.producerOf(in.Src2)
+			if h2 > e.readyHint {
+				e.readyHint = h2
+			}
+			if in.Op == isa.OpLoad {
+				if dep, ok := c.lastStore[in.Addr]; ok {
+					e.storeDep = dep
+				} else {
+					e.storeDep = noSeq
+				}
+			}
+			if in.Op == isa.OpStore {
+				c.lastStore[in.Addr] = e.seq
+			}
+			if in.HasDst() {
+				c.lastWriter[in.Dst] = e.seq
+			}
+			c.iq = append(c.iq, e.seq)
+		}
+		c.dispSeq++
+	}
+}
+
+// doFetch brings up to Width instructions into the window, predicting
+// branches and consulting the result feed for injection and early branch
+// resolution.
+func (c *Core) doFetch() {
+	now := c.cycle
+	t := c.clk.TimeOfCycle(now)
+
+	if c.pendingBranch != noSeq {
+		be := c.at(c.pendingBranch)
+		switch {
+		case be.completed && be.completeCycle < now:
+			// Redirect happened last cycle; fetch resumes this cycle.
+			c.pendingBranch = noSeq
+		case c.opts.Feed != nil && c.opts.Feed.ResultAvailable(c.pendingBranch, t):
+			// Figure 5 corner case: the branch's retired outcome arrived
+			// from another core before this core resolved it. Resolve early;
+			// the core is now trailing and will consume results at fetch.
+			if !be.completed || be.completeCycle > now {
+				if !be.completed {
+					c.removeFromIQ(c.pendingBranch)
+				}
+				be.completed = true
+				be.completeCycle = now
+				be.valueReady = now
+				c.stats.EarlyResolved++
+			}
+			return // redirect consumes this cycle; fetch resumes next cycle
+		default:
+			return // still waiting on the branch
+		}
+	}
+
+	fetched := 0
+	for fetched < c.cfg.Width {
+		if c.tailSeq >= c.fetchEnd {
+			break
+		}
+		if c.tailSeq-c.headSeq >= c.ringSize {
+			break // window structurally full
+		}
+		in := c.tr.At(c.tailSeq)
+		e := c.at(c.tailSeq)
+		*e = entry{
+			seq:           c.tailSeq,
+			dispatchReady: now + int64(c.cfg.FrontEndDepth),
+			prod1:         noSeq,
+			prod2:         noSeq,
+			storeDep:      noSeq,
+		}
+		if c.opts.Feed != nil && c.opts.Feed.ResultAvailable(c.tailSeq, t) {
+			e.injected = true
+			c.opts.Feed.ConsumeThrough(c.tailSeq)
+			if in.Op == isa.OpBranch {
+				// Outcome known: complete in the fetch stage. Training keeps
+				// the predictor warm for when this core takes the lead.
+				e.completed = true
+				e.completeCycle = now
+				e.valueReady = now
+				if !c.opts.NoTrainOnInject {
+					c.pred.Update(in.PC, in.Taken)
+				}
+			}
+		} else if in.Op == isa.OpBranch {
+			predicted := c.pred.Predict(in.PC)
+			if predicted != in.Taken {
+				e.mispredicted = true
+				c.pendingBranch = c.tailSeq
+			}
+			// Train at fetch: the trace-driven model resolves the direction
+			// immediately, which stands in for speculative history update
+			// plus in-order counter training.
+			c.pred.Update(in.PC, in.Taken)
+		}
+		c.tailSeq++
+		fetched++
+		if in.Op == isa.OpBranch {
+			if e.mispredicted {
+				break // fetch stalls until resolution
+			}
+			if in.Taken {
+				break // one taken branch per fetch group
+			}
+		}
+	}
+
+	if c.opts.Feed != nil {
+		// Scenario #1: late results are popped and discarded — but never
+		// past the oldest unresolved mispredicted branch, whose outcome may
+		// still resolve it early.
+		limit := c.tailSeq - 1
+		if c.pendingBranch != noSeq && c.pendingBranch-1 < limit {
+			limit = c.pendingBranch - 1
+		}
+		if limit >= 0 {
+			c.opts.Feed.ConsumeThrough(limit)
+		}
+	}
+}
+
+func (c *Core) removeFromIQ(seq int64) {
+	for i, s := range c.iq {
+		if s == seq {
+			c.iq = append(c.iq[:i], c.iq[i+1:]...)
+			return
+		}
+	}
+}

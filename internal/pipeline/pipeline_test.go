@@ -1,0 +1,330 @@
+package pipeline
+
+import (
+	"testing"
+
+	"archcontest/internal/branch"
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/isa"
+	"archcontest/internal/trace"
+	"archcontest/internal/workload"
+)
+
+// testConfig is a small, fast, deterministic core for micro-trace tests.
+func testConfig() config.CoreConfig {
+	return config.CoreConfig{
+		Name:             "test",
+		ClockPeriodNs:    0.50,
+		FrontEndDepth:    3,
+		Width:            2,
+		ROBSize:          32,
+		IQSize:           16,
+		LSQSize:          16,
+		WakeupLatency:    0,
+		SchedDepth:       1,
+		MemLatencyCycles: 50,
+		L1D:              cache.Config{Sets: 16, Assoc: 2, BlockBytes: 64, LatencyCycles: 2},
+		L2D:              cache.Config{Sets: 256, Assoc: 4, BlockBytes: 64, LatencyCycles: 8},
+		Predictor:        branch.Config{Kind: "bimodal", LogSize: 10},
+	}
+}
+
+func runToCompletion(t *testing.T, cfg config.CoreConfig, tr *trace.Trace, opts Options) *Core {
+	t.Helper()
+	c, err := NewCore(cfg, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !c.Done(); i++ {
+		c.Step()
+		if i > 10_000_000 {
+			t.Fatal("core did not finish")
+		}
+	}
+	return c
+}
+
+func aluChain(n int) []isa.Inst {
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 10}
+	}
+	return insts
+}
+
+func independentALUs(n int) []isa.Inst {
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: isa.RegID(10 + i%32), Src1: 1}
+	}
+	return insts
+}
+
+func TestNewCoreRejects(t *testing.T) {
+	cfg := testConfig()
+	if _, err := NewCore(cfg, nil, Options{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := NewCore(cfg, trace.New("empty", nil), Options{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := cfg
+	bad.Width = 0
+	if _, err := NewCore(bad, trace.New("t", aluChain(4)), Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSerialChainIPC(t *testing.T) {
+	// A pure dependence chain of 1-cycle ALUs with wake-up 0 retires ~1 IPC.
+	c := runToCompletion(t, testConfig(), trace.New("chain", aluChain(1000)), Options{})
+	st := c.Stats()
+	if st.Retired != 1000 {
+		t.Fatalf("retired %d", st.Retired)
+	}
+	if ipc := st.IPC(); ipc < 0.85 || ipc > 1.05 {
+		t.Errorf("serial chain IPC = %.2f, want ~1", ipc)
+	}
+}
+
+func TestWakeupLatencySlowsChains(t *testing.T) {
+	cfg := testConfig()
+	base := runToCompletion(t, cfg, trace.New("chain", aluChain(1000)), Options{}).Stats()
+	cfg.WakeupLatency = 2
+	slow := runToCompletion(t, cfg, trace.New("chain", aluChain(1000)), Options{}).Stats()
+	// Chain throughput should drop to ~1/(1+2) of the back-to-back rate.
+	ratio := slow.IPC() / base.IPC()
+	if ratio > 0.45 || ratio < 0.25 {
+		t.Errorf("wakeup-2 chain IPC ratio = %.2f, want ~1/3", ratio)
+	}
+}
+
+func TestIndependentOpsReachWidth(t *testing.T) {
+	cfg := testConfig()
+	cfg.Width = 4
+	c := runToCompletion(t, cfg, trace.New("ilp", independentALUs(4000)), Options{})
+	if ipc := c.Stats().IPC(); ipc < 3.2 {
+		t.Errorf("independent ALU IPC = %.2f on a 4-wide core", ipc)
+	}
+}
+
+func TestWidthLimitsIPC(t *testing.T) {
+	cfg := testConfig()
+	cfg.Width = 1
+	c := runToCompletion(t, cfg, trace.New("ilp", independentALUs(2000)), Options{})
+	if ipc := c.Stats().IPC(); ipc > 1.01 {
+		t.Errorf("IPC %.2f exceeds width 1", ipc)
+	}
+}
+
+func TestMispredictionPenalty(t *testing.T) {
+	// Alternating branch defeats a bimodal predictor; a trace full of such
+	// branches should run far below width.
+	insts := make([]isa.Inst, 0, 2000)
+	taken := false
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 1})
+		taken = !taken
+		insts = append(insts, isa.Inst{Op: isa.OpBranch, PC: 0x80, Src1: 10, Taken: taken})
+	}
+	c := runToCompletion(t, testConfig(), trace.New("br", insts), Options{})
+	st := c.Stats()
+	if st.Branches != 1000 {
+		t.Fatalf("branches %d", st.Branches)
+	}
+	if st.Mispredicts < 400 {
+		t.Errorf("mispredicts %d, alternating should defeat bimodal", st.Mispredicts)
+	}
+	if ipc := st.IPC(); ipc > 0.6 {
+		t.Errorf("IPC %.2f too high for a mispredict-bound trace", ipc)
+	}
+}
+
+func TestDeeperFrontEndCostsMoreOnMispredicts(t *testing.T) {
+	insts := make([]isa.Inst, 0, 2000)
+	taken := false
+	for i := 0; i < 500; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 1})
+		taken = !taken
+		insts = append(insts, isa.Inst{Op: isa.OpBranch, PC: 0x80, Src1: 10, Taken: taken})
+	}
+	shallow := testConfig()
+	deep := testConfig()
+	deep.FrontEndDepth = 12
+	sc := runToCompletion(t, shallow, trace.New("br", insts), Options{}).Stats()
+	dc := runToCompletion(t, deep, trace.New("br", insts), Options{}).Stats()
+	if dc.Cycles <= sc.Cycles {
+		t.Errorf("deep front end %d cycles vs shallow %d; mispredicts should cost more",
+			dc.Cycles, sc.Cycles)
+	}
+}
+
+func TestPredictableBranchesLearn(t *testing.T) {
+	// A heavily biased branch should be predicted almost perfectly.
+	insts := make([]isa.Inst, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 1})
+		insts = append(insts, isa.Inst{Op: isa.OpBranch, PC: 0x80, Src1: 10, Taken: true})
+	}
+	c := runToCompletion(t, testConfig(), trace.New("br", insts), Options{})
+	st := c.Stats()
+	if st.MispredictRate() > 0.01 {
+		t.Errorf("mispredict rate %.3f on an always-taken branch", st.MispredictRate())
+	}
+}
+
+func TestCacheMissesSlowLoads(t *testing.T) {
+	// Loads over a footprint far beyond L2 should run much slower than
+	// loads that fit in L1.
+	mk := func(span uint64) []isa.Inst {
+		insts := make([]isa.Inst, 0, 2000)
+		for i := 0; i < 1000; i++ {
+			addr := 0x10000 + uint64(i)*997*64%span
+			insts = append(insts, isa.Inst{Op: isa.OpLoad, PC: 0x40, Dst: 10, Src1: 1, Addr: addr})
+			insts = append(insts, isa.Inst{Op: isa.OpALU, PC: 0x44, Dst: 11, Src1: 10})
+		}
+		return insts
+	}
+	hot := runToCompletion(t, testConfig(), trace.New("hot", mk(1<<10)), Options{}).Stats()
+	cold := runToCompletion(t, testConfig(), trace.New("cold", mk(1<<26)), Options{}).Stats()
+	if cold.Cycles < 2*hot.Cycles {
+		t.Errorf("cold %d cycles vs hot %d: misses should dominate", cold.Cycles, hot.Cycles)
+	}
+	if cold.L2D.Misses == 0 {
+		t.Error("expected L2 misses on the cold trace")
+	}
+}
+
+func TestBiggerROBHelpsIndependentMisses(t *testing.T) {
+	// Independent scattered loads, spaced out with filler computation so the
+	// memory channel is not saturated: a larger window overlaps more misses.
+	insts := make([]isa.Inst, 0, 16000)
+	for i := 0; i < 2000; i++ {
+		addr := 0x10000 + uint64(i)*7919*64%(1<<26)
+		insts = append(insts, isa.Inst{Op: isa.OpLoad, PC: 0x40, Dst: isa.RegID(10 + i%16), Src1: 1, Addr: addr})
+		for j := 0; j < 7; j++ {
+			insts = append(insts, isa.Inst{Op: isa.OpALU, PC: 0x44, Dst: isa.RegID(40 + j), Src1: 1})
+		}
+	}
+	small := testConfig()
+	small.ROBSize = 8
+	small.IQSize = 8
+	small.LSQSize = 8
+	big := testConfig()
+	big.ROBSize = 256
+	big.IQSize = 64
+	big.LSQSize = 128
+	sc := runToCompletion(t, small, trace.New("mlp", insts), Options{}).Stats()
+	bc := runToCompletion(t, big, trace.New("mlp", insts), Options{}).Stats()
+	if bc.Cycles >= sc.Cycles {
+		t.Errorf("big window %d cycles vs small %d: MLP should help", bc.Cycles, sc.Cycles)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// A load that reads a just-stored address should forward, not miss.
+	insts := []isa.Inst{
+		{Op: isa.OpALU, PC: 0x40, Dst: 10, Src1: 1},
+		{Op: isa.OpStore, PC: 0x44, Src1: 1, Src2: 10, Addr: 0xdead00},
+		{Op: isa.OpLoad, PC: 0x48, Dst: 11, Src1: 1, Addr: 0xdead00},
+		{Op: isa.OpALU, PC: 0x4c, Dst: 12, Src1: 11},
+	}
+	c := runToCompletion(t, testConfig(), trace.New("fwd", insts), Options{})
+	if c.Stats().Forwarded != 1 {
+		t.Errorf("forwarded %d, want 1", c.Stats().Forwarded)
+	}
+}
+
+func TestDivSerializes(t *testing.T) {
+	divs := make([]isa.Inst, 64)
+	for i := range divs {
+		divs[i] = isa.Inst{Op: isa.OpDiv, PC: 0x40, Dst: isa.RegID(10 + i%16), Src1: 1}
+	}
+	c := runToCompletion(t, testConfig(), trace.New("div", divs), Options{})
+	st := c.Stats()
+	// Unpipelined divides: at least latency cycles apiece.
+	if st.Cycles < int64(len(divs)*isa.OpDiv.Latency()) {
+		t.Errorf("64 divides in %d cycles: divider should serialize", st.Cycles)
+	}
+}
+
+func TestRegionLogging(t *testing.T) {
+	c, err := NewCore(testConfig(), trace.New("r", independentALUs(200)), Options{RegionSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.Done() {
+		c.Step()
+	}
+	regions := c.RegionTimes()
+	if len(regions) != 10 {
+		t.Fatalf("%d regions, want 10", len(regions))
+	}
+	for i := 1; i < len(regions); i++ {
+		if regions[i] <= regions[i-1] {
+			t.Fatalf("region times not increasing: %v", regions)
+		}
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	c := runToCompletion(t, testConfig(), trace.New("s", independentALUs(100)), Options{})
+	st := c.Stats()
+	if st.Retired != 100 {
+		t.Errorf("retired %d", st.Retired)
+	}
+	if st.FinishTime <= 0 {
+		t.Error("finish time not set")
+	}
+	if st.IPT() <= 0 {
+		t.Error("IPT not positive")
+	}
+	if (Stats{}).IPC() != 0 || (Stats{}).IPT() != 0 || (Stats{}).MispredictRate() != 0 {
+		t.Error("zero stats should report zero rates")
+	}
+}
+
+func TestFasterClockFinishesSoonerOnILP(t *testing.T) {
+	fast := testConfig()
+	fast.ClockPeriodNs = 0.25
+	slow := testConfig()
+	tr := trace.New("ilp", independentALUs(2000))
+	ft := runToCompletion(t, fast, tr, Options{}).Stats().FinishTime
+	st := runToCompletion(t, slow, tr, Options{}).Stats().FinishTime
+	if ft >= st {
+		t.Errorf("fast clock finished at %v, slow at %v", ft, st)
+	}
+}
+
+func TestAllPaletteCoresRunAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke matrix in short mode")
+	}
+	// Smoke test: every palette core completes every benchmark's trace.
+	const n = 4000
+	for _, b := range workload.Benchmarks() {
+		tr := workload.MustGenerate(b, n)
+		for _, cfg := range config.Palette() {
+			c := runToCompletion(t, cfg, tr, Options{})
+			if c.Stats().Retired != n {
+				t.Errorf("%s on %s: retired %d", b, cfg.Name, c.Stats().Retired)
+			}
+			if c.Stats().IPT() <= 0 {
+				t.Errorf("%s on %s: IPT %.2f", b, cfg.Name, c.Stats().IPT())
+			}
+		}
+	}
+}
+
+func TestDoneIdempotent(t *testing.T) {
+	c := runToCompletion(t, testConfig(), trace.New("d", aluChain(10)), Options{})
+	cyc := c.Cycle()
+	c.Step()
+	if !c.Done() || c.Cycle() != cyc+1 {
+		t.Error("stepping a done core should only advance the cycle counter")
+	}
+	if c.Stats().Retired != 10 {
+		t.Error("retired count changed after done")
+	}
+}

@@ -1,0 +1,85 @@
+package power
+
+import (
+	"testing"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/sim"
+	"archcontest/internal/workload"
+)
+
+func TestSingleRunEnergy(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfg := config.MustPaletteCore("gcc")
+	r := sim.MustRun(cfg, tr, sim.RunOptions{})
+	e := SingleRun(cfg, r)
+	if e.DynamicNJ <= 0 || e.StaticNJ <= 0 {
+		t.Fatalf("energy %+v", e)
+	}
+	if e.AvgPowerW() < 0.5 || e.AvgPowerW() > 200 {
+		t.Errorf("average power %.1fW implausible for a 70nm core", e.AvgPowerW())
+	}
+	if e.EDP() <= 0 {
+		t.Error("EDP not positive")
+	}
+	if (Estimate{}).AvgPowerW() != 0 {
+		t.Error("zero estimate power should be 0")
+	}
+}
+
+func TestWiderCoreBurnsMore(t *testing.T) {
+	tr := workload.MustGenerate("crafty", 20000)
+	narrow := config.MustPaletteCore("gcc")  // 4-wide
+	wide := config.MustPaletteCore("crafty") // 8-wide
+	rn := sim.MustRun(narrow, tr, sim.RunOptions{})
+	rw := sim.MustRun(wide, tr, sim.RunOptions{})
+	en := SingleRun(narrow, rn)
+	ew := SingleRun(wide, rw)
+	if ew.DynamicNJ <= en.DynamicNJ {
+		t.Errorf("8-wide dynamic %.0fnJ not above 4-wide %.0fnJ", ew.DynamicNJ, en.DynamicNJ)
+	}
+}
+
+func TestContestCostsMoreEnergyThanSingle(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 30000)
+	a := config.MustPaletteCore("twolf")
+	b := config.MustPaletteCore("vpr")
+	single := sim.MustRun(a, tr, sim.RunOptions{WritePolicy: cache.WriteThrough})
+	es := SingleRun(a, single)
+	cres, err := contest.Run([]config.CoreConfig{a, b}, tr, contest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := ContestRun([]config.CoreConfig{a, b}, cres)
+	// Redundant execution: roughly double the energy, certainly more.
+	if ec.TotalNJ() < 1.3*es.TotalNJ() {
+		t.Errorf("contest energy %.0fnJ not clearly above single %.0fnJ", ec.TotalNJ(), es.TotalNJ())
+	}
+	if ec.TotalNJ() > 5*es.TotalNJ() {
+		t.Errorf("contest energy %.0fnJ implausibly high vs single %.0fnJ", ec.TotalNJ(), es.TotalNJ())
+	}
+}
+
+func TestInjectionSavesExecutionEnergy(t *testing.T) {
+	// A trailing core's injected instructions skip execution and cache
+	// access, so its dynamic energy must be below a stand-alone run's.
+	tr := workload.MustGenerate("crafty", 30000)
+	fast := config.MustPaletteCore("crafty")
+	slow := config.MustPaletteCore("bzip")
+	cres, err := contest.Run([]config.CoreConfig{fast, slow}, tr, contest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone := sim.MustRun(slow, tr, sim.RunOptions{WritePolicy: cache.WriteThrough})
+	if cres.PerCore[1].Injected == 0 {
+		t.Skip("no injection in this pairing")
+	}
+	eContest := CoreEnergy(slow, cres.PerCore[1], cres.Time.Nanoseconds())
+	eAlone := SingleRun(slow, standalone)
+	if eContest.DynamicNJ >= eAlone.DynamicNJ {
+		t.Errorf("trailing dynamic %.0fnJ not below stand-alone %.0fnJ (injected %d)",
+			eContest.DynamicNJ, eAlone.DynamicNJ, cres.PerCore[1].Injected)
+	}
+}

@@ -1,0 +1,92 @@
+// Package sim provides the run harnesses: single-core execution of a trace
+// on a configuration, with optional per-region time logging, and the result
+// types shared by the experiment drivers.
+package sim
+
+import (
+	"fmt"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/pipeline"
+	"archcontest/internal/ticks"
+	"archcontest/internal/trace"
+)
+
+// RegionSize is the paper's region granularity for the Section 2
+// methodology: the number of cycles to retire every 20 dynamic instructions
+// is logged.
+const RegionSize = 20
+
+// Result summarizes one run.
+type Result struct {
+	// Benchmark and Core identify the run.
+	Benchmark, Core string
+	// Insts is the number of retired instructions.
+	Insts int64
+	// Time is the completion time.
+	Time ticks.Time
+	// Stats are the core's counters (for contested runs, the winning
+	// core's).
+	Stats pipeline.Stats
+	// Regions, if requested, holds the absolute retirement time of every
+	// RegionSize-th instruction.
+	Regions []ticks.Time
+}
+
+// IPT reports instructions per nanosecond, the paper's performance metric.
+func (r Result) IPT() float64 {
+	ns := r.Time.Nanoseconds()
+	if ns == 0 {
+		return 0
+	}
+	return float64(r.Insts) / ns
+}
+
+// RunOptions configures a single-core run.
+type RunOptions struct {
+	// LogRegions enables 20-instruction region time logging.
+	LogRegions bool
+	// WritePolicy overrides the private-cache store policy (default
+	// write-back for stand-alone runs).
+	WritePolicy cache.WritePolicy
+	// MaxCycles aborts runs that exceed the bound (0 = no bound); a
+	// defensive limit for exploration over arbitrary configurations.
+	MaxCycles int64
+}
+
+// Run executes the trace to completion on a single core.
+func Run(cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) (Result, error) {
+	popts := pipeline.Options{WritePolicy: opts.WritePolicy}
+	if opts.LogRegions {
+		popts.RegionSize = RegionSize
+	}
+	core, err := pipeline.NewCore(cfg, tr, popts)
+	if err != nil {
+		return Result{}, err
+	}
+	for !core.Done() {
+		core.Step()
+		if opts.MaxCycles > 0 && core.Cycle() > opts.MaxCycles {
+			return Result{}, fmt.Errorf("sim: %s on %s exceeded %d cycles", tr.Name(), cfg.Name, opts.MaxCycles)
+		}
+	}
+	st := core.Stats()
+	return Result{
+		Benchmark: tr.Name(),
+		Core:      cfg.Name,
+		Insts:     st.Retired,
+		Time:      st.FinishTime,
+		Stats:     st,
+		Regions:   core.RegionTimes(),
+	}, nil
+}
+
+// MustRun is Run for known-good inputs; it panics on error.
+func MustRun(cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) Result {
+	r, err := Run(cfg, tr, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

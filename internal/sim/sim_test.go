@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/workload"
+)
+
+func TestRunBasics(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfg := config.MustPaletteCore("gcc")
+	r, err := Run(cfg, tr, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts != 20000 || r.Benchmark != "gcc" || r.Core != "gcc" {
+		t.Errorf("result %+v", r)
+	}
+	if r.IPT() <= 0 {
+		t.Error("IPT not positive")
+	}
+	if len(r.Regions) != 0 {
+		t.Error("regions logged without LogRegions")
+	}
+}
+
+func TestRunRegions(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 2000)
+	r, err := Run(config.MustPaletteCore("gcc"), tr, RunOptions{LogRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regions) != 2000/RegionSize {
+		t.Errorf("%d regions", len(r.Regions))
+	}
+	if r.Regions[len(r.Regions)-1] != r.Time {
+		t.Error("last region boundary should be the finish time")
+	}
+}
+
+func TestRunMaxCycles(t *testing.T) {
+	tr := workload.MustGenerate("mcf", 20000)
+	if _, err := Run(config.MustPaletteCore("mcf"), tr, RunOptions{MaxCycles: 100}); err == nil {
+		t.Error("cycle bound not enforced")
+	} else if !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("error %v", err)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 100)
+	bad := config.MustPaletteCore("gcc")
+	bad.Width = 0
+	if _, err := Run(bad, tr, RunOptions{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestWritePolicyAffectsRun(t *testing.T) {
+	// Write-through and write-back runs must both complete and may differ
+	// in time on store-heavy traces.
+	tr := workload.MustGenerate("vortex", 20000)
+	cfg := config.MustPaletteCore("vortex")
+	wb := MustRun(cfg, tr, RunOptions{WritePolicy: cache.WriteBack})
+	wt := MustRun(cfg, tr, RunOptions{WritePolicy: cache.WriteThrough})
+	if wb.Insts != wt.Insts {
+		t.Error("instruction counts differ across policies")
+	}
+	if wb.IPT() <= 0 || wt.IPT() <= 0 {
+		t.Error("non-positive IPT")
+	}
+}
+
+func TestMustRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := config.MustPaletteCore("gcc")
+	bad.Width = 0
+	MustRun(bad, workload.MustGenerate("gcc", 100), RunOptions{})
+}
+
+func TestZeroTimeIPT(t *testing.T) {
+	if (Result{Insts: 10}).IPT() != 0 {
+		t.Error("zero-time IPT should be 0")
+	}
+}

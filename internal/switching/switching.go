@@ -1,0 +1,207 @@
+// Package switching implements the paper's Section 2 motivation study: the
+// oracle speedup of switching execution between two core configurations at
+// different granularities.
+//
+// Methodology, exactly as the paper describes it: the execution of each
+// benchmark is simulated on every configuration and the time to retire
+// every 20 dynamic instructions is logged. For every pair of
+// configurations, each 20-instruction region is assumed to retire at the
+// rate of the faster of the two for that region — clock periods are
+// factored in because the logs are in absolute time — and the per-region
+// times are aggregated into a total execution time. Coarser granularities
+// (40, 80, ... instructions) are formed by summing neighbouring regions.
+package switching
+
+import (
+	"fmt"
+
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+)
+
+// RegionTimes converts a region boundary log (absolute time at every
+// region-size-th retirement) into per-region durations.
+func RegionTimes(regions []ticks.Time) []ticks.Duration {
+	out := make([]ticks.Duration, len(regions))
+	prev := ticks.Time(0)
+	for i, t := range regions {
+		out[i] = ticks.Duration(t - prev)
+		prev = t
+	}
+	return out
+}
+
+// Coarsen sums neighbouring region durations pairwise, halving the number
+// of regions (the trailing odd region, if any, is kept as-is).
+func Coarsen(d []ticks.Duration) []ticks.Duration {
+	out := make([]ticks.Duration, 0, (len(d)+1)/2)
+	for i := 0; i+1 < len(d); i += 2 {
+		out = append(out, d[i]+d[i+1])
+	}
+	if len(d)%2 == 1 {
+		out = append(out, d[len(d)-1])
+	}
+	return out
+}
+
+// OracleTime reports the total execution time if every region retired at
+// the rate of the faster of the two configurations for that region. The
+// two logs must cover the same instruction regions.
+func OracleTime(a, b []ticks.Duration) (ticks.Duration, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("switching: region logs differ in length: %d vs %d", len(a), len(b))
+	}
+	var total ticks.Duration
+	for i := range a {
+		if a[i] <= b[i] {
+			total += a[i]
+		} else {
+			total += b[i]
+		}
+	}
+	return total, nil
+}
+
+// PairResult is the best two-configuration oracle at one granularity.
+type PairResult struct {
+	// A and B index the two configurations of the best pair.
+	A, B int
+	// Speedup is oracle time of the pair over the baseline time.
+	Speedup float64
+}
+
+// Study holds the per-region logs of one benchmark on every configuration,
+// all at the base region size.
+type Study struct {
+	// Names are the configuration names, indexed as in Regions.
+	Names []string
+	// Regions[i] is configuration i's per-region durations.
+	Regions [][]ticks.Duration
+	// BaselineTime is the execution time the speedups are measured against
+	// (the benchmark's own customized configuration).
+	BaselineTime ticks.Duration
+}
+
+// NewStudy builds a study from single-core run results that were collected
+// with region logging. baseline indexes the benchmark's own configuration.
+func NewStudy(names []string, runs []sim.Result, baseline int) (*Study, error) {
+	if len(names) != len(runs) || len(runs) == 0 {
+		return nil, fmt.Errorf("switching: %d names for %d runs", len(names), len(runs))
+	}
+	if baseline < 0 || baseline >= len(runs) {
+		return nil, fmt.Errorf("switching: baseline %d out of range", baseline)
+	}
+	s := &Study{Names: names}
+	want := -1
+	for i, r := range runs {
+		if len(r.Regions) == 0 {
+			return nil, fmt.Errorf("switching: run %s has no region log", names[i])
+		}
+		if want == -1 {
+			want = len(r.Regions)
+		} else if len(r.Regions) != want {
+			return nil, fmt.Errorf("switching: region count mismatch: %s has %d, want %d", names[i], len(r.Regions), want)
+		}
+		s.Regions = append(s.Regions, RegionTimes(r.Regions))
+	}
+	s.BaselineTime = ticks.Duration(runs[baseline].Time)
+	return s, nil
+}
+
+// BestPairAt finds the pair of configurations with the lowest oracle
+// switching time at the given coarsening level (0 = the base region size,
+// each level doubles the granularity) and reports its speedup over the
+// baseline.
+func (s *Study) BestPairAt(level int) (PairResult, error) {
+	regions := make([][]ticks.Duration, len(s.Regions))
+	for i, r := range s.Regions {
+		for l := 0; l < level; l++ {
+			r = Coarsen(r)
+		}
+		regions[i] = r
+	}
+	best := PairResult{A: -1, B: -1}
+	var bestTime ticks.Duration
+	for a := 0; a < len(regions); a++ {
+		for b := a + 1; b < len(regions); b++ {
+			t, err := OracleTime(regions[a], regions[b])
+			if err != nil {
+				return PairResult{}, err
+			}
+			if best.A == -1 || t < bestTime {
+				bestTime = t
+				best.A, best.B = a, b
+			}
+		}
+	}
+	if best.A == -1 {
+		return PairResult{}, fmt.Errorf("switching: fewer than two configurations")
+	}
+	best.Speedup = float64(s.BaselineTime)/float64(bestTime) - 1
+	return best, nil
+}
+
+// GranularityPoint is one point of the paper's Figure 1.
+type GranularityPoint struct {
+	// Granularity is the region size in instructions.
+	Granularity int
+	// Best is the best pair and its oracle speedup at this granularity.
+	Best PairResult
+}
+
+// Sweep evaluates the best-pair oracle speedup at every power-of-two
+// granularity from the base region size up to the whole trace.
+func (s *Study) Sweep(baseRegion int) ([]GranularityPoint, error) {
+	var out []GranularityPoint
+	n := len(s.Regions[0])
+	g := baseRegion
+	for level := 0; ; level++ {
+		best, err := s.BestPairAt(level)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GranularityPoint{Granularity: g, Best: best})
+		if n <= 1 {
+			break
+		}
+		n = (n + 1) / 2
+		g *= 2
+	}
+	return out, nil
+}
+
+// TopPairs returns up to k distinct configuration pairs ranked by their
+// fine-grain (base granularity) oracle time — the shortlist used to select
+// contesting candidates without contesting all pairs.
+func (s *Study) TopPairs(k int) []PairResult {
+	type scored struct {
+		pr PairResult
+		t  ticks.Duration
+	}
+	var all []scored
+	for a := 0; a < len(s.Regions); a++ {
+		for b := a + 1; b < len(s.Regions); b++ {
+			t, err := OracleTime(s.Regions[a], s.Regions[b])
+			if err != nil {
+				continue
+			}
+			sp := float64(s.BaselineTime)/float64(t) - 1
+			all = append(all, scored{pr: PairResult{A: a, B: b, Speedup: sp}, t: t})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].t < all[i].t {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]PairResult, 0, k)
+	for _, sc := range all[:k] {
+		out = append(out, sc.pr)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package switching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+	"archcontest/internal/xrand"
+)
+
+func TestRegionTimes(t *testing.T) {
+	regions := []ticks.Time{100, 250, 300}
+	d := RegionTimes(regions)
+	want := []ticks.Duration{100, 150, 50}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("durations %v, want %v", d, want)
+		}
+	}
+}
+
+func TestCoarsen(t *testing.T) {
+	d := []ticks.Duration{1, 2, 3, 4, 5}
+	c := Coarsen(d)
+	want := []ticks.Duration{3, 7, 5}
+	if len(c) != 3 {
+		t.Fatalf("coarsened length %d", len(c))
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("coarsened %v, want %v", c, want)
+		}
+	}
+	if len(Coarsen([]ticks.Duration{42})) != 1 {
+		t.Error("single region should survive coarsening")
+	}
+}
+
+func TestOracleTime(t *testing.T) {
+	a := []ticks.Duration{10, 20, 30}
+	b := []ticks.Duration{15, 5, 40}
+	got, err := OracleTime(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10+5+30 {
+		t.Errorf("oracle time %d, want 45", got)
+	}
+	if _, err := OracleTime(a, b[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// Property: the oracle time never exceeds either input's total, and total
+// time is preserved by coarsening.
+func TestOracleAndCoarsenProperties(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 2
+		r := xrand.New(seed)
+		a := make([]ticks.Duration, n)
+		b := make([]ticks.Duration, n)
+		var ta, tb ticks.Duration
+		for i := 0; i < n; i++ {
+			a[i] = ticks.Duration(r.Intn(1000) + 1)
+			b[i] = ticks.Duration(r.Intn(1000) + 1)
+			ta += a[i]
+			tb += b[i]
+		}
+		o, err := OracleTime(a, b)
+		if err != nil || o > ta || o > tb {
+			return false
+		}
+		var ca ticks.Duration
+		for _, v := range Coarsen(a) {
+			ca += v
+		}
+		return ca == ta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coarsening can only reduce (or preserve) the oracle speedup,
+// because the coarse oracle is a restriction of the fine oracle.
+func TestCoarseningMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 64
+		a := make([]ticks.Duration, n)
+		b := make([]ticks.Duration, n)
+		for i := 0; i < n; i++ {
+			a[i] = ticks.Duration(r.Intn(1000) + 1)
+			b[i] = ticks.Duration(r.Intn(1000) + 1)
+		}
+		fine, _ := OracleTime(a, b)
+		coarse, _ := OracleTime(Coarsen(a), Coarsen(b))
+		return coarse >= fine
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkRun(times []ticks.Time) sim.Result {
+	return sim.Result{Regions: times, Time: times[len(times)-1], Insts: int64(len(times) * 20)}
+}
+
+func TestStudy(t *testing.T) {
+	// Three synthetic configs over 4 regions. Config 0 (the baseline) is
+	// mediocre everywhere; 1 and 2 alternate strengths, so fine-grain
+	// switching between 1 and 2 wins.
+	runs := []sim.Result{
+		mkRun([]ticks.Time{100, 200, 300, 400}), // flat 100/region
+		mkRun([]ticks.Time{50, 200, 250, 400}),  // 50,150,50,150
+		mkRun([]ticks.Time{150, 200, 350, 400}), // 150,50,150,50
+	}
+	s, err := NewStudy([]string{"base", "x", "y"}, runs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := s.BestPairAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.A != 1 || best.B != 2 {
+		t.Fatalf("best pair (%d,%d), want (1,2)", best.A, best.B)
+	}
+	// Oracle time 50*4=200 vs baseline 400: speedup 1.0.
+	if best.Speedup < 0.99 || best.Speedup > 1.01 {
+		t.Errorf("speedup %.3f, want 1.0", best.Speedup)
+	}
+	// At the coarsest granularity the alternation cancels out.
+	pts, err := s.Sweep(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("sweep points %d", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.Best.Speedup >= best.Speedup {
+		t.Errorf("coarse speedup %.3f not below fine %.3f", last.Best.Speedup, best.Speedup)
+	}
+	if pts[0].Granularity != 20 || pts[1].Granularity != 40 {
+		t.Errorf("granularities %d, %d", pts[0].Granularity, pts[1].Granularity)
+	}
+}
+
+func TestStudyErrors(t *testing.T) {
+	good := mkRun([]ticks.Time{100, 200})
+	if _, err := NewStudy([]string{"a"}, nil, 0); err == nil {
+		t.Error("empty runs accepted")
+	}
+	if _, err := NewStudy([]string{"a", "b"}, []sim.Result{good, {}}, 0); err == nil {
+		t.Error("missing region log accepted")
+	}
+	if _, err := NewStudy([]string{"a", "b"}, []sim.Result{good, mkRun([]ticks.Time{1, 2, 3})}, 0); err == nil {
+		t.Error("mismatched region counts accepted")
+	}
+	if _, err := NewStudy([]string{"a"}, []sim.Result{good}, 3); err == nil {
+		t.Error("baseline out of range accepted")
+	}
+	s, _ := NewStudy([]string{"a"}, []sim.Result{good}, 0)
+	if _, err := s.BestPairAt(0); err == nil {
+		t.Error("single-config best pair accepted")
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	runs := []sim.Result{
+		mkRun([]ticks.Time{100, 200, 300, 400}),
+		mkRun([]ticks.Time{50, 200, 250, 400}),
+		mkRun([]ticks.Time{150, 200, 350, 400}),
+	}
+	s, _ := NewStudy([]string{"base", "x", "y"}, runs, 0)
+	top := s.TopPairs(2)
+	if len(top) != 2 {
+		t.Fatalf("top pairs %d", len(top))
+	}
+	if top[0].A != 1 || top[0].B != 2 {
+		t.Errorf("best pair (%d,%d), want (1,2)", top[0].A, top[0].B)
+	}
+	if top[0].Speedup < top[1].Speedup {
+		t.Error("pairs not ranked")
+	}
+	if got := s.TopPairs(100); len(got) != 3 {
+		t.Errorf("requesting more pairs than exist returned %d", len(got))
+	}
+}

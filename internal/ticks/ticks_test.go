@@ -1,0 +1,117 @@
+package ticks
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromNanoseconds(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Duration
+	}{
+		{0.01, 1},
+		{0.19, 19},
+		{0.33, 33},
+		{0.49, 49},
+		{1, 100},
+		{100, 10000},
+		{0.004, 0}, // rounds down below half a tick
+		{0.005, 1}, // rounds up at half a tick
+	}
+	for _, c := range cases {
+		if got := FromNanoseconds(c.ns); got != c.want {
+			t.Errorf("FromNanoseconds(%g) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestFromNanosecondsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative duration")
+		}
+	}()
+	FromNanoseconds(-1)
+}
+
+func TestNanosecondsRoundTrip(t *testing.T) {
+	for _, ns := range []float64{0.19, 0.27, 0.29, 0.3, 0.31, 0.33, 0.45, 0.49, 1, 2, 5, 10, 100} {
+		d := FromNanoseconds(ns)
+		if math.Abs(d.Nanoseconds()-ns) > 0.005 {
+			t.Errorf("round trip %gns -> %d ticks -> %gns", ns, d, d.Nanoseconds())
+		}
+	}
+}
+
+func TestClockEdges(t *testing.T) {
+	c := NewClock(0.33) // 33 ticks
+	if c.Period() != 33 {
+		t.Fatalf("period = %d, want 33", c.Period())
+	}
+	if got := c.TimeOfCycle(0); got != 0 {
+		t.Errorf("TimeOfCycle(0) = %d", got)
+	}
+	if got := c.TimeOfCycle(3); got != 99 {
+		t.Errorf("TimeOfCycle(3) = %d, want 99", got)
+	}
+	if got := c.CycleAt(98); got != 2 {
+		t.Errorf("CycleAt(98) = %d, want 2", got)
+	}
+	if got := c.CycleAt(99); got != 3 {
+		t.Errorf("CycleAt(99) = %d, want 3", got)
+	}
+	if got := c.NextEdge(0); got != 33 {
+		t.Errorf("NextEdge(0) = %d, want 33", got)
+	}
+	if got := c.NextEdge(33); got != 66 {
+		t.Errorf("NextEdge(33) = %d, want 66", got)
+	}
+}
+
+func TestClockFrequency(t *testing.T) {
+	c := NewClock(0.5)
+	if got := c.FrequencyGHz(); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("FrequencyGHz = %g, want 2", got)
+	}
+}
+
+func TestNewClockPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for sub-tick period")
+		}
+	}()
+	NewClock(0.004)
+}
+
+// Property: NextEdge always lands on an exact cycle boundary strictly after t.
+func TestNextEdgeProperty(t *testing.T) {
+	f := func(periodTenths uint8, tRaw uint32) bool {
+		period := float64(periodTenths%60+1) / 10 // 0.1ns .. 6.0ns
+		c := NewClock(period)
+		tm := Time(tRaw % 1_000_000)
+		e := c.NextEdge(tm)
+		if e <= tm {
+			return false
+		}
+		return int64(e)%int64(c.Period()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TimeOfCycle and CycleAt are inverse on edges.
+func TestCycleInverseProperty(t *testing.T) {
+	f := func(periodTenths uint8, cycRaw uint16) bool {
+		period := float64(periodTenths%60+1) / 10
+		c := NewClock(period)
+		cyc := int64(cycRaw)
+		return c.CycleAt(c.TimeOfCycle(cyc)) == cyc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

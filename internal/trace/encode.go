@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"archcontest/internal/isa"
+)
+
+// Binary trace format: a fixed header followed by one fixed-width record
+// per instruction, all little-endian. The format exists so generated
+// workloads can be archived and exchanged; it is versioned and validated on
+// load.
+//
+//	magic   [8]byte  "ACTRACE1"
+//	nameLen uint16, name [nameLen]byte
+//	count   uint64
+//	records: pc uint64, addr uint64, src1, src2, dst, op uint8, taken uint8,
+//	         pad uint8   (20 bytes each)
+var traceMagic = [8]byte{'A', 'C', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const recordBytes = 8 + 8 + 4
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(traceMagic[:])); err != nil {
+		return n, err
+	}
+	if len(t.name) > 1<<16-1 {
+		return n, fmt.Errorf("trace: name too long to serialize")
+	}
+	var lenBuf [2]byte
+	binary.LittleEndian.PutUint16(lenBuf[:], uint16(len(t.name)))
+	if err := count(bw.Write(lenBuf[:])); err != nil {
+		return n, err
+	}
+	if err := count(bw.WriteString(t.name)); err != nil {
+		return n, err
+	}
+	var cntBuf [8]byte
+	binary.LittleEndian.PutUint64(cntBuf[:], uint64(len(t.insts)))
+	if err := count(bw.Write(cntBuf[:])); err != nil {
+		return n, err
+	}
+	var rec [recordBytes]byte
+	for i := range t.insts {
+		in := &t.insts[i]
+		binary.LittleEndian.PutUint64(rec[0:], in.PC)
+		binary.LittleEndian.PutUint64(rec[8:], in.Addr)
+		rec[16] = byte(in.Src1)
+		rec[17] = byte(in.Src2)
+		rec[18] = byte(in.Dst)
+		op := byte(in.Op)
+		if in.Taken {
+			op |= 0x80
+		}
+		rec[19] = op
+		if err := count(bw.Write(rec[:])); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace previously written with WriteTo and
+// validates it.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	var cntBuf [8]byte
+	if _, err := io.ReadFull(br, cntBuf[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(cntBuf[:])
+	const maxInsts = 1 << 31
+	if count == 0 || count > maxInsts {
+		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+	}
+	insts := make([]isa.Inst, count)
+	var rec [recordBytes]byte
+	for i := range insts {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		in := &insts[i]
+		in.PC = binary.LittleEndian.Uint64(rec[0:])
+		in.Addr = binary.LittleEndian.Uint64(rec[8:])
+		in.Src1 = isa.RegID(rec[16])
+		in.Src2 = isa.RegID(rec[17])
+		in.Dst = isa.RegID(rec[18])
+		in.Op = isa.OpClass(rec[19] &^ 0x80)
+		in.Taken = rec[19]&0x80 != 0
+	}
+	t := New(string(name), insts)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: loaded trace invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"archcontest/internal/isa"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	orig := New("roundtrip", validInsts())
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != orig.Name() || got.Len() != orig.Len() {
+		t.Fatalf("header mismatch: %s/%d", got.Name(), got.Len())
+	}
+	for i := int64(0); i < int64(orig.Len()); i++ {
+		if *got.At(i) != *orig.At(i) {
+			t.Fatalf("record %d: %v != %v", i, got.At(i), orig.At(i))
+		}
+	}
+}
+
+func TestEncodeSizeIsFixedWidth(t *testing.T) {
+	orig := New("sz", validInsts())
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(8 + 2 + len("sz") + 8 + orig.Len()*recordBytes)
+	if n != want || int64(buf.Len()) != want {
+		t.Errorf("wrote %d bytes (buffer %d), want %d", n, buf.Len(), want)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	orig := New("c", validInsts())
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string]func() []byte{
+		"bad magic": func() []byte {
+			b := append([]byte(nil), good...)
+			b[0] = 'X'
+			return b
+		},
+		"truncated header": func() []byte { return good[:6] },
+		"truncated body":   func() []byte { return good[:len(good)-5] },
+		"zero count": func() []byte {
+			b := append([]byte(nil), good...)
+			// count lives after magic(8) + nameLen(2) + name(1)
+			for i := 11; i < 19; i++ {
+				b[i] = 0
+			}
+			return b
+		},
+		"invalid op": func() []byte {
+			b := append([]byte(nil), good...)
+			b[19+18+1] = 0x7f // first record's op byte
+			return b
+		},
+	}
+	for name, mk := range cases {
+		if _, err := ReadFrom(bytes.NewReader(mk())); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	buf.Write([]byte{1, 0, 'x'})
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadFrom(&buf); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("huge count: %v", err)
+	}
+}
+
+func TestEncodePreservesBranchBits(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpBranch, PC: 0x40, Src1: 1, Taken: true},
+		{Op: isa.OpBranch, PC: 0x44, Src1: 1, Taken: false},
+	}
+	var buf bytes.Buffer
+	if _, err := New("b", insts).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.At(0).Taken || got.At(1).Taken {
+		t.Error("taken bits scrambled")
+	}
+}

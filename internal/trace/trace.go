@@ -1,0 +1,134 @@
+// Package trace defines the dynamic instruction trace that drives the core
+// model and the contesting system.
+//
+// A trace is the stand-in for a benchmark's 100M-instruction SimPoint: a
+// fixed, deterministic sequence of dynamic instructions that every core of a
+// contesting system executes identically. Traces are immutable after
+// construction; cores index them by the retired-instruction number that the
+// paper's pop-counter/fetch-counter protocol is defined over.
+package trace
+
+import (
+	"fmt"
+
+	"archcontest/internal/isa"
+)
+
+// Trace is an immutable dynamic instruction stream.
+type Trace struct {
+	name  string
+	insts []isa.Inst
+}
+
+// New wraps the given instructions as a trace. The slice is taken over by
+// the trace and must not be mutated afterwards.
+func New(name string, insts []isa.Inst) *Trace {
+	return &Trace{name: name, insts: insts}
+}
+
+// Name reports the trace's benchmark name.
+func (t *Trace) Name() string { return t.name }
+
+// Len reports the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.insts) }
+
+// At returns the instruction at index i. The pointer aliases the trace's
+// backing store; callers must not mutate it.
+func (t *Trace) At(i int64) *isa.Inst { return &t.insts[i] }
+
+// Validate checks the structural invariants every well-formed trace holds:
+// valid op classes, register IDs in range, memory operations carrying
+// addresses, and non-memory operations carrying none.
+func (t *Trace) Validate() error {
+	for i := range t.insts {
+		in := &t.insts[i]
+		if !in.Op.Valid() {
+			return fmt.Errorf("trace %s[%d]: invalid op class %d", t.name, i, in.Op)
+		}
+		if in.Src1 >= isa.NumRegs || in.Src2 >= isa.NumRegs || in.Dst >= isa.NumRegs {
+			return fmt.Errorf("trace %s[%d]: register out of range: %v", t.name, i, in)
+		}
+		switch in.Op {
+		case isa.OpLoad:
+			if in.Addr == 0 {
+				return fmt.Errorf("trace %s[%d]: load without address", t.name, i)
+			}
+			if in.Dst == isa.NoReg {
+				return fmt.Errorf("trace %s[%d]: load without destination", t.name, i)
+			}
+		case isa.OpStore:
+			if in.Addr == 0 {
+				return fmt.Errorf("trace %s[%d]: store without address", t.name, i)
+			}
+			if in.Dst != isa.NoReg {
+				return fmt.Errorf("trace %s[%d]: store with destination", t.name, i)
+			}
+		case isa.OpBranch:
+			if in.Dst != isa.NoReg {
+				return fmt.Errorf("trace %s[%d]: branch with destination", t.name, i)
+			}
+			if in.PC == 0 {
+				return fmt.Errorf("trace %s[%d]: branch without PC", t.name, i)
+			}
+		default:
+			if in.Addr != 0 {
+				return fmt.Errorf("trace %s[%d]: %s with address", t.name, i, in.Op)
+			}
+		}
+	}
+	return nil
+}
+
+// Mix is the per-class instruction count of a trace.
+type Mix struct {
+	Counts [isa.NumOpClasses]uint64
+	Total  uint64
+}
+
+// Fraction reports the share of the class in the trace.
+func (m Mix) Fraction(op isa.OpClass) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Counts[op]) / float64(m.Total)
+}
+
+func (m Mix) String() string {
+	s := ""
+	for op := isa.OpClass(0); int(op) < isa.NumOpClasses; op++ {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.1f%%", op, 100*m.Fraction(op))
+	}
+	return s
+}
+
+// Mix computes the instruction-class mix.
+func (t *Trace) Mix() Mix {
+	var m Mix
+	for i := range t.insts {
+		m.Counts[t.insts[i].Op]++
+	}
+	m.Total = uint64(len(t.insts))
+	return m
+}
+
+// Footprint reports the number of distinct cache blocks of the given size
+// touched by the trace's memory operations, in bytes.
+func (t *Trace) Footprint(blockBytes int) uint64 {
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		panic(fmt.Sprintf("trace: bad block size %d", blockBytes))
+	}
+	blocks := make(map[uint64]struct{})
+	var shift uint
+	for b := blockBytes; b > 1; b >>= 1 {
+		shift++
+	}
+	for i := range t.insts {
+		if t.insts[i].IsMem() {
+			blocks[t.insts[i].Addr>>shift] = struct{}{}
+		}
+	}
+	return uint64(len(blocks)) * uint64(blockBytes)
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"archcontest/internal/isa"
+)
+
+func validInsts() []isa.Inst {
+	return []isa.Inst{
+		{Op: isa.OpALU, PC: 0x40, Dst: 5, Src1: 1, Src2: 2},
+		{Op: isa.OpLoad, PC: 0x44, Dst: 6, Src1: 5, Addr: 0x1000},
+		{Op: isa.OpStore, PC: 0x48, Src1: 5, Src2: 6, Addr: 0x1008},
+		{Op: isa.OpBranch, PC: 0x4c, Src1: 6, Taken: true},
+		{Op: isa.OpMul, PC: 0x50, Dst: 7, Src1: 6, Src2: 5},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	tr := New("ok", validInsts())
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]isa.Inst{
+		"bad op":           {Op: isa.OpClass(99)},
+		"load no addr":     {Op: isa.OpLoad, Dst: 1},
+		"load no dst":      {Op: isa.OpLoad, Addr: 0x10},
+		"store with dst":   {Op: isa.OpStore, Dst: 1, Addr: 0x10},
+		"store no addr":    {Op: isa.OpStore, Src2: 1},
+		"branch with dst":  {Op: isa.OpBranch, Dst: 1, PC: 0x40},
+		"branch no pc":     {Op: isa.OpBranch},
+		"alu with addr":    {Op: isa.OpALU, Dst: 1, Addr: 0x10},
+		"reg out of range": {Op: isa.OpALU, Dst: 64},
+	}
+	for name, bad := range cases {
+		insts := append(validInsts(), bad)
+		if err := New(name, insts).Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tr := New("t", validInsts())
+	if tr.Name() != "t" {
+		t.Error("name")
+	}
+	if tr.Len() != 5 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if tr.At(1).Op != isa.OpLoad {
+		t.Error("At(1) should be the load")
+	}
+}
+
+func TestMix(t *testing.T) {
+	tr := New("t", validInsts())
+	m := tr.Mix()
+	if m.Total != 5 {
+		t.Fatalf("total %d", m.Total)
+	}
+	if m.Counts[isa.OpALU] != 1 || m.Counts[isa.OpLoad] != 1 ||
+		m.Counts[isa.OpStore] != 1 || m.Counts[isa.OpBranch] != 1 || m.Counts[isa.OpMul] != 1 {
+		t.Errorf("mix %+v", m.Counts)
+	}
+	if f := m.Fraction(isa.OpLoad); f != 0.2 {
+		t.Errorf("load fraction %g", f)
+	}
+	if (Mix{}).Fraction(isa.OpALU) != 0 {
+		t.Error("empty mix fraction should be 0")
+	}
+	if !strings.Contains(m.String(), "load=20.0%") {
+		t.Errorf("mix string %q", m.String())
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpLoad, Dst: 1, Addr: 0x1000},
+		{Op: isa.OpLoad, Dst: 1, Addr: 0x1010}, // same 64B block
+		{Op: isa.OpLoad, Dst: 1, Addr: 0x1040}, // next block
+		{Op: isa.OpStore, Src2: 1, Addr: 0x2000},
+		{Op: isa.OpALU, Dst: 1},
+	}
+	tr := New("t", insts)
+	if fp := tr.Footprint(64); fp != 3*64 {
+		t.Errorf("footprint = %d, want 192", fp)
+	}
+	if fp := tr.Footprint(4096); fp != 2*4096 {
+		t.Errorf("footprint(4096) = %d, want 8192", fp)
+	}
+}
+
+func TestFootprintPanicsOnBadBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("t", nil).Footprint(48)
+}

@@ -1,0 +1,62 @@
+// Package workload synthesizes the dynamic instruction traces that stand in
+// for the paper's SPEC2000 integer SimPoints.
+//
+// Each of the paper's eleven benchmarks (eon is excluded, as in the paper)
+// is modelled as a Markov mixture of fine-grain *phase archetypes* — short
+// regions of characteristic behaviour whose lengths sit in the
+// hundreds-of-instructions range the paper's Section 2 identifies as where
+// the exploitable variation lives. Different archetypes reward different
+// microarchitectural choices (window size, width, clock rate, wake-up
+// latency, cache geometry), which is what gives differently-customized cores
+// different fine-grain performance profiles — the raw material of
+// architectural contesting.
+package workload
+
+import "fmt"
+
+// Archetype is a class of fine-grain program behaviour.
+type Archetype uint8
+
+const (
+	// ILP regions are wide, independent integer computation with highly
+	// predictable loop branches: they reward superscalar width and clock
+	// rate and need almost no memory bandwidth.
+	ILP Archetype = iota
+	// Serial regions are long scalar dependence chains: throughput is set by
+	// (1 + wake-up latency) cycles per instruction, so they reward
+	// back-to-back wake-up and fast clocks over width.
+	Serial
+	// Branchy regions are short blocks terminated by data-dependent
+	// branches, a fraction of which are inherently unpredictable: they
+	// reward short front-end pipelines and fast branch resolution.
+	Branchy
+	// Stream regions march sequentially through a large array: they reward
+	// large cache blocks (spatial locality), cache capacity, and enough
+	// window to overlap the block-boundary misses.
+	Stream
+	// Pointer regions chase several interleaved linked structures through a
+	// large footprint: each chain is serial, so performance is set by how
+	// many chains the window can overlap (ROB-limited MLP) and by whether
+	// the footprint fits in the L2.
+	Pointer
+	// Scratch regions do moderately parallel loads/stores over a small hot
+	// working set with set-conflict-prone address patterns: they reward L1
+	// capacity and associativity.
+	Scratch
+	numArchetypes
+)
+
+// NumArchetypes is the number of phase archetypes.
+const NumArchetypes = int(numArchetypes)
+
+var archetypeNames = [...]string{"ilp", "serial", "branchy", "stream", "pointer", "scratch"}
+
+func (a Archetype) String() string {
+	if int(a) < len(archetypeNames) {
+		return archetypeNames[a]
+	}
+	return fmt.Sprintf("archetype(%d)", uint8(a))
+}
+
+// Valid reports whether a names a defined archetype.
+func (a Archetype) Valid() bool { return a < numArchetypes }

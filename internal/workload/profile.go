@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile parameterizes the synthetic stand-in for one benchmark.
+type Profile struct {
+	// Name is the benchmark name (e.g. "mcf").
+	Name string
+	// Seed drives all generation for the benchmark deterministically.
+	Seed uint64
+
+	// Weights is the stationary distribution over phase archetypes.
+	Weights [NumArchetypes]float64
+	// MeanPhaseLen is the mean phase length, in instructions, per archetype
+	// (phase lengths are geometric). Entries for zero-weight archetypes may
+	// be zero.
+	MeanPhaseLen [NumArchetypes]float64
+
+	// Footprint is the size in bytes of the benchmark's large data region
+	// walked by Stream and Pointer phases.
+	Footprint uint64
+	// HotBytes is the size of the small hot region used by Scratch phases.
+	HotBytes uint64
+	// Chains is the number of interleaved dependent-load chains in Pointer
+	// phases (the benchmark's memory-level parallelism).
+	Chains int
+	// StrideBytes is the Stream phase element stride.
+	StrideBytes uint64
+	// StreamBurst, if non-zero, is the number of contiguous elements per
+	// stream run before the cursor jumps to a random offset: spatial
+	// locality bounded to StreamBurst*StrideBytes bytes, which rewards
+	// cache blocks that match the burst and punishes larger ones.
+	StreamBurst int
+	// StoreFrac is the fraction of Stream/Scratch memory operations that are
+	// stores.
+	StoreFrac float64
+	// BranchNoise is the probability that a Branchy-phase branch site is
+	// inherently unpredictable (50/50 random).
+	BranchNoise float64
+	// ILPDegree is the dependence distance of ILP phases (how many
+	// independent operations exist between a producer and its consumer).
+	ILPDegree int
+	// ConflictWays is the number of distinct same-set blocks cycled by
+	// Scratch phases; caches with lower associativity (times their set
+	// capacity) thrash on it.
+	ConflictWays int
+	// ConflictStride is the byte distance between the conflicting regions;
+	// it aliases exactly in caches whose way size divides it. Zero selects
+	// the 8KB default.
+	ConflictStride uint64
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without name")
+	}
+	total := 0.0
+	for a := 0; a < NumArchetypes; a++ {
+		w := p.Weights[a]
+		if w < 0 {
+			return fmt.Errorf("workload %s: negative weight for %s", p.Name, Archetype(a))
+		}
+		if w > 0 && p.MeanPhaseLen[a] < 8 {
+			return fmt.Errorf("workload %s: phase length %.0f for %s below 8", p.Name, p.MeanPhaseLen[a], Archetype(a))
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload %s: weights sum to zero", p.Name)
+	}
+	if p.Weights[Stream] > 0 || p.Weights[Pointer] > 0 {
+		if p.Footprint < 4096 {
+			return fmt.Errorf("workload %s: footprint %d too small", p.Name, p.Footprint)
+		}
+	}
+	if p.Weights[Scratch] > 0 && p.HotBytes < 1024 {
+		return fmt.Errorf("workload %s: hot region %d too small", p.Name, p.HotBytes)
+	}
+	if p.Weights[Pointer] > 0 && p.Chains < 1 {
+		return fmt.Errorf("workload %s: pointer phases need at least one chain", p.Name)
+	}
+	if p.Weights[Stream] > 0 && (p.StrideBytes == 0 || p.StrideBytes > 512) {
+		return fmt.Errorf("workload %s: stream stride %d out of range", p.Name, p.StrideBytes)
+	}
+	if p.StoreFrac < 0 || p.StoreFrac > 0.8 {
+		return fmt.Errorf("workload %s: store fraction %g out of range", p.Name, p.StoreFrac)
+	}
+	if p.BranchNoise < 0 || p.BranchNoise > 1 {
+		return fmt.Errorf("workload %s: branch noise %g out of range", p.Name, p.BranchNoise)
+	}
+	if p.Weights[ILP] > 0 && (p.ILPDegree < 2 || p.ILPDegree > 24) {
+		return fmt.Errorf("workload %s: ILP degree %d out of range", p.Name, p.ILPDegree)
+	}
+	if p.Weights[Scratch] > 0 && p.ConflictWays < 1 {
+		return fmt.Errorf("workload %s: scratch phases need ConflictWays >= 1", p.Name)
+	}
+	if s := p.ConflictStride; s != 0 && (s < 4096 || s&(s-1) != 0) {
+		return fmt.Errorf("workload %s: conflict stride %d not a power of two >= 4096", p.Name, s)
+	}
+	return nil
+}
+
+// profiles is the registry of the eleven SPEC2000int stand-ins. The
+// parameters are calibrated so that each benchmark's own Appendix-A
+// customized core is strong on it (see the calibration test), and so that
+// behaviour varies at sub-thousand-instruction granularity.
+var profiles = map[string]Profile{
+	// bzip2: alternating scalar compression chains and large-table phases.
+	// Rewards zero-cycle wake-up, a big window, and a 2MB L2.
+	"bzip": {
+		Name: "bzip", Seed: 0xb21b,
+		Weights:      weights(ILP, 0.20, Serial, 0.30, Stream, 0.15, Pointer, 0.25, Scratch, 0.10),
+		MeanPhaseLen: lens(ILP, 220, Serial, 260, Stream, 240, Pointer, 180, Scratch, 160),
+		Footprint:    900 << 10, HotBytes: 48 << 10,
+		Chains: 8, StrideBytes: 16, StoreFrac: 0.30, BranchNoise: 0.08,
+		ILPDegree: 10, ConflictWays: 2,
+	},
+	// crafty: chess search — wide predictable integer computation over a
+	// small working set. Rewards width and clock rate.
+	"crafty": {
+		Name: "crafty", Seed: 0xc4af,
+		Weights:      weights(ILP, 0.65, Branchy, 0.20, Scratch, 0.10, Serial, 0.05),
+		MeanPhaseLen: lens(ILP, 300, Branchy, 160, Scratch, 200, Serial, 90),
+		Footprint:    96 << 10, HotBytes: 32 << 10,
+		Chains: 2, StrideBytes: 8, StoreFrac: 0.15, BranchNoise: 0.05,
+		ILPDegree: 16, ConflictWays: 1,
+	},
+	// gap: group theory — mixed computation and medium streaming with long
+	// contiguous runs (256B L2 blocks).
+	"gap": {
+		Name: "gap", Seed: 0x6a90,
+		Weights:      weights(ILP, 0.25, Stream, 0.45, Branchy, 0.10, Scratch, 0.15, Serial, 0.05),
+		MeanPhaseLen: lens(ILP, 240, Stream, 300, Branchy, 140, Scratch, 160, Serial, 80),
+		Footprint:    3 << 20, HotBytes: 12 << 10,
+		Chains: 3, StrideBytes: 24, StreamBurst: 8, StoreFrac: 0.20, BranchNoise: 0.10,
+		ILPDegree: 12, ConflictWays: 1,
+	},
+	// gcc: compiler — branchy over a large hot region. Rewards a very large
+	// L1 and moderate width; some coarse-grain phase structure survives
+	// (the paper notes gcc keeps part of its speedup at coarser switching).
+	"gcc": {
+		Name: "gcc", Seed: 0x9cc0,
+		Weights:      weights(Branchy, 0.30, Scratch, 0.35, ILP, 0.20, Pointer, 0.15),
+		MeanPhaseLen: lens(Branchy, 200, Scratch, 700, ILP, 420, Pointer, 300),
+		Footprint:    360 << 10, HotBytes: 120 << 10,
+		Chains: 4, StrideBytes: 8, StoreFrac: 0.25, BranchNoise: 0.22,
+		ILPDegree: 8, ConflictWays: 2,
+	},
+	// gzip: compression — long streaming runs with 128B-block-friendly
+	// locality plus tight scalar loops; part of its structure is coarse.
+	"gzip": {
+		Name: "gzip", Seed: 0x971f,
+		Weights:      weights(Stream, 0.55, ILP, 0.15, Serial, 0.20, Branchy, 0.10),
+		MeanPhaseLen: lens(Stream, 800, ILP, 300, Serial, 200, Branchy, 150),
+		Footprint:    440 << 10, HotBytes: 24 << 10,
+		Chains: 2, StrideBytes: 8, StoreFrac: 0.30, BranchNoise: 0.10,
+		ILPDegree: 9, ConflictWays: 1,
+	},
+	// mcf: network simplex — pointer chasing over a multi-megabyte graph.
+	// Only a 4MB L2 and a 1K-entry window make progress on it.
+	"mcf": {
+		Name: "mcf", Seed: 0x3cf0,
+		Weights:      weights(Pointer, 0.60, Serial, 0.20, Branchy, 0.10, Scratch, 0.10),
+		MeanPhaseLen: lens(Pointer, 320, Serial, 160, Branchy, 120, Scratch, 140),
+		Footprint:    3 << 20, HotBytes: 32 << 10,
+		Chains: 10, StrideBytes: 8, StoreFrac: 0.10, BranchNoise: 0.15,
+		ILPDegree: 6, ConflictWays: 2,
+	},
+	// parser: dictionary word chasing — medium pointer work over a region
+	// with very long contiguous runs (512B L2 blocks) and moderate branches.
+	"parser": {
+		Name: "parser", Seed: 0x9a45,
+		Weights:      weights(Pointer, 0.15, Stream, 0.35, Branchy, 0.25, ILP, 0.15, Serial, 0.10),
+		MeanPhaseLen: lens(Pointer, 200, Stream, 240, Branchy, 160, ILP, 200, Serial, 100),
+		Footprint:    55 << 10, HotBytes: 16 << 10,
+		Chains: 6, StrideBytes: 32, StoreFrac: 0.15, BranchNoise: 0.12,
+		ILPDegree: 10, ConflictWays: 2,
+	},
+	// perlbmk: interpreter — predictable dispatch loops, small hot set,
+	// rewards clock rate like crafty but narrower.
+	"perl": {
+		Name: "perl", Seed: 0x9e51,
+		Weights:      weights(ILP, 0.45, Branchy, 0.30, Scratch, 0.15, Pointer, 0.10),
+		MeanPhaseLen: lens(ILP, 260, Branchy, 180, Scratch, 180, Pointer, 150),
+		Footprint:    100 << 10, HotBytes: 8 << 10,
+		Chains: 4, StrideBytes: 8, StoreFrac: 0.20, BranchNoise: 0.08,
+		ILPDegree: 20, ConflictWays: 1,
+	},
+	// twolf: place-and-route — conflict-heavy scratch traffic (8-way L1
+	// pays off), hard branches, and a ~0.8MB structure.
+	"twolf": {
+		Name: "twolf", Seed: 0x2A01,
+		Weights:      weights(Scratch, 0.55, Pointer, 0.20, Branchy, 0.20, Serial, 0.05),
+		MeanPhaseLen: lens(Scratch, 180, Pointer, 160, Branchy, 130, Serial, 100),
+		Footprint:    800 << 10, HotBytes: 40 << 10,
+		Chains: 6, StrideBytes: 8, StoreFrac: 0.25, BranchNoise: 0.25,
+		ILPDegree: 6, ConflictWays: 8,
+	},
+	// vortex: object database — the ILP champion: wide predictable
+	// computation with a mid-sized working set.
+	"vortex": {
+		Name: "vortex", Seed: 0x0b7e,
+		Weights:      weights(ILP, 0.50, Scratch, 0.30, Stream, 0.15, Branchy, 0.05),
+		MeanPhaseLen: lens(ILP, 320, Scratch, 220, Stream, 200, Branchy, 150),
+		Footprint:    200 << 10, HotBytes: 96 << 10,
+		Chains: 4, StrideBytes: 16, StoreFrac: 0.30, BranchNoise: 0.06,
+		ILPDegree: 18, ConflictWays: 4, ConflictStride: 32 << 10,
+	},
+	// vpr: FPGA place-and-route — pointer and conflict traffic over ~0.7MB
+	// with noisy branches; leans on its 1MB 8-way L2, not its tiny L1.
+	"vpr": {
+		Name: "vpr", Seed: 0x59f2,
+		Weights:      weights(Pointer, 0.35, Scratch, 0.25, Branchy, 0.20, ILP, 0.10, Serial, 0.10),
+		MeanPhaseLen: lens(Pointer, 220, Scratch, 170, Branchy, 140, ILP, 180, Serial, 90),
+		Footprint:    700 << 10, HotBytes: 48 << 10,
+		Chains: 7, StrideBytes: 8, StoreFrac: 0.20, BranchNoise: 0.20,
+		ILPDegree: 7, ConflictWays: 16,
+	},
+}
+
+func weights(kv ...interface{}) [NumArchetypes]float64 {
+	var w [NumArchetypes]float64
+	for i := 0; i < len(kv); i += 2 {
+		w[kv[i].(Archetype)] = kv[i+1].(float64)
+	}
+	return w
+}
+
+func lens(kv ...interface{}) [NumArchetypes]float64 {
+	var l [NumArchetypes]float64
+	for i := 0; i < len(kv); i += 2 {
+		switch v := kv[i+1].(type) {
+		case int:
+			l[kv[i].(Archetype)] = float64(v)
+		case float64:
+			l[kv[i].(Archetype)] = v
+		}
+	}
+	return l
+}
+
+// Benchmarks returns the benchmark names in the paper's order.
+func Benchmarks() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileFor returns the profile of the named benchmark.
+func ProfileFor(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}

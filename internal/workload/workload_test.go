@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"testing"
+
+	"archcontest/internal/isa"
+)
+
+func TestBenchmarksRegistry(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 11 {
+		t.Fatalf("got %d benchmarks, want 11 (paper excludes eon)", len(names))
+	}
+	want := map[string]bool{
+		"bzip": true, "crafty": true, "gap": true, "gcc": true, "gzip": true,
+		"mcf": true, "parser": true, "perl": true, "twolf": true,
+		"vortex": true, "vpr": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected benchmark %q", n)
+		}
+	}
+	if _, err := ProfileFor("eon"); err == nil {
+		t.Error("eon should be unknown")
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, n := range Benchmarks() {
+		p, err := ProfileFor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	base, _ := ProfileFor("gcc")
+	mutations := map[string]func(*Profile){
+		"no name":       func(p *Profile) { p.Name = "" },
+		"neg weight":    func(p *Profile) { p.Weights[ILP] = -1 },
+		"zero weights":  func(p *Profile) { p.Weights = [NumArchetypes]float64{} },
+		"short phase":   func(p *Profile) { p.MeanPhaseLen[Branchy] = 2 },
+		"footprint":     func(p *Profile) { p.Footprint = 16 },
+		"hot bytes":     func(p *Profile) { p.HotBytes = 4 },
+		"chains":        func(p *Profile) { p.Chains = 0 },
+		"store frac":    func(p *Profile) { p.StoreFrac = 0.95 },
+		"branch noise":  func(p *Profile) { p.BranchNoise = 1.5 },
+		"ilp degree":    func(p *Profile) { p.ILPDegree = 1 },
+		"conflict ways": func(p *Profile) { p.ConflictWays = 0 },
+	}
+	for name, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("gcc", 5000)
+	b := MustGenerate("gcc", 5000)
+	if a.Len() != 5000 || b.Len() != 5000 {
+		t.Fatalf("lengths %d %d", a.Len(), b.Len())
+	}
+	for i := int64(0); i < 5000; i++ {
+		if *a.At(i) != *b.At(i) {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a.At(i), b.At(i))
+		}
+	}
+}
+
+func TestGenerateAllBenchmarksValid(t *testing.T) {
+	for _, n := range Benchmarks() {
+		tr := MustGenerate(n, 20000)
+		if tr.Len() != 20000 {
+			t.Errorf("%s: len %d", n, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	p, _ := ProfileFor("gcc")
+	if _, err := Generate(p, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	p.Weights = [NumArchetypes]float64{}
+	if _, err := Generate(p, 100); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	q, _ := ProfileFor("mcf")
+	q.Chains = maxChains + 1
+	if _, err := Generate(q, 100); err == nil {
+		t.Error("excess chains accepted")
+	}
+}
+
+func TestMixesMatchCharacter(t *testing.T) {
+	const n = 200000
+	mcf := MustGenerate("mcf", n).Mix()
+	crafty := MustGenerate("crafty", n).Mix()
+	if mcf.Fraction(isa.OpLoad) <= crafty.Fraction(isa.OpLoad) {
+		t.Errorf("mcf load fraction %.3f should exceed crafty %.3f",
+			mcf.Fraction(isa.OpLoad), crafty.Fraction(isa.OpLoad))
+	}
+	gcc := MustGenerate("gcc", n).Mix()
+	if gcc.Fraction(isa.OpBranch) <= MustGenerate("gzip", n).Mix().Fraction(isa.OpBranch) {
+		t.Error("gcc should be branchier than gzip")
+	}
+}
+
+func TestFootprintsMatchCharacter(t *testing.T) {
+	const n = 400000
+	mcf := MustGenerate("mcf", n).Footprint(64)
+	crafty := MustGenerate("crafty", n).Footprint(64)
+	if mcf < 1<<20 {
+		t.Errorf("mcf footprint %dKB, want multi-MB", mcf>>10)
+	}
+	if crafty > 512<<10 {
+		t.Errorf("crafty footprint %dKB, want small", crafty>>10)
+	}
+	if crafty >= mcf {
+		t.Error("crafty footprint should be far below mcf")
+	}
+}
+
+func TestPhaseLengthsAreFineGrain(t *testing.T) {
+	// The paper's Section 2 finding: behaviour varies at granularities below
+	// a thousand instructions. Check that generated traces change archetype
+	// region (detected via PC high bits) with a mean run length under ~1000.
+	for _, name := range []string{"twolf", "bzip", "mcf"} {
+		tr := MustGenerate(name, 100000)
+		runs, current, runLen := 0, uint64(0), 0
+		total := 0
+		for i := int64(0); i < int64(tr.Len()); i++ {
+			region := tr.At(i).PC >> 16
+			if region != current {
+				if runLen > 0 {
+					runs++
+					total += runLen
+				}
+				current = region
+				runLen = 0
+			}
+			runLen++
+		}
+		if runs < 50 {
+			t.Fatalf("%s: only %d phase transitions in 100k instructions", name, runs)
+		}
+		mean := float64(total) / float64(runs)
+		if mean > 1200 {
+			t.Errorf("%s: mean phase run %.0f instructions, want fine-grain (<1200)", name, mean)
+		}
+	}
+}
+
+func TestSerialChainsAreSerial(t *testing.T) {
+	// In serial regions, consecutive ALU ops must form a dependence chain
+	// through regSerial.
+	p, _ := ProfileFor("bzip")
+	p.Weights = weights(Serial, 1.0)
+	tr, err := Generate(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained := 0
+	for i := int64(0); i < int64(tr.Len()); i++ {
+		in := tr.At(i)
+		if in.Dst == regSerial && in.Src1 == regSerial {
+			chained++
+		}
+	}
+	if chained < 800 {
+		t.Errorf("only %d/1000 instructions on the serial chain", chained)
+	}
+}
+
+func TestPointerChainsAreSelfDependent(t *testing.T) {
+	p, _ := ProfileFor("mcf")
+	p.Weights = weights(Pointer, 1.0)
+	tr, err := Generate(p, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, selfDep := 0, 0
+	for i := int64(0); i < int64(tr.Len()); i++ {
+		in := tr.At(i)
+		if in.Op == isa.OpLoad {
+			loads++
+			if in.Src1 == in.Dst {
+				selfDep++
+			}
+		}
+	}
+	if loads == 0 || selfDep != loads {
+		t.Errorf("%d/%d pointer loads self-dependent", selfDep, loads)
+	}
+}
+
+func TestStreamIsSequential(t *testing.T) {
+	p, _ := ProfileFor("gzip")
+	p.Weights = weights(Stream, 1.0)
+	tr, err := Generate(p, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	increasing, loads := 0, 0
+	for i := int64(0); i < int64(tr.Len()); i++ {
+		in := tr.At(i)
+		if in.Op != isa.OpLoad {
+			continue
+		}
+		loads++
+		if prev != 0 && in.Addr == prev+p.StrideBytes {
+			increasing++
+		}
+		prev = in.Addr
+	}
+	if loads < 100 {
+		t.Fatalf("too few loads: %d", loads)
+	}
+	if float64(increasing) < 0.9*float64(loads) {
+		t.Errorf("only %d/%d stream loads sequential", increasing, loads)
+	}
+}
+
+func TestBranchSitePattern(t *testing.T) {
+	s := &branchSite{pattern: 0b0111, length: 4}
+	// Not noisy: the 4-bit pattern repeats LSB-first.
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, s.next(nil))
+	}
+	want := []bool{true, true, true, false, true, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("site pattern %v, want %v", got, want)
+		}
+	}
+}

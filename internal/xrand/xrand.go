@@ -1,0 +1,138 @@
+// Package xrand provides a small, deterministic, splittable pseudo-random
+// number generator and the sampling distributions the synthetic workload
+// generator needs.
+//
+// Reproducibility across runs and platforms is a hard requirement: every
+// experiment in this repository must regenerate the exact same dynamic
+// instruction trace from a benchmark name and seed. The generator is
+// SplitMix64 (Steele et al.), which has a one-word state, passes BigCrush,
+// and splits cleanly into independent streams.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random number generator. The zero value is a
+// valid generator seeded with zero, but prefer New so related streams
+// decorrelate.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with the given seed.
+func New(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Warm the state so small seeds (0, 1, 2...) produce unrelated streams.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Split returns a new generator whose stream is independent of the
+// receiver's future output. It advances the receiver by one draw.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, bias-free.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from the geometric distribution with the given
+// mean (support {1, 2, ...}). The mean must be >= 1.
+func (r *RNG) Geometric(mean float64) int {
+	if mean < 1 {
+		panic("xrand: Geometric mean below 1")
+	}
+	if mean == 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := r.Float64()
+	// Inverse CDF; clamp to avoid log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	n := 1 + int(math.Log(1-u)/math.Log(1-p))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Categorical samples an index from the given non-negative weights.
+// It panics if the weights are empty or sum to zero.
+type Categorical struct {
+	cum []float64
+}
+
+// NewCategorical builds a categorical sampler over the weights.
+func NewCategorical(weights []float64) *Categorical {
+	if len(weights) == 0 {
+		panic("xrand: empty categorical")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("xrand: negative or NaN categorical weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("xrand: categorical weights sum to zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Categorical{cum: cum}
+}
+
+// Sample draws an index with probability proportional to its weight.
+func (c *Categorical) Sample(r *RNG) int {
+	u := r.Float64()
+	// Linear scan: weight vectors here are tiny (phase archetypes).
+	for i, cv := range c.cum {
+		if u < cv {
+			return i
+		}
+	}
+	return len(c.cum) - 1
+}
+
+// N reports the number of categories.
+func (c *Categorical) N() int { return len(c.cum) }
