@@ -1,0 +1,176 @@
+// Command bench measures simulation throughput of the execution engine —
+// simulated instructions per wall-second (MIPS) — for the event-driven
+// fast-forward path and the reference single-step path, and emits the
+// results as BENCH_engine.json so the perf trajectory is tracked across
+// PRs.
+//
+// Usage:
+//
+//	bench                      # default scenarios at 200k instructions
+//	bench -n 1000000           # longer traces
+//	bench -repeat 5            # best-of-5 timing
+//	bench -o out.json          # output path (default BENCH_engine.json)
+//	bench -fast-only           # skip the slow single-step reference
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"archcontest"
+)
+
+type timing struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	MIPS        float64 `json:"mips"`
+}
+
+type scenarioResult struct {
+	Name        string  `json:"name"`
+	Insts       int     `json:"insts"`
+	EventDriven timing  `json:"event_driven"`
+	SingleStep  *timing `json:"single_step,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+type report struct {
+	Generated      string           `json:"generated"`
+	Insts          int              `json:"insts"`
+	Repeat         int              `json:"repeat"`
+	Scenarios      []scenarioResult `json:"scenarios"`
+	GeomeanSpeedup float64          `json:"geomean_speedup,omitempty"`
+}
+
+type scenario struct {
+	name string
+	run  func(singleStep bool) error
+}
+
+func singleScenario(bench, core string, n int) scenario {
+	tr := archcontest.MustGenerateTrace(bench, n)
+	cfg := archcontest.MustPaletteCore(core)
+	return scenario{
+		name: fmt.Sprintf("single/%s-on-%s", bench, core),
+		run: func(singleStep bool) error {
+			r, err := archcontest.Run(cfg, tr, archcontest.RunOptions{SingleStep: singleStep})
+			if err != nil {
+				return err
+			}
+			if r.Insts != int64(tr.Len()) {
+				return fmt.Errorf("incomplete run: %d of %d", r.Insts, tr.Len())
+			}
+			return nil
+		},
+	}
+}
+
+func contestScenario(bench string, cores []string, n int) scenario {
+	tr := archcontest.MustGenerateTrace(bench, n)
+	cfgs := make([]archcontest.CoreConfig, len(cores))
+	for i, c := range cores {
+		cfgs[i] = archcontest.MustPaletteCore(c)
+	}
+	name := fmt.Sprintf("contest%d/%s", len(cores), bench)
+	return scenario{
+		name: name,
+		run: func(singleStep bool) error {
+			r, err := archcontest.ContestRun(cfgs, tr, archcontest.ContestOptions{SingleStep: singleStep})
+			if err != nil {
+				return err
+			}
+			if r.Insts != int64(tr.Len()) {
+				return fmt.Errorf("incomplete run: %d of %d", r.Insts, tr.Len())
+			}
+			return nil
+		},
+	}
+}
+
+// time measures the best wall-clock time of `repeat` runs.
+func timeScenario(s scenario, singleStep bool, repeat, n int) (timing, error) {
+	best := math.MaxFloat64
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		if err := s.run(singleStep); err != nil {
+			return timing{}, err
+		}
+		if sec := time.Since(start).Seconds(); sec < best {
+			best = sec
+		}
+	}
+	return timing{WallSeconds: best, MIPS: float64(n) / best / 1e6}, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	n := flag.Int("n", 200_000, "trace length in instructions")
+	repeat := flag.Int("repeat", 3, "runs per scenario (best time wins)")
+	out := flag.String("o", "BENCH_engine.json", "output JSON path")
+	fastOnly := flag.Bool("fast-only", false, "skip the single-step reference timings")
+	flag.Parse()
+	if *n <= 0 {
+		log.Fatalf("-n must be positive, got %d", *n)
+	}
+	if *repeat <= 0 {
+		log.Fatalf("-repeat must be positive, got %d", *repeat)
+	}
+
+	scenarios := []scenario{
+		singleScenario("mcf", "mcf", *n),
+		singleScenario("gcc", "gcc", *n),
+		singleScenario("crafty", "crafty", *n),
+		singleScenario("twolf", "twolf", *n),
+		contestScenario("twolf", []string{"twolf", "vpr"}, *n),
+		contestScenario("mcf", []string{"mcf", "gcc"}, *n),
+		contestScenario("gcc", []string{"gcc", "mcf", "bzip", "crafty"}, *n),
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Insts:     *n,
+		Repeat:    *repeat,
+	}
+	logSpeedup := 0.0
+	speedups := 0
+	fmt.Printf("%-24s %12s %12s %9s\n", "scenario", "event MIPS", "naive MIPS", "speedup")
+	for _, s := range scenarios {
+		fast, err := timeScenario(s, false, *repeat, *n)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		res := scenarioResult{Name: s.name, Insts: *n, EventDriven: fast}
+		if !*fastOnly {
+			slow, err := timeScenario(s, true, *repeat, *n)
+			if err != nil {
+				log.Fatalf("%s (single-step): %v", s.name, err)
+			}
+			res.SingleStep = &slow
+			res.Speedup = slow.WallSeconds / fast.WallSeconds
+			logSpeedup += math.Log(res.Speedup)
+			speedups++
+			fmt.Printf("%-24s %12.2f %12.2f %8.2fx\n", s.name, fast.MIPS, slow.MIPS, res.Speedup)
+		} else {
+			fmt.Printf("%-24s %12.2f %12s %9s\n", s.name, fast.MIPS, "-", "-")
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	if speedups > 0 {
+		rep.GeomeanSpeedup = math.Exp(logSpeedup / float64(speedups))
+		fmt.Printf("%-24s %12s %12s %8.2fx\n", "geomean", "", "", rep.GeomeanSpeedup)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -1,0 +1,78 @@
+package archcontest
+
+// Golden-equivalence tests for the event-driven engine: the fast-forward
+// path (wake-list issue, dead-cycle skipping, heap-scheduled contests) must
+// reproduce the reference single-cycle/single-step semantics bit for bit —
+// every Stats counter, FinishTime, RegionTimes, winner, lead changes, and
+// saturation flags, across a grid of palette cores × workloads, stand-alone
+// and 2-way contested, under store-queue pressure, saturation, and
+// exception rendezvous.
+
+import (
+	"reflect"
+	"testing"
+)
+
+const goldenInsts = 20_000
+
+func TestGoldenEquivalenceSingleCore(t *testing.T) {
+	benches := []string{"gcc", "mcf", "bzip", "crafty", "twolf"}
+	cores := []string{"bzip", "crafty", "gap", "gcc", "gzip", "mcf", "twolf", "vpr"}
+	for _, b := range benches {
+		tr := MustGenerateTrace(b, goldenInsts)
+		for _, cn := range cores {
+			cfg := MustPaletteCore(cn)
+			slow, err := Run(cfg, tr, RunOptions{LogRegions: true, SingleStep: true})
+			if err != nil {
+				t.Fatalf("%s on %s (single-step): %v", b, cn, err)
+			}
+			fast, err := Run(cfg, tr, RunOptions{LogRegions: true})
+			if err != nil {
+				t.Fatalf("%s on %s (event-driven): %v", b, cn, err)
+			}
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s on %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", b, cn, slow, fast)
+			}
+		}
+	}
+}
+
+func TestGoldenEquivalenceContested(t *testing.T) {
+	// Each pair runs under a different option variant so the equivalence
+	// also covers high latency, exception rendezvous (both handler styles),
+	// saturated laggers, and store-queue backpressure.
+	pairs := []struct {
+		a, b string
+		opts ContestOptions
+	}{
+		{"gcc", "mcf", ContestOptions{}},
+		{"bzip", "crafty", ContestOptions{LatencyNs: 5}},
+		{"twolf", "vpr", ContestOptions{ExceptionEvery: 512}},
+		{"gzip", "perl", ContestOptions{MaxLag: 64}},
+		{"gap", "vortex", ContestOptions{ExceptionEvery: 768, ExceptionKillRefork: true}},
+		{"mcf", "parser", ContestOptions{StoreQueueCap: 8}},
+	}
+	benches := []string{"gcc", "mcf", "twolf", "gzip"}
+	for _, p := range pairs {
+		cfgs := []CoreConfig{MustPaletteCore(p.a), MustPaletteCore(p.b)}
+		for _, b := range benches {
+			tr := MustGenerateTrace(b, goldenInsts)
+			slowOpts := p.opts
+			slowOpts.RegionSize = 20
+			slowOpts.SingleStep = true
+			fastOpts := p.opts
+			fastOpts.RegionSize = 20
+			slow, err := ContestRun(cfgs, tr, slowOpts)
+			if err != nil {
+				t.Fatalf("%s vs %s on %s (single-step): %v", p.a, p.b, b, err)
+			}
+			fast, err := ContestRun(cfgs, tr, fastOpts)
+			if err != nil {
+				t.Fatalf("%s vs %s on %s (event-driven): %v", p.a, p.b, b, err)
+			}
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s vs %s on %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", p.a, p.b, b, slow, fast)
+			}
+		}
+	}
+}

@@ -65,6 +65,11 @@ type Options struct {
 	// MaxTimeNs aborts runs exceeding the bound (0 = a generous default
 	// derived from the trace length).
 	MaxTimeNs float64
+	// SingleStep forces the reference cycle-by-cycle scheduler instead of
+	// the event-driven one. The two produce bit-identical results (the
+	// golden-equivalence tests lock this); single-stepping exists as the
+	// reference semantics and for debugging.
+	SingleStep bool
 }
 
 func (o *Options) applyDefaults(n int) {
@@ -161,6 +166,16 @@ func (s *senderRing) available(idx int64, t ticks.Time) bool {
 	return idx >= s.lo && idx < s.hi && s.arr[idx%int64(len(s.arr))] <= t
 }
 
+// nextArrival reports the known arrival time of result idx, if the sender
+// has already broadcast it (the result is retained, possibly still in
+// flight).
+func (s *senderRing) nextArrival(idx int64) (ticks.Time, bool) {
+	if idx < s.lo || idx >= s.hi {
+		return 0, false
+	}
+	return s.arr[idx%int64(len(s.arr))], true
+}
+
 func (s *senderRing) consumeThrough(idx int64) {
 	if idx+1 > s.lo {
 		s.lo = idx + 1
@@ -187,6 +202,20 @@ func (f *feed) ResultAvailable(idx int64, t ticks.Time) bool {
 		}
 	}
 	return false
+}
+
+func (f *feed) NextArrival(idx int64) (ticks.Time, bool) {
+	if f.disabled {
+		return 0, false
+	}
+	var best ticks.Time
+	found := false
+	for _, s := range f.senders {
+		if at, ok := s.nextArrival(idx); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	return best, found
 }
 
 func (f *feed) ConsumeThrough(idx int64) {

@@ -1,0 +1,87 @@
+package contest
+
+import (
+	"testing"
+
+	"archcontest/internal/ticks"
+)
+
+// Unit tests for the result-FIFO arrival hints and the saturation boundary:
+// the event-driven engine fast-forwards on nextArrival, so its semantics
+// (in-flight results reported, unbroadcast and consumed ones not) are
+// load-bearing for correctness, not just performance.
+
+func TestSenderRingNextArrival(t *testing.T) {
+	r := newSenderRing(4)
+	r.push(0, 100)
+	r.push(1, 110)
+	if at, ok := r.nextArrival(0); !ok || at != 100 {
+		t.Errorf("nextArrival(0) = %d, %v; want 100, true", at, ok)
+	}
+	// A result still in flight (arrival in the future) is already known.
+	if at, ok := r.nextArrival(1); !ok || at != 110 {
+		t.Errorf("nextArrival(1) = %d, %v; want 110, true", at, ok)
+	}
+	if _, ok := r.nextArrival(2); ok {
+		t.Error("nextArrival reported an unbroadcast result")
+	}
+	r.consumeThrough(0)
+	if _, ok := r.nextArrival(0); ok {
+		t.Error("nextArrival reported a consumed result")
+	}
+}
+
+func TestFeedMinimumArrivalAcrossSenders(t *testing.T) {
+	f := &feed{senders: []*senderRing{newSenderRing(4), newSenderRing(4)}}
+	f.senders[0].push(0, 200)
+	f.senders[1].push(0, 150)
+	if f.ResultAvailable(0, 149) {
+		t.Error("result available before the earliest arrival")
+	}
+	if !f.ResultAvailable(0, 150) {
+		t.Error("result unavailable at the earliest arrival")
+	}
+	if at, ok := f.NextArrival(0); !ok || at != 150 {
+		t.Errorf("NextArrival = %d, %v; want the minimum 150, true", at, ok)
+	}
+	// Only one sender has broadcast the next result; the hint still fires.
+	f.senders[0].push(1, 260)
+	if at, ok := f.NextArrival(1); !ok || at != 260 {
+		t.Errorf("NextArrival(1) = %d, %v; want 260, true", at, ok)
+	}
+}
+
+func TestDisabledFeedReportsNothing(t *testing.T) {
+	f := &feed{senders: []*senderRing{newSenderRing(4)}}
+	f.senders[0].push(0, 100)
+	f.disabled = true
+	if f.ResultAvailable(0, 1000) {
+		t.Error("disabled feed reported an available result")
+	}
+	if _, ok := f.NextArrival(0); ok {
+		t.Error("disabled feed reported an arrival hint")
+	}
+}
+
+func TestSenderRingSaturationBoundary(t *testing.T) {
+	r := newSenderRing(3)
+	for i := int64(0); i < 3; i++ {
+		if !r.push(i, 100+ticks.Time(i)) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	// The receiver lags by exactly the capacity: the next push overflows.
+	if r.push(3, 200) {
+		t.Error("push at capacity accepted; receiver should saturate")
+	}
+	// In the real system a refused push saturates the receiver and disables
+	// its feed permanently, so the ring never serves queries past a drop;
+	// the sender's sequence still advances and consuming reopens the window.
+	r.consumeThrough(1)
+	if !r.push(4, 210) {
+		t.Error("push refused after consuming past the overflow")
+	}
+	if at, ok := r.nextArrival(4); !ok || at != 210 {
+		t.Errorf("nextArrival(4) = %d, %v; want 210, true", at, ok)
+	}
+}

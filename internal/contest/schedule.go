@@ -1,0 +1,69 @@
+package contest
+
+import "archcontest/internal/ticks"
+
+// coreHeap is an indexed binary min-heap over the system's cores, keyed by
+// each core's live edge with ties broken by core index — the round-robin
+// handshake order of the reference scheduler. The heap holds every core
+// permanently; keys change as cores step, skip, or get their bounds
+// clamped, and fix restores the heap property afterwards.
+type coreHeap struct {
+	s    *System
+	heap []int // core indices in heap order
+}
+
+func newCoreHeap(s *System) *coreHeap {
+	h := &coreHeap{s: s, heap: make([]int, len(s.cores))}
+	for i := range h.heap {
+		h.heap[i] = i
+	}
+	h.fix()
+	return h
+}
+
+// liveAt is core i's heap key: the earliest time at which scheduling it can
+// do anything — its next clock edge, pushed out to its fast-forward bound
+// when every cycle before the bound is known dead.
+func (h *coreHeap) liveAt(i int) ticks.Time {
+	t := h.s.cores[i].Now()
+	if b := h.s.bounds[i]; b > t {
+		return b
+	}
+	return t
+}
+
+func (h *coreHeap) less(a, b int) bool {
+	ta, tb := h.liveAt(a), h.liveAt(b)
+	return ta < tb || (ta == tb && a < b)
+}
+
+// min reports the core index with the earliest live edge.
+func (h *coreHeap) min() int { return h.heap[0] }
+
+// fix restores the heap property after any number of key changes. A step
+// can move several keys at once (the stepped core's edge advances and its
+// broadcasts clamp other cores' bounds), so fix re-heapifies; with the
+// system capped at eight cores this is a handful of comparisons.
+func (h *coreHeap) fix() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *coreHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h.heap) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			m = r
+		}
+		if !h.less(h.heap[m], h.heap[i]) {
+			return
+		}
+		h.heap[i], h.heap[m] = h.heap[m], h.heap[i]
+		i = m
+	}
+}

@@ -23,6 +23,14 @@ type System struct {
 	leadChanges int64
 	leader      int
 	exc         *exceptionCoordinator
+
+	// bounds, allocated only by the event-driven scheduler, holds per-core
+	// fast-forward bounds: every cycle of core i with a clock edge strictly
+	// before bounds[i] is known to be dead. A retirement anywhere in the
+	// system clamps every other core's bound to the retirement time, since
+	// its side effects (result arrival, store-queue drain, saturation,
+	// exception rendezvous) can wake a core no earlier than that.
+	bounds []ticks.Time
 }
 
 // NewSystem builds a contesting system over the given core configurations.
@@ -118,6 +126,17 @@ func (s *System) broadcast(from int, idx int64, at ticks.Time) {
 		// not overflow on what it would discard anyway.
 		if !ring.push(idx, arrival) {
 			s.declareSaturated(to)
+			continue
+		}
+		// A receiver fast-forwarding past the arrival would miss the
+		// injection or early branch resolution this result can trigger;
+		// clamp its bound to the arrival edge. The queue-drain, saturation,
+		// and rendezvous side effects of a retirement need no clamp: a core
+		// blocked on them presents itself every cycle (extStalled), and an
+		// unblocked core consults them exactly at its own retire candidate,
+		// which its bound already includes.
+		if s.bounds != nil && s.bounds[to] > arrival {
+			s.bounds[to] = arrival
 		}
 	}
 }
@@ -129,8 +148,19 @@ func (s *System) declareSaturated(core int) {
 }
 
 // Run executes the contest to completion: the system finishes when the
-// first core retires the whole trace.
+// first core retires the whole trace. The event-driven scheduler is used
+// unless Options.SingleStep selects the reference cycle-by-cycle loop; both
+// produce bit-identical results.
 func (s *System) Run() (Result, error) {
+	if s.opts.SingleStep {
+		return s.runSingleStep()
+	}
+	return s.runEventDriven()
+}
+
+// runSingleStep is the reference scheduler: one cycle of one core at a
+// time, always the core with the earliest next clock edge.
+func (s *System) runSingleStep() (Result, error) {
 	maxTime := ticks.Time(ticks.FromNanoseconds(s.opts.MaxTimeNs))
 	n := len(s.cores)
 	for {
@@ -154,6 +184,93 @@ func (s *System) Run() (Result, error) {
 		if c.Done() {
 			return s.result(min), nil
 		}
+	}
+}
+
+// runEventDriven schedules cores through an indexed min-heap keyed on each
+// core's live edge — the later of its current clock edge and its
+// fast-forward bound. Popping the heap minimum guarantees that every other
+// core's next state change lies at or beyond that time, so a popped core
+// whose bound is ahead of its clock may jump straight to the bound: all the
+// skipped cycles are dead, and nothing another core does in the meantime
+// (clamped into the bound by broadcast) can wake it earlier.
+//
+// The execution it produces is the single-step schedule with dead cycles
+// deleted: every progressing step of every core happens at the same cycle,
+// in the same global order, with the same inputs, so all reported numbers —
+// including each core's dead-cycle-inflated Stats.Cycles, reconstructed at
+// the end by settle — are bit-identical to runSingleStep.
+func (s *System) runEventDriven() (Result, error) {
+	maxTime := ticks.Time(ticks.FromNanoseconds(s.opts.MaxTimeNs))
+	s.bounds = make([]ticks.Time, len(s.cores))
+	h := newCoreHeap(s)
+	for {
+		i := h.min()
+		c := s.cores[i]
+		if c.Now() > maxTime {
+			return Result{}, fmt.Errorf("contest: %s exceeded %gns without finishing", s.tr.Name(), s.opts.MaxTimeNs)
+		}
+		if b := s.bounds[i]; b > c.Now() {
+			// Fast-forward over the dead cycles to the first edge at or
+			// past the bound.
+			clk := c.Clock()
+			cc := clk.CycleAt(b)
+			if clk.TimeOfCycle(cc) < b {
+				cc++
+			}
+			c.SkipTo(cc)
+			s.bounds[i] = 0
+			h.fix()
+			continue
+		}
+		c.Step()
+		if r := c.Retired(); r > s.cores[s.leader].Retired() && i != s.leader {
+			s.leader = i
+			s.leadChanges++
+		}
+		if c.Done() {
+			s.settle(i)
+			return s.result(i), nil
+		}
+		if c.Progressed() {
+			s.bounds[i] = 0
+		} else if next, ok := c.NextEvent(); ok {
+			s.bounds[i] = c.Clock().TimeOfCycle(next)
+		} else {
+			// Blocked on the store queue or the exception rendezvous:
+			// their state changes on other cores' retirements in ways the
+			// core cannot bound, and the gate consult itself mutates the
+			// coordinator, so the core must present itself every cycle.
+			s.bounds[i] = 0
+		}
+		// The step may have broadcast retirements that clamped any bound.
+		h.fix()
+	}
+}
+
+// settle reconstructs the losing cores' cycle counters at the moment the
+// single-step scheduler would have exited: each non-winner keeps being
+// stepped through its dead tail cycles until its clock edge passes the
+// winner's finishing edge (cores after the winner in index order stop at
+// the first edge at or past it, cores before it at the first edge strictly
+// past it — the tie order of the reference scheduler).
+func (s *System) settle(winner int) {
+	w := s.cores[winner]
+	finish := w.Clock().TimeOfCycle(w.Cycle() - 1)
+	for j, c := range s.cores {
+		if j == winner {
+			continue
+		}
+		clk := c.Clock()
+		cc := clk.CycleAt(finish)
+		if j > winner {
+			if clk.TimeOfCycle(cc) < finish {
+				cc++
+			}
+		} else {
+			cc++
+		}
+		c.SkipTo(cc)
 	}
 }
 

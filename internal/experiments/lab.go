@@ -117,9 +117,9 @@ func (l *Lab) parallel(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
+			sem <- struct{}{}
 			defer func() { <-sem }()
 			errs <- fn(i)
 		}(i)
@@ -285,7 +285,6 @@ func (l *Lab) BestPair(bench string) (contest.Result, error) {
 		}
 	}
 	seen := map[[2]int]bool{}
-	results := make([]contest.Result, 0, len(pairs))
 	var candidates [][2]int
 	for _, pr := range pairs {
 		key := [2]int{pr.A, pr.B}
@@ -295,7 +294,7 @@ func (l *Lab) BestPair(bench string) (contest.Result, error) {
 		seen[key] = true
 		candidates = append(candidates, key)
 	}
-	results = make([]contest.Result, len(candidates))
+	results := make([]contest.Result, len(candidates))
 	err = l.parallel(len(candidates), func(i int) error {
 		pr := candidates[i]
 		r, err := l.Contest(bench, []string{l.cores[pr[0]].Name, l.cores[pr[1]].Name}, contest.Options{})

@@ -17,6 +17,7 @@ import (
 type allFeed struct{ consumed int64 }
 
 func (f *allFeed) ResultAvailable(idx int64, t ticks.Time) bool { return true }
+func (f *allFeed) NextArrival(idx int64) (ticks.Time, bool)     { return 0, true }
 func (f *allFeed) ConsumeThrough(idx int64)                     { f.consumed = idx }
 
 // afterFeed makes results available only from a given absolute time.
@@ -25,6 +26,7 @@ type afterFeed struct {
 }
 
 func (f *afterFeed) ResultAvailable(idx int64, t ticks.Time) bool { return t >= f.at }
+func (f *afterFeed) NextArrival(idx int64) (ticks.Time, bool)     { return f.at, true }
 func (f *afterFeed) ConsumeThrough(idx int64)                     {}
 
 func TestInjectionRunsAtFullWidth(t *testing.T) {
@@ -171,4 +173,10 @@ func TestNoTrainOnInject(t *testing.T) {
 type prefixFeed struct{ until int64 }
 
 func (f *prefixFeed) ResultAvailable(idx int64, t ticks.Time) bool { return idx < f.until }
-func (f *prefixFeed) ConsumeThrough(idx int64)                     {}
+func (f *prefixFeed) NextArrival(idx int64) (ticks.Time, bool) {
+	if idx < f.until {
+		return 0, true
+	}
+	return 0, false
+}
+func (f *prefixFeed) ConsumeThrough(idx int64) {}

@@ -18,10 +18,25 @@
 // normally and late results are discarded (Scenario #1), except that
 // results for the in-flight mispredicted branch gating fetch are kept and
 // used to resolve it early (the Figure 5 corner case).
+//
+// # Event-driven execution
+//
+// Step executes exactly one clock cycle and remains the reference
+// semantics. The engine is additionally event-driven: a cycle in which
+// nothing retires, issues, dispatches, or fetches ("a dead cycle") leaves
+// every piece of core state untouched, so a run may jump the cycle counter
+// straight to the next cycle at which progress is possible. NextEvent
+// computes that cycle from the in-flight completion times, the scheduled
+// wake-ups, the front-end arrival, the pending-branch resolution, and the
+// feed's NextArrival hint; Advance composes Step with the jump. Because
+// only provably-dead cycles are skipped, every counter — including
+// Stats.Cycles, which counts skipped cycles exactly as if they had been
+// stepped — is bit-identical to single-cycle stepping.
 package pipeline
 
 import (
 	"fmt"
+	"math"
 
 	"archcontest/internal/branch"
 	"archcontest/internal/cache"
@@ -37,6 +52,14 @@ type ResultFeed interface {
 	// ResultAvailable reports whether the result of dynamic instruction idx
 	// has arrived at this core by absolute time t.
 	ResultAvailable(idx int64, t ticks.Time) bool
+	// NextArrival reports the earliest absolute time at which the result of
+	// dynamic instruction idx becomes available, when the feed already
+	// knows it (the result is in flight or has arrived). ok is false when
+	// the result has not been broadcast yet; the caller must then treat the
+	// arrival time as unknown. The hint lets the event-driven engine
+	// fast-forward a core stalled on a mispredicted branch directly to the
+	// cycle its early resolution becomes possible.
+	NextArrival(idx int64) (at ticks.Time, ok bool)
 	// ConsumeThrough informs the feed that all results up to and including
 	// idx have been consumed or may be discarded. The core never consumes
 	// past its oldest unresolved mispredicted branch, so arrived branch
@@ -130,9 +153,25 @@ type entry struct {
 	storeDep      int64 // older in-window store to the same address, noSeq if none
 	completeCycle int64
 	valueReady    int64 // completeCycle + wake-up latency
+	depHead       int64 // first issue-queue entry waiting on this producer, noSeq if none
+	depNext       int64 // next entry in our producer's waiter list, noSeq if none
 	completed     bool
+	inIQ          bool // occupies an issue-queue slot (dispatched, not yet issued)
 	injected      bool
 	mispredicted  bool
+}
+
+// wakeEntry schedules an issue-queue entry whose sources are all complete
+// to enter the ready queue at a known future cycle.
+type wakeEntry struct {
+	at, seq int64
+}
+
+// stepSig is the progress signature of one cycle: if none of these change,
+// the cycle was dead and left every piece of core state untouched.
+type stepSig struct {
+	retired, early, disp, tail, pend int64
+	iq                               int
 }
 
 // Core is one simulated out-of-order processor executing a trace.
@@ -154,8 +193,17 @@ type Core struct {
 	tailSeq  int64 // next instruction to fetch into the window
 	fetchEnd int64 // trace length
 
-	iq  []int64 // seqs of dispatched, un-issued instructions (ascending)
-	lsq int     // occupied LSQ entries
+	// Issue queue as wake lists: a dispatched entry either waits on the
+	// depHead list of its first incomplete producer, sits in wakeQ until
+	// its known ready cycle, or sits in readyQ (a min-heap by seq, so issue
+	// selection stays oldest-first). iqCount tracks occupied IQ slots;
+	// entries leaving early (resolved branches) are deleted lazily from the
+	// heaps.
+	iqCount int
+	readyQ  []int64
+	wakeQ   []wakeEntry
+	retry   []int64 // scratch: ready entries deferred by the busy divider
+	lsq     int     // occupied LSQ entries
 
 	lastWriter [isa.NumRegs]int64 // in-window producer of each register
 	regReadyAt [isa.NumRegs]int64 // readiness cycle once the producer retired
@@ -164,6 +212,9 @@ type Core struct {
 
 	pendingBranch int64 // mispredicted branch gating fetch, noSeq if none
 	divFree       int64 // next cycle the divider is free
+
+	progressed bool // the last Step changed state
+	extStalled bool // the last Step was blocked by the gate or store sink
 
 	stats          Stats
 	regionSize     int
@@ -198,10 +249,15 @@ func NewCore(cfg config.CoreConfig, tr *trace.Trace, opts Options) (*Core, error
 		ring:          make([]entry, ringSize),
 		ringSize:      ringSize,
 		fetchEnd:      int64(tr.Len()),
-		iq:            make([]int64, 0, cfg.IQSize),
+		readyQ:        make([]int64, 0, cfg.IQSize),
+		wakeQ:         make([]wakeEntry, 0, cfg.IQSize),
+		retry:         make([]int64, 0, cfg.Width),
 		lastStore:     make(map[uint64]int64),
 		pendingBranch: noSeq,
 		regionSize:    opts.RegionSize,
+	}
+	if opts.RegionSize > 0 {
+		c.regions = make([]ticks.Time, 0, tr.Len()/opts.RegionSize)
 	}
 	for r := range c.lastWriter {
 		c.lastWriter[r] = noSeq
@@ -215,7 +271,8 @@ func (c *Core) Config() config.CoreConfig { return c.cfg }
 // Clock reports the core's clock.
 func (c *Core) Clock() ticks.Clock { return c.clk }
 
-// Cycle reports the current cycle number (the number of Step calls).
+// Cycle reports the current cycle number. It advances by one per Step and
+// may jump forward over dead cycles via SkipTo.
 func (c *Core) Cycle() int64 { return c.cycle }
 
 // Now reports the absolute time of the current cycle's clock edge.
@@ -247,18 +304,162 @@ func (c *Core) RegionTimes() []ticks.Time { return c.regions }
 
 func (c *Core) at(seq int64) *entry { return &c.ring[seq%c.ringSize] }
 
+func (c *Core) sig() stepSig {
+	return stepSig{
+		retired: c.stats.Retired,
+		early:   c.stats.EarlyResolved,
+		disp:    c.dispSeq,
+		tail:    c.tailSeq,
+		pend:    c.pendingBranch,
+		iq:      c.iqCount,
+	}
+}
+
 // Step advances the core by one clock cycle.
 func (c *Core) Step() {
 	if c.Done() {
 		c.cycle++
+		c.progressed = true
 		return
 	}
+	c.extStalled = false
+	pre := c.sig()
 	c.doRetire()
 	c.doIssue()
 	c.doDispatch()
 	c.doFetch()
 	c.cycle++
 	c.stats.Cycles = c.cycle
+	c.progressed = c.sig() != pre
+}
+
+// Progressed reports whether the most recent Step changed any core state
+// (a retirement, issue, dispatch, fetch, or branch resolution). A Step
+// that did not progress is a dead cycle: re-executing it any number of
+// times changes nothing, which is what makes fast-forwarding sound.
+func (c *Core) Progressed() bool { return c.progressed }
+
+// SkipTo fast-forwards the cycle counter to the given cycle without
+// executing the skipped cycles. The caller must guarantee every skipped
+// cycle is dead — NextEvent computes such a bound — and that no external
+// input (feed arrival, store-queue drain, gate change) can occur in the
+// skipped window. Calls with cycle at or below the current cycle are
+// no-ops. Stats.Cycles advances with the jump, exactly as if the dead
+// cycles had been stepped.
+func (c *Core) SkipTo(cycle int64) {
+	if cycle <= c.cycle {
+		return
+	}
+	c.cycle = cycle
+	if !c.Done() {
+		c.stats.Cycles = cycle
+	}
+}
+
+// Advance is the event-driven replacement for Step: it executes one cycle
+// and, when that cycle made no progress, fast-forwards the cycle counter to
+// the next cycle at which progress is possible. When the core is blocked on
+// a condition it cannot bound locally (a retire gate or store sink), it
+// degrades to single-cycle stepping; contested runs bound such cores
+// through the system scheduler instead.
+func (c *Core) Advance() {
+	c.Step()
+	if c.progressed || c.Done() {
+		return
+	}
+	if next, ok := c.NextEvent(); ok && next > c.cycle {
+		c.SkipTo(next)
+	}
+}
+
+// NextEvent reports a conservative lower bound on the next cycle at which
+// the core can make progress, assuming no new external input arrives in the
+// meantime. It should be consulted after a Step that reported no progress.
+// ok is false when the core is stalled on a condition it cannot bound
+// locally — a refusing retire gate or store sink, whose state is owned by
+// the contesting system — in which case the caller must step cycle-by-cycle
+// or bound the skip with system-level knowledge.
+func (c *Core) NextEvent() (cycle int64, ok bool) {
+	now := c.cycle
+	if c.Done() {
+		return now, true
+	}
+	if c.extStalled {
+		return now, false
+	}
+	next := int64(math.MaxInt64)
+	upd := func(v int64) {
+		if v < next {
+			next = v
+		}
+	}
+
+	// Retire: the completed head commits at its completion cycle. A head
+	// that was already committable did not retire for a reason the core
+	// cannot see (extStalled covers the known ones); refuse to skip.
+	if c.headSeq < c.dispSeq {
+		if e := c.at(c.headSeq); e.completed {
+			if e.completeCycle < now {
+				return now, false
+			}
+			upd(e.completeCycle)
+		}
+	}
+
+	// Issue: the earliest scheduled wake-up, and ready entries deferred by
+	// the busy divider. Entries waiting on an incomplete producer need no
+	// term of their own — the producer's own issue is an event that
+	// reschedules them. A live non-divider entry in the ready queue means
+	// the cycle was not dead after all; refuse to skip.
+	if len(c.wakeQ) > 0 {
+		upd(c.wakeQ[0].at)
+	}
+	for _, seq := range c.readyQ {
+		e := c.at(seq)
+		if !e.inIQ || e.completed {
+			continue // lazily-deleted entry
+		}
+		if c.tr.At(seq).Op == isa.OpDiv && c.divFree > now {
+			upd(c.divFree)
+			continue
+		}
+		return now, false
+	}
+
+	// Dispatch: the head of the front end becomes renameable. Dispatch
+	// blocked on a full ROB/IQ/LSQ resumes on a retire or issue event,
+	// which the terms above already cover.
+	if c.dispSeq < c.tailSeq {
+		if e := c.at(c.dispSeq); e.dispatchReady >= now {
+			upd(e.dispatchReady)
+		}
+	}
+
+	// Fetch: a pending mispredicted branch redirects the cycle after it
+	// completes, or resolves early when its result arrives on the feed.
+	if c.pendingBranch != noSeq {
+		be := c.at(c.pendingBranch)
+		if be.completed {
+			upd(be.completeCycle + 1)
+		}
+		if c.opts.Feed != nil {
+			if at, hinted := c.opts.Feed.NextArrival(c.pendingBranch); hinted {
+				cc := c.clk.CycleAt(at)
+				if c.clk.TimeOfCycle(cc) < at {
+					cc++
+				}
+				upd(cc)
+			}
+		}
+	}
+
+	if next == math.MaxInt64 {
+		return now, false
+	}
+	if next < now {
+		next = now
+	}
+	return next, true
 }
 
 // doRetire commits up to Width completed instructions in order.
@@ -270,11 +471,13 @@ func (c *Core) doRetire() {
 			return
 		}
 		if c.opts.RetireGate != nil && !c.opts.RetireGate(e.seq, c.clk.TimeOfCycle(now)) {
+			c.extStalled = true
 			return // exception rendezvous in progress
 		}
 		in := c.tr.At(e.seq)
 		if in.Op == isa.OpStore {
 			if c.opts.StoreSink != nil && !c.opts.StoreSink.CanAccept() {
+				c.extStalled = true
 				return // synchronizing store queue is full
 			}
 			// Perform the store in the private hierarchy at commit.
@@ -343,51 +546,107 @@ func (c *Core) srcReady(p int64) (avail bool, readyAt int64) {
 	return true, pe.valueReady
 }
 
-// doIssue selects up to Width ready instructions from the issue queue,
-// oldest first, and schedules their completion.
+// blockerOf reports the first incomplete in-window dependence of e — a
+// source producer, or for loads the store being forwarded from — or noSeq
+// when every dependence is complete. An entry waits on one blocker at a
+// time and is re-evaluated when it completes.
+func (c *Core) blockerOf(e *entry) int64 {
+	if p := e.prod1; p != noSeq && p >= c.headSeq && !c.at(p).completed {
+		return p
+	}
+	if p := e.prod2; p != noSeq && p >= c.headSeq && !c.at(p).completed {
+		return p
+	}
+	if d := e.storeDep; d != noSeq && d >= c.headSeq && !c.at(d).completed {
+		return d
+	}
+	return noSeq
+}
+
+// readyAtOf reports the earliest cycle e can issue once every dependence is
+// complete: the latest source wake-up, the retired-producer hint, and for a
+// forwarded load the forwarding store's completion.
+func (c *Core) readyAtOf(e *entry) int64 {
+	_, at := c.srcReady(e.prod1)
+	if _, a2 := c.srcReady(e.prod2); a2 > at {
+		at = a2
+	}
+	if e.readyHint > at {
+		at = e.readyHint
+	}
+	if d := e.storeDep; d != noSeq && d >= c.headSeq {
+		if de := c.at(d); de.completeCycle > at {
+			at = de.completeCycle
+		}
+	}
+	return at
+}
+
+// enqueueForIssue places a dispatched entry into the issue wake lists:
+// waiting on its first incomplete producer, scheduled for a future ready
+// cycle, or immediately ready.
+func (c *Core) enqueueForIssue(seq int64) {
+	e := c.at(seq)
+	if !e.inIQ || e.completed {
+		return // resolved while waiting (an early-resolved branch)
+	}
+	if b := c.blockerOf(e); b != noSeq {
+		be := c.at(b)
+		e.depNext = be.depHead
+		be.depHead = seq
+		return
+	}
+	if at := c.readyAtOf(e); at > c.cycle {
+		c.wakeQ = pushWake(c.wakeQ, wakeEntry{at: at, seq: seq})
+	} else {
+		c.readyQ = pushSeq(c.readyQ, seq)
+	}
+}
+
+// wakeDependents re-evaluates every entry that was waiting on e, which has
+// just completed; each either parks on its next incomplete dependence or is
+// scheduled for issue.
+func (c *Core) wakeDependents(e *entry) {
+	for s := e.depHead; s != noSeq; {
+		de := c.at(s)
+		next := de.depNext
+		de.depNext = noSeq
+		c.enqueueForIssue(s)
+		s = next
+	}
+	e.depHead = noSeq
+}
+
+// doIssue selects up to Width ready instructions, oldest first, and
+// schedules their completion. Only woken entries are examined: entries
+// waiting on a producer are untouched until it completes, and entries with
+// a known future ready cycle sit in the wake heap until it is due.
 func (c *Core) doIssue() {
 	now := c.cycle
+	for len(c.wakeQ) > 0 && c.wakeQ[0].at <= now {
+		var w wakeEntry
+		c.wakeQ, w = popWake(c.wakeQ)
+		if e := c.at(w.seq); e.inIQ && !e.completed {
+			c.readyQ = pushSeq(c.readyQ, w.seq)
+		}
+	}
 	issued := 0
-	w := 0
-	for r := 0; r < len(c.iq); r++ {
-		seq := c.iq[r]
+	retry := c.retry[:0]
+	for len(c.readyQ) > 0 && issued < c.cfg.Width {
+		var seq int64
+		c.readyQ, seq = popSeq(c.readyQ)
 		e := c.at(seq)
-		if issued >= c.cfg.Width {
-			c.iq[w] = seq
-			w++
-			continue
-		}
-		ready, at1 := c.srcReady(e.prod1)
-		if ready {
-			var at2 int64
-			ready, at2 = c.srcReady(e.prod2)
-			if at2 > at1 {
-				at1 = at2
-			}
-		}
-		if ready && at1 < e.readyHint {
-			at1 = e.readyHint
-		}
-		if !ready || at1 > now {
-			c.iq[w] = seq
-			w++
-			continue
+		if !e.inIQ || e.completed {
+			continue // lazily-deleted entry
 		}
 		in := c.tr.At(seq)
 		execLat := in.Op.Latency()
 		if in.Op == isa.OpLoad {
-			if dep := e.storeDep; dep != noSeq {
-				// An older store to the same address forwards its data: from
-				// the LSQ while in-window (once its data is ready), or from
-				// the write buffer after it retires.
-				if dep >= c.headSeq {
-					de := c.at(dep)
-					if !de.completed || de.completeCycle > now {
-						c.iq[w] = seq
-						w++
-						continue
-					}
-				}
+			if e.storeDep != noSeq {
+				// An older store to the same address forwards its data:
+				// from the LSQ while in-window (its data is ready — the
+				// wake lists admitted us only after its completion cycle),
+				// or from the write buffer after it retires.
 				execLat = 1
 				c.stats.Forwarded++
 			} else {
@@ -396,8 +655,7 @@ func (c *Core) doIssue() {
 		}
 		if in.Op == isa.OpDiv {
 			if c.divFree > now {
-				c.iq[w] = seq
-				w++
+				retry = append(retry, seq)
 				continue
 			}
 			c.divFree = now + int64(c.cfg.SchedDepth) + int64(execLat)
@@ -409,9 +667,15 @@ func (c *Core) doIssue() {
 		// their own scheduler pipeline overlapping the producer's (wake-up
 		// 0 means back-to-back for single-cycle operations).
 		e.valueReady = now + int64(execLat) + int64(c.cfg.WakeupLatency)
+		e.inIQ = false
+		c.iqCount--
 		issued++
+		c.wakeDependents(e)
 	}
-	c.iq = c.iq[:w]
+	for _, seq := range retry {
+		c.readyQ = pushSeq(c.readyQ, seq)
+	}
+	c.retry = retry[:0]
 }
 
 // producerOf resolves the current producer of register r at dispatch time.
@@ -443,7 +707,7 @@ func (c *Core) doDispatch() {
 			return // LSQ full
 		}
 		needIQ := !e.injected && !e.completed // early-resolved branches skip the IQ too
-		if needIQ && len(c.iq) >= c.cfg.IQSize {
+		if needIQ && c.iqCount >= c.cfg.IQSize {
 			return // issue queue full
 		}
 
@@ -488,7 +752,9 @@ func (c *Core) doDispatch() {
 			if in.HasDst() {
 				c.lastWriter[in.Dst] = e.seq
 			}
-			c.iq = append(c.iq, e.seq)
+			c.iqCount++
+			e.inIQ = true
+			c.enqueueForIssue(e.seq)
 		}
 		c.dispSeq++
 	}
@@ -512,8 +778,11 @@ func (c *Core) doFetch() {
 			// from another core before this core resolved it. Resolve early;
 			// the core is now trailing and will consume results at fetch.
 			if !be.completed || be.completeCycle > now {
-				if !be.completed {
-					c.removeFromIQ(c.pendingBranch)
+				if !be.completed && be.inIQ {
+					// The branch leaves the issue queue without issuing;
+					// its wake-list entries are discarded lazily.
+					be.inIQ = false
+					c.iqCount--
 				}
 				be.completed = true
 				be.completeCycle = now
@@ -542,6 +811,8 @@ func (c *Core) doFetch() {
 			prod1:         noSeq,
 			prod2:         noSeq,
 			storeDep:      noSeq,
+			depHead:       noSeq,
+			depNext:       noSeq,
 		}
 		if c.opts.Feed != nil && c.opts.Feed.ResultAvailable(c.tailSeq, t) {
 			e.injected = true
@@ -593,11 +864,82 @@ func (c *Core) doFetch() {
 	}
 }
 
-func (c *Core) removeFromIQ(seq int64) {
-	for i, s := range c.iq {
-		if s == seq {
-			c.iq = append(c.iq[:i], c.iq[i+1:]...)
-			return
+// pushSeq and popSeq maintain a binary min-heap of sequence numbers: the
+// ready queue, ordered so issue selection is oldest-first.
+func pushSeq(h []int64, v int64) []int64 {
+	h = append(h, v)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
 		}
+		h[p], h[i] = h[i], h[p]
+		i = p
 	}
+	return h
+}
+
+func popSeq(h []int64) ([]int64, int64) {
+	v := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return h, v
+}
+
+// pushWake and popWake maintain a binary min-heap of scheduled wake-ups,
+// ordered by due cycle (ties by age for determinism).
+func wakeLess(a, b wakeEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func pushWake(h []wakeEntry, v wakeEntry) []wakeEntry {
+	h = append(h, v)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !wakeLess(h[i], h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func popWake(h []wakeEntry) ([]wakeEntry, wakeEntry) {
+	v := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		m := l
+		if r := l + 1; r < len(h) && wakeLess(h[r], h[l]) {
+			m = r
+		}
+		if !wakeLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return h, v
 }

@@ -53,6 +53,11 @@ type RunOptions struct {
 	// MaxCycles aborts runs that exceed the bound (0 = no bound); a
 	// defensive limit for exploration over arbitrary configurations.
 	MaxCycles int64
+	// SingleStep forces naive cycle-by-cycle stepping instead of the
+	// event-driven fast-forward path. Both produce bit-identical results;
+	// single-stepping is the reference semantics, kept for debugging and
+	// the golden-equivalence tests.
+	SingleStep bool
 }
 
 // Run executes the trace to completion on a single core.
@@ -66,7 +71,11 @@ func Run(cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) (Result, error
 		return Result{}, err
 	}
 	for !core.Done() {
-		core.Step()
+		if opts.SingleStep {
+			core.Step()
+		} else {
+			core.Advance()
+		}
 		if opts.MaxCycles > 0 && core.Cycle() > opts.MaxCycles {
 			return Result{}, fmt.Errorf("sim: %s on %s exceeded %d cycles", tr.Name(), cfg.Name, opts.MaxCycles)
 		}
