@@ -45,6 +45,7 @@ import (
 	"archcontest/internal/explore"
 	"archcontest/internal/migrate"
 	"archcontest/internal/power"
+	"archcontest/internal/resultcache"
 	"archcontest/internal/sim"
 	"archcontest/internal/trace"
 	"archcontest/internal/workload"
@@ -79,6 +80,14 @@ type ExploreOptions = explore.Options
 
 // ExploreResult is the outcome of a design-space exploration.
 type ExploreResult = explore.Result
+
+// TemperOptions configures the parallel-tempering exploration mode.
+type TemperOptions = explore.TemperingOptions
+
+// ResultCache is the campaign engine's content-addressed persistent result
+// store; pass one in LabConfig.Cache or ExploreOptions.Cache to make
+// re-runs incremental.
+type ResultCache = resultcache.Cache
 
 // Lab caches the shared artifacts of an experiment campaign (traces, the
 // benchmark-by-core matrix, switching studies, best contesting pairs).
@@ -151,6 +160,18 @@ func ContestRun(cfgs []CoreConfig, tr *Trace, opts ContestOptions) (ContestResul
 // stand-in used to derive application-customized cores).
 func CustomizeCore(tr *Trace, opts ExploreOptions) (ExploreResult, error) {
 	return explore.Customize(tr, opts)
+}
+
+// TemperCore runs the parallel-tempering (replica-exchange) exploration:
+// M chains on a temperature ladder with periodic state exchange.
+func TemperCore(tr *Trace, opts TemperOptions) (ExploreResult, error) {
+	return explore.Temper(tr, opts)
+}
+
+// OpenResultCache opens (creating if needed) a persistent result cache
+// rooted at dir; an empty dir yields a memory-only cache.
+func OpenResultCache(dir string) (*ResultCache, error) {
+	return resultcache.Open(dir, resultcache.Options{})
 }
 
 // MigrateOptions configures the oracle-migration baseline (the sluggish

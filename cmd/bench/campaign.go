@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"archcontest/internal/experiments"
+	"archcontest/internal/resultcache"
+)
+
+// campaignLeg is one measured configuration of the figures campaign.
+type campaignLeg struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Simulations int64   `json:"simulations"`
+	Contests    int64   `json:"contests"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
+type campaignReport struct {
+	Generated       string      `json:"generated"`
+	Insts           int         `json:"insts"`
+	Experiments     []string    `json:"experiments"`
+	ColdSingle      campaignLeg `json:"cold_single"`
+	ColdParallel    campaignLeg `json:"cold_parallel"`
+	WarmParallel    campaignLeg `json:"warm_parallel"`
+	ParallelSpeedup float64     `json:"parallel_speedup"`
+	WarmSpeedup     float64     `json:"warm_speedup"`
+}
+
+// campaignLegRun executes the full figures experiment sweep once on a lab
+// with the given parallelism and cache, and reports what it measured.
+func campaignLegRun(name string, n, workers int, cache *resultcache.Cache) campaignLeg {
+	lab := experiments.NewLab(experiments.Config{N: n, Parallelism: workers, Cache: cache})
+	start := time.Now()
+	for _, id := range experiments.RegistryOrder {
+		if _, err := experiments.Registry[id](lab); err != nil {
+			log.Fatalf("campaign %s: %s: %v", name, id, err)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	st := lab.CampaignStats()
+	leg := campaignLeg{
+		Name:        name,
+		Workers:     workers,
+		WallSeconds: wall,
+		Simulations: st.Simulations,
+		Contests:    st.Contests,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+	}
+	fmt.Printf("%-14s %2d workers  %8.2fs  %4d sims %4d contests  %4d cache hits\n",
+		name, workers, wall, leg.Simulations, leg.Contests, leg.CacheHits)
+	return leg
+}
+
+// runCampaignBench measures the campaign engine on the figures sweep:
+// cold-cache single-worker, cold-cache all-workers (fresh cache), then a
+// warm-cache re-run against the second leg's cache directory.
+func runCampaignBench(n int, out string) {
+	if n <= 0 {
+		log.Fatalf("-campaign.n must be positive, got %d", n)
+	}
+	workers := runtime.NumCPU()
+
+	dirSingle, err := os.MkdirTemp("", "archcontest-campaign-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dirSingle)
+	dirParallel, err := os.MkdirTemp("", "archcontest-campaign-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dirParallel)
+	open := func(dir string) *resultcache.Cache {
+		c, err := resultcache.Open(dir, resultcache.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	rep := campaignReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Insts:       n,
+		Experiments: experiments.RegistryOrder,
+	}
+	rep.ColdSingle = campaignLegRun("cold/single", n, 1, open(dirSingle))
+	rep.ColdParallel = campaignLegRun("cold/parallel", n, workers, open(dirParallel))
+	rep.WarmParallel = campaignLegRun("warm/parallel", n, workers, open(dirParallel))
+	if rep.ColdParallel.WallSeconds > 0 {
+		rep.ParallelSpeedup = rep.ColdSingle.WallSeconds / rep.ColdParallel.WallSeconds
+	}
+	if rep.WarmParallel.WallSeconds > 0 {
+		rep.WarmSpeedup = rep.ColdParallel.WallSeconds / rep.WarmParallel.WallSeconds
+	}
+	fmt.Printf("%-14s cold parallel %.2fx over single, warm %.2fx over cold\n",
+		"speedups", rep.ParallelSpeedup, rep.WarmSpeedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}

@@ -2,7 +2,9 @@
 // simulated instructions per wall-second (MIPS) — for the event-driven
 // fast-forward path and the reference single-step path, and emits the
 // results as BENCH_engine.json so the perf trajectory is tracked across
-// PRs.
+// PRs. With -campaign it instead measures the campaign engine: the full
+// figures experiment sweep cold-cache with one worker, cold-cache with all
+// workers, and warm-cache, emitting BENCH_campaign.json.
 //
 // Usage:
 //
@@ -11,6 +13,8 @@
 //	bench -repeat 5            # best-of-5 timing
 //	bench -o out.json          # output path (default BENCH_engine.json)
 //	bench -fast-only           # skip the slow single-step reference
+//	bench -campaign            # campaign benchmark -> BENCH_campaign.json
+//	bench -campaign -campaign.n 100000
 package main
 
 import (
@@ -113,7 +117,14 @@ func main() {
 	repeat := flag.Int("repeat", 3, "runs per scenario (best time wins)")
 	out := flag.String("o", "BENCH_engine.json", "output JSON path")
 	fastOnly := flag.Bool("fast-only", false, "skip the single-step reference timings")
+	campaign := flag.Bool("campaign", false, "benchmark the campaign engine instead of the execution engine")
+	campaignN := flag.Int("campaign.n", 60_000, "campaign trace length in instructions")
+	campaignOut := flag.String("campaign.o", "BENCH_campaign.json", "campaign output JSON path")
 	flag.Parse()
+	if *campaign {
+		runCampaignBench(*campaignN, *campaignOut)
+		return
+	}
 	if *n <= 0 {
 		log.Fatalf("-n must be positive, got %d", *n)
 	}

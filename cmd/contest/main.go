@@ -1,5 +1,8 @@
 // Command contest runs one contesting experiment: a benchmark trace
-// executed on N named palette cores in a leader-follower arrangement.
+// executed on N named palette cores in a leader-follower arrangement. It
+// runs through the campaign engine, so the stand-alone reference runs and
+// the contested run are cached and a repeated invocation simulates
+// nothing.
 package main
 
 import (
@@ -9,10 +12,11 @@ import (
 	"strings"
 
 	"archcontest/internal/cache"
+	"archcontest/internal/cmdutil"
 	"archcontest/internal/config"
 	"archcontest/internal/contest"
+	"archcontest/internal/experiments"
 	"archcontest/internal/sim"
-	"archcontest/internal/workload"
 )
 
 func main() {
@@ -22,33 +26,39 @@ func main() {
 	cores := flag.String("cores", "", "comma-separated palette core names (default: best pair search input required)")
 	n := flag.Int("n", 500000, "trace length in instructions")
 	latency := flag.Float64("latency", 1.0, "core-to-core latency in ns")
+	openCache := cmdutil.CacheFlags()
 	flag.Parse()
 
-	tr := workload.MustGenerate(*bench, *n)
-	var cfgs []config.CoreConfig
+	var names []string
 	for _, name := range strings.Split(*cores, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+		if name = strings.TrimSpace(name); name != "" {
+			if _, err := config.PaletteCore(name); err != nil {
+				log.Fatal(err)
+			}
+			names = append(names, name)
 		}
-		c, err := config.PaletteCore(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfgs = append(cfgs, c)
 	}
-	if len(cfgs) < 2 {
+	if len(names) < 2 {
 		log.Fatal("need -cores with at least two palette names, e.g. -cores bzip,crafty")
 	}
 
-	for _, c := range cfgs {
-		r := sim.MustRun(c, tr, sim.RunOptions{WritePolicy: cache.WriteThrough})
-		fmt.Printf("%-22s alone: IPT %.3f\n", c.Name, r.IPT())
+	resCache := openCache()
+	lab := experiments.NewLab(experiments.Config{N: *n, LatencyNs: *latency, Cache: resCache})
+
+	for _, name := range names {
+		r, err := lab.RunOn(*bench, config.MustPaletteCore(name), sim.RunOptions{WritePolicy: cache.WriteThrough})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s alone: IPT %.3f\n", name, r.IPT())
 	}
-	own := sim.MustRun(config.MustPaletteCore(*bench), tr, sim.RunOptions{})
+	own, err := lab.RunOn(*bench, config.MustPaletteCore(*bench), sim.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-22s own customized core (write-back): IPT %.3f\n", *bench, own.IPT())
 
-	res, err := contest.Run(cfgs, tr, contest.Options{LatencyNs: *latency})
+	res, err := lab.Contest(*bench, names, contest.Options{LatencyNs: *latency})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,4 +67,5 @@ func main() {
 	fmt.Printf("winner=%s leadChanges=%d saturated=%v injected=%v\n",
 		res.Cores[res.Winner], res.LeadChanges, res.Saturated,
 		[]int64{res.PerCore[0].Injected, res.PerCore[1].Injected})
+	cmdutil.PrintCacheStats(resCache)
 }

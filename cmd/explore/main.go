@@ -1,5 +1,9 @@
-// Command explore runs the simulated-annealing design-space exploration
-// (the XpScalar stand-in) to customize a core for a benchmark.
+// Command explore runs the design-space exploration (the XpScalar
+// stand-in) to customize a core for a benchmark: simulated annealing with
+// speculative parallel evaluation by default, or parallel tempering
+// (replica exchange) with -mode temper. Design-point evaluations are
+// memoized in the persistent result cache, so repeated explorations of the
+// same trace re-simulate only new points.
 package main
 
 import (
@@ -8,6 +12,7 @@ import (
 	"log"
 
 	"archcontest"
+	"archcontest/internal/cmdutil"
 )
 
 func main() {
@@ -15,30 +20,60 @@ func main() {
 	log.SetPrefix("explore: ")
 	bench := flag.String("bench", "gcc", "benchmark to customize for")
 	n := flag.Int("n", 100_000, "objective trace length in instructions")
-	steps := flag.Int("steps", 120, "annealing steps")
-	seed := flag.Uint64("seed", 1, "annealing seed")
+	steps := flag.Int("steps", 120, "annealing steps (tempering: rounds per chain)")
+	seed := flag.Uint64("seed", 1, "exploration seed")
+	mode := flag.String("mode", "anneal", "anneal (speculative annealing) or temper (parallel tempering)")
+	lookahead := flag.Int("K", 8, "speculative lookahead window (annealing; 1 = sequential)")
+	chains := flag.Int("chains", 4, "tempering chains")
+	exchange := flag.Int("exchange", 10, "tempering rounds between replica exchanges")
+	par := flag.Int("par", 0, "max concurrent evaluations (0 = NumCPU)")
 	verbose := flag.Bool("v", false, "log accepted moves")
+	openCache := cmdutil.CacheFlags()
 	flag.Parse()
 
 	tr, err := archcontest.GenerateTrace(*bench, *n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := archcontest.ExploreOptions{Seed: *seed, Steps: *steps}
-	if *verbose {
-		opts.Progress = func(step int, cfg archcontest.CoreConfig, ipt float64) {
-			fmt.Printf("step %3d: IPT %.3f  %v\n", step, ipt, cfg)
+	cache := openCache()
+
+	var res archcontest.ExploreResult
+	switch *mode {
+	case "anneal":
+		opts := archcontest.ExploreOptions{
+			Seed: *seed, Steps: *steps,
+			Lookahead: *lookahead, Parallelism: *par, Cache: cache,
 		}
+		if *verbose {
+			opts.Progress = func(step int, cfg archcontest.CoreConfig, ipt float64) {
+				fmt.Printf("step %3d: IPT %.3f  %v\n", step, ipt, cfg)
+			}
+		}
+		res, err = archcontest.CustomizeCore(tr, opts)
+	case "temper":
+		opts := archcontest.TemperOptions{
+			Seed: *seed, Steps: *steps,
+			Chains: *chains, ExchangeEvery: *exchange,
+			Parallelism: *par, Cache: cache,
+		}
+		if *verbose {
+			opts.Progress = func(chain, step int, cfg archcontest.CoreConfig, ipt float64) {
+				fmt.Printf("chain %d step %3d: IPT %.3f  %v\n", chain, step, ipt, cfg)
+			}
+		}
+		res, err = archcontest.TemperCore(tr, opts)
+	default:
+		log.Fatalf("unknown -mode %q (anneal or temper)", *mode)
 	}
-	res, err := archcontest.CustomizeCore(tr, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("evaluated %d design points\n", res.Evaluated)
+	fmt.Printf("evaluated %d design points (%d speculative evaluations discarded)\n", res.Evaluated, res.Wasted)
 	fmt.Printf("best IPT %.3f\n%v\n", res.BestIPT, res.Best)
 
 	// Compare against the paper's customized core for the benchmark.
 	ref := archcontest.MustPaletteCore(*bench)
 	refRun := archcontest.MustRun(ref, tr)
 	fmt.Printf("paper palette core %q on the same trace: IPT %.3f\n", ref.Name, refRun.IPT())
+	cmdutil.PrintCacheStats(cache)
 }

@@ -1,11 +1,19 @@
 // Command figures regenerates the tables and figures of the paper's
 // evaluation from the reproduction's simulators.
 //
+// The campaign is parallel and incremental: artifacts are computed once
+// per process however many experiments share them, leaf simulations run on
+// all cores, and with the persistent result cache enabled (the default) a
+// re-run only simulates what changed since the last one.
+//
 // Usage:
 //
 //	figures                      # every experiment at the default scale
 //	figures -experiment fig6     # one experiment
 //	figures -n 200000            # shorter traces (faster, noisier)
+//	figures -par 4               # bound concurrent simulations
+//	figures -cache.dir DIR       # result cache location (default .archcontest-cache)
+//	figures -cache.off           # recompute everything
 //	figures -list                # list experiment IDs
 package main
 
@@ -17,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"archcontest/internal/cmdutil"
 	"archcontest/internal/experiments"
 )
 
@@ -27,7 +36,9 @@ func main() {
 	experiment := flag.String("experiment", "", "experiment ID (empty = all); comma-separated IDs allowed")
 	latency := flag.Float64("latency", 1.0, "core-to-core latency in ns")
 	pairs := flag.Int("pairs", 3, "oracle-shortlisted candidate pairs per benchmark")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	openCache := cmdutil.CacheFlags()
 	flag.Parse()
 
 	if *list {
@@ -41,11 +52,15 @@ func main() {
 	if *experiment != "" {
 		ids = strings.Split(*experiment, ",")
 	}
+	cache := openCache()
 	lab := experiments.NewLab(experiments.Config{
 		N:              *n,
 		LatencyNs:      *latency,
 		CandidatePairs: *pairs,
+		Parallelism:    *par,
+		Cache:          cache,
 	})
+	campaignStart := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		exp, ok := experiments.Registry[id]
@@ -60,4 +75,8 @@ func main() {
 		tab.Fprint(os.Stdout)
 		fmt.Printf("(%s computed in %v at n=%d)\n\n", id, time.Since(start).Round(time.Millisecond), *n)
 	}
+	st := lab.CampaignStats()
+	fmt.Fprintf(os.Stderr, "campaign: %v wall, %d traces generated, %d simulations, %d contests executed\n",
+		time.Since(campaignStart).Round(time.Millisecond), st.TraceGens, st.Simulations, st.Contests)
+	cmdutil.PrintCacheStats(cache)
 }

@@ -1,71 +1,58 @@
 // Command matrix prints the benchmark x core IPT matrix (the reproduction's
-// Appendix A equivalent) for calibration and inspection.
+// Appendix A equivalent) for calibration and inspection. It runs on the
+// campaign engine: the 121 runs execute on all cores and persist in the
+// result cache, so a warm re-run simulates nothing.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
-	"sync"
+	"log"
 	"time"
 
-	"archcontest/internal/config"
-	"archcontest/internal/sim"
-	"archcontest/internal/workload"
+	"archcontest/internal/cmdutil"
+	"archcontest/internal/experiments"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("matrix: ")
 	n := flag.Int("n", 200000, "instructions per trace")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
+	openCache := cmdutil.CacheFlags()
 	flag.Parse()
-	benches := workload.Benchmarks()
-	cores := config.Palette()
-	ipt := make(map[string]map[string]float64)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
+
+	cache := openCache()
+	lab := experiments.NewLab(experiments.Config{N: *n, Parallelism: *par, Cache: cache})
 	start := time.Now()
-	for _, b := range benches {
-		tr := workload.MustGenerate(b, *n)
-		ipt[b] = map[string]float64{}
-		for _, c := range cores {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(b string, c config.CoreConfig) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				r, err := sim.Run(c, tr, sim.RunOptions{})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					return
-				}
-				mu.Lock()
-				ipt[b][c.Name] = r.IPT()
-				mu.Unlock()
-			}(b, c)
-		}
+	m, err := lab.Matrix()
+	if err != nil {
+		log.Fatal(err)
 	}
-	wg.Wait()
-	fmt.Printf("elapsed %v for %d runs of %d insts\n", time.Since(start), len(benches)*len(cores), *n)
+	st := lab.CampaignStats()
+	fmt.Printf("elapsed %v for %d runs of %d insts (%d simulated, %d from cache)\n",
+		time.Since(start).Round(time.Millisecond),
+		len(m.Benchmarks)*len(m.Cores), *n, st.Simulations, st.CacheHits)
 	fmt.Printf("%-8s", "")
-	for _, c := range cores {
-		fmt.Printf("%8s", c.Name)
+	for _, c := range m.Cores {
+		fmt.Printf("%8s", c)
 	}
 	fmt.Println("   best")
-	for _, b := range benches {
-		fmt.Printf("%-8s", b)
+	for b, bench := range m.Benchmarks {
+		fmt.Printf("%-8s", bench)
 		best, bestV := "", 0.0
-		for _, c := range cores {
-			v := ipt[b][c.Name]
+		for c := range m.Cores {
+			v := m.IPT[b][c]
 			fmt.Printf("%8.2f", v)
 			if v > bestV {
-				bestV, best = v, c.Name
+				bestV, best = v, m.Cores[c]
 			}
 		}
 		mark := ""
-		if best == b {
+		if best == bench {
 			mark = " *"
 		}
 		fmt.Printf("   %s%s\n", best, mark)
 	}
+	cmdutil.PrintCacheStats(cache)
 }

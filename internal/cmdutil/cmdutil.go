@@ -1,0 +1,47 @@
+// Package cmdutil holds the few flag conventions shared by every cmd/
+// driver, so `-cache.dir`/`-cache.off` behave identically across figures,
+// matrix, explore, contest, and bench.
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"archcontest/internal/resultcache"
+)
+
+// CacheFlags registers -cache.dir and -cache.off on the default FlagSet
+// and returns an opener to call after flag.Parse. The opener returns nil
+// (caching disabled) when -cache.off is set or the directory cannot be
+// created; a nil *resultcache.Cache is a valid always-miss cache, so
+// callers pass it through unconditionally.
+func CacheFlags() func() *resultcache.Cache {
+	dir := flag.String("cache.dir", resultcache.DefaultDir, "persistent result cache directory")
+	off := flag.Bool("cache.off", false, "disable the persistent result cache")
+	return func() *resultcache.Cache {
+		if *off {
+			return nil
+		}
+		c, err := resultcache.Open(*dir, resultcache.Options{})
+		if err != nil {
+			log.Printf("result cache disabled: %v", err)
+			return nil
+		}
+		return c
+	}
+}
+
+// PrintCacheStats reports a cache's traffic on stderr (no-op for nil).
+func PrintCacheStats(c *resultcache.Cache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "result cache %s: %d hits (%d mem), %d misses, %d stored, %d corrupt\n",
+		c.Dir(), st.Hits, st.MemHits, st.Misses, st.Stores, st.Corrupt)
+}

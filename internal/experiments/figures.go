@@ -180,17 +180,13 @@ func Figure7(l *Lab) (*Table, error) {
 		full := best.IPT()/own - 1
 		a := config.MustPaletteCore(best.Cores[0])
 		b := config.MustPaletteCore(best.Cores[1])
-		tr, err := l.Trace(bench)
-		if err != nil {
-			return nil, err
-		}
 		trials := [][2]config.CoreConfig{
 			{a, a.WithL2(b)},
 			{b, b.WithL2(a)},
 		}
 		l2Best := 0.0
 		for _, pair := range trials {
-			r, err := contest.Run(pair[:], tr, contest.Options{LatencyNs: l.cfg.LatencyNs})
+			r, err := l.ContestConfigs(bench, pair[:], contest.Options{})
 			if err != nil {
 				return nil, err
 			}

@@ -1,9 +1,14 @@
 // Package experiments drives the reproduction of every table and figure in
-// the paper's evaluation. A Lab caches the expensive shared artifacts — the
-// synthetic traces, the 11x11 benchmark-by-core single-core runs with
-// 20-instruction region logs, and the per-benchmark switching studies — and
-// each experiment derives its rows from them plus whatever contested runs
-// it needs.
+// the paper's evaluation. A Lab is the campaign engine: every expensive
+// artifact — a synthetic trace, one benchmark-on-core single run, the 11x11
+// IPT matrix, a per-benchmark switching study, a contested run, a best-pair
+// search — is a task keyed by its inputs. Tasks are deduplicated across
+// concurrent callers by a keyed, memoizing singleflight (two goroutines
+// asking for the same artifact compute it once and share the result), their
+// leaf simulations execute on a bounded pool that saturates the configured
+// parallelism across benchmarks rather than within one call, and leaf
+// results are persisted in an optional content-addressed result cache so a
+// re-run only simulates what changed.
 package experiments
 
 import (
@@ -11,10 +16,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"archcontest/internal/config"
 	"archcontest/internal/contest"
 	"archcontest/internal/merit"
+	"archcontest/internal/resultcache"
 	"archcontest/internal/sim"
 	"archcontest/internal/switching"
 	"archcontest/internal/trace"
@@ -33,8 +40,17 @@ type Config struct {
 	// benchmark when searching for its best contesting pair (default 3; the
 	// pair containing the benchmark's own core is always added).
 	CandidatePairs int
-	// Parallelism bounds concurrent simulations (default NumCPU).
+	// Parallelism bounds concurrently executing simulations (default
+	// NumCPU). The bound is global to the Lab: no matter how many
+	// artifacts are requested concurrently, at most Parallelism
+	// simulations run at once.
 	Parallelism int
+	// Cache, if non-nil, persists leaf results (single runs and contests)
+	// across processes. Derived artifacts (matrix, studies, best pairs)
+	// are cheap arithmetic over the leaves and are recomputed, which keeps
+	// cache invalidation exact: a leaf key hashes the engine version, the
+	// trace fingerprint, the core configuration, and the run options.
+	Cache *resultcache.Cache
 }
 
 func (c *Config) applyDefaults() {
@@ -52,18 +68,26 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// CampaignStats counts the work a Lab actually performed, as opposed to
+// the artifacts it served from memoization or the result cache.
+type CampaignStats struct {
+	// TraceGens, Simulations and Contests count executed leaf computations.
+	TraceGens, Simulations, Contests int64
+	// CacheHits and CacheMisses count result-cache lookups for leaf work
+	// (zero when no cache is configured).
+	CacheHits, CacheMisses int64
+}
+
 // Lab holds the cached shared state of an experiment campaign.
 type Lab struct {
 	cfg     Config
 	benches []string
 	cores   []config.CoreConfig
 
-	mu       sync.Mutex
-	traces   map[string]*trace.Trace
-	runs     map[string][]sim.Result // bench -> per-core single runs (region-logged)
-	matrix   *merit.Matrix
-	studies  map[string]*switching.Study
-	bestPair map[string]contest.Result
+	flight flightGroup
+	sem    chan struct{} // bounds concurrently executing leaf computations
+
+	traceGens, sims, contests, cacheHits, cacheMisses atomic.Int64
 }
 
 // NewLab builds a lab over the full benchmark registry and Appendix A
@@ -71,13 +95,10 @@ type Lab struct {
 func NewLab(cfg Config) *Lab {
 	cfg.applyDefaults()
 	return &Lab{
-		cfg:      cfg,
-		benches:  workload.Benchmarks(),
-		cores:    config.Palette(),
-		traces:   make(map[string]*trace.Trace),
-		runs:     make(map[string][]sim.Result),
-		studies:  make(map[string]*switching.Study),
-		bestPair: make(map[string]contest.Result),
+		cfg:     cfg,
+		benches: workload.Benchmarks(),
+		cores:   config.Palette(),
+		sem:     make(chan struct{}, cfg.Parallelism),
 	}
 }
 
@@ -90,43 +111,96 @@ func (l *Lab) Cores() []config.CoreConfig { return l.cores }
 // N reports the configured trace length.
 func (l *Lab) N() int { return l.cfg.N }
 
-// Trace returns (generating and caching) the benchmark's trace.
-func (l *Lab) Trace(bench string) (*trace.Trace, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if tr, ok := l.traces[bench]; ok {
-		return tr, nil
+// CampaignStats reports the executed-work counters so far.
+func (l *Lab) CampaignStats() CampaignStats {
+	return CampaignStats{
+		TraceGens:   l.traceGens.Load(),
+		Simulations: l.sims.Load(),
+		Contests:    l.contests.Load(),
+		CacheHits:   l.cacheHits.Load(),
+		CacheMisses: l.cacheMisses.Load(),
 	}
-	p, err := workload.ProfileFor(bench)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := workload.Generate(p, l.cfg.N)
-	if err != nil {
-		return nil, err
-	}
-	l.traces[bench] = tr
-	return tr, nil
 }
 
-// parallel runs fn(i) for i in [0, n) on up to Parallelism goroutines and
-// returns the first error.
+// flightGroup is a keyed, memoizing singleflight: the first caller of a key
+// runs the function; concurrent callers for the same key wait and share the
+// result; later callers get the memoized value without recomputation. A
+// failed call is forgotten so the artifact can be retried.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	if c.err != nil {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, c.err
+}
+
+// exec runs one leaf computation under the global parallelism bound. The
+// caller's goroutine blocks until a slot frees and executes fn itself, so
+// the Lab never owns idle worker goroutines. Leaf computations are pure
+// (they never wait on other Lab tasks), so slot holders cannot deadlock.
+func (l *Lab) exec(fn func()) {
+	l.sem <- struct{}{}
+	defer func() { <-l.sem }()
+	fn()
+}
+
+// parallel runs fn(i) for i in [0, n) on a worker pool of at most
+// Parallelism goroutines total (not one goroutine per item) and returns
+// the error of the lowest-indexed failing item, deterministically.
 func (l *Lab) parallel(n int, fn func(i int) error) error {
-	sem := make(chan struct{}, l.cfg.Parallelism)
-	errs := make(chan error, n)
+	if n <= 0 {
+		return nil
+	}
+	workers := l.cfg.Parallelism
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs <- fn(i)
-		}(i)
+			for {
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				errs[i] = fn(int(i))
+			}
+		}()
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
@@ -134,112 +208,158 @@ func (l *Lab) parallel(n int, fn func(i int) error) error {
 	return nil
 }
 
-// Runs returns (computing and caching) the benchmark's single-core runs on
-// every palette core, region-logged, in palette order. Single-core runs use
-// the write-back policy (stand-alone, non-contesting mode).
-func (l *Lab) Runs(bench string) ([]sim.Result, error) {
-	l.mu.Lock()
-	if rs, ok := l.runs[bench]; ok {
-		l.mu.Unlock()
-		return rs, nil
-	}
-	l.mu.Unlock()
-	tr, err := l.Trace(bench)
-	if err != nil {
-		return nil, err
-	}
-	rs := make([]sim.Result, len(l.cores))
-	err = l.parallel(len(l.cores), func(i int) error {
-		r, err := sim.Run(l.cores[i], tr, sim.RunOptions{LogRegions: true})
+// Trace returns (generating and caching) the benchmark's trace.
+func (l *Lab) Trace(bench string) (*trace.Trace, error) {
+	v, err := l.flight.do("trace/"+bench, func() (any, error) {
+		p, err := workload.ProfileFor(bench)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rs[i] = r
-		return nil
+		var tr *trace.Trace
+		l.exec(func() {
+			l.traceGens.Add(1)
+			tr, err = workload.Generate(p, l.cfg.N)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tr, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	l.runs[bench] = rs
-	l.mu.Unlock()
-	return rs, nil
+	return v.(*trace.Trace), nil
 }
 
-// Matrix returns (computing and caching) the benchmark x core IPT matrix
-// from stand-alone runs.
-func (l *Lab) Matrix() (*merit.Matrix, error) {
-	l.mu.Lock()
-	if l.matrix != nil {
-		m := l.matrix
-		l.mu.Unlock()
-		return m, nil
-	}
-	l.mu.Unlock()
+// runKey derives the content address of one single-core leaf run.
+func runKey(tr *trace.Trace, cfg config.CoreConfig, opts sim.RunOptions) string {
+	return resultcache.Key("run", sim.EngineVersion, tr.Fingerprint(), tr.Name(), tr.Len(), cfg, opts)
+}
 
-	names := make([]string, len(l.cores))
-	for i, c := range l.cores {
-		names[i] = c.Name
+// RunOn returns (computing, deduplicating, and caching) one benchmark's
+// stand-alone run on one palette-or-custom core configuration.
+func (l *Lab) RunOn(bench string, cfg config.CoreConfig, opts sim.RunOptions) (sim.Result, error) {
+	tr, err := l.Trace(bench)
+	if err != nil {
+		return sim.Result{}, err
 	}
-	m := merit.NewMatrix(l.benches, names)
-	for b, bench := range l.benches {
-		rs, err := l.Runs(bench)
+	key := runKey(tr, cfg, opts)
+	v, err := l.flight.do("run/"+key, func() (any, error) {
+		if l.cfg.Cache != nil {
+			var cached sim.Result
+			if l.cfg.Cache.Get(key, &cached) {
+				l.cacheHits.Add(1)
+				return cached, nil
+			}
+			l.cacheMisses.Add(1)
+		}
+		var r sim.Result
+		var rerr error
+		l.exec(func() {
+			l.sims.Add(1)
+			r, rerr = sim.Run(cfg, tr, opts)
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		l.cfg.Cache.Put(key, r)
+		return r, nil
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return v.(sim.Result), nil
+}
+
+// Runs returns (computing and caching) the benchmark's single-core runs on
+// every palette core, region-logged, in palette order. Single-core runs use
+// the write-back policy (stand-alone, non-contesting mode).
+func (l *Lab) Runs(bench string) ([]sim.Result, error) {
+	v, err := l.flight.do("runs/"+bench, func() (any, error) {
+		rs := make([]sim.Result, len(l.cores))
+		err := l.parallel(len(l.cores), func(i int) error {
+			r, err := l.RunOn(bench, l.cores[i], sim.RunOptions{LogRegions: true})
+			if err != nil {
+				return err
+			}
+			rs[i] = r
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		for c, r := range rs {
-			m.IPT[b][c] = r.IPT()
-		}
-	}
-	if err := m.Validate(); err != nil {
+		return rs, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	l.matrix = m
-	l.mu.Unlock()
-	return m, nil
+	return v.([]sim.Result), nil
+}
+
+// Matrix returns (computing and caching) the benchmark x core IPT matrix
+// from stand-alone runs. All benchmarks' runs are requested concurrently,
+// so a single Matrix call saturates the Lab's parallelism across the whole
+// 11x11 campaign instead of one benchmark at a time.
+func (l *Lab) Matrix() (*merit.Matrix, error) {
+	v, err := l.flight.do("matrix", func() (any, error) {
+		names := make([]string, len(l.cores))
+		for i, c := range l.cores {
+			names[i] = c.Name
+		}
+		m := merit.NewMatrix(l.benches, names)
+		err := l.parallel(len(l.benches), func(b int) error {
+			rs, err := l.Runs(l.benches[b])
+			if err != nil {
+				return err
+			}
+			for c, r := range rs {
+				m.IPT[b][c] = r.IPT()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*merit.Matrix), nil
 }
 
 // Study returns (computing and caching) the benchmark's switching study.
 func (l *Lab) Study(bench string) (*switching.Study, error) {
-	l.mu.Lock()
-	if s, ok := l.studies[bench]; ok {
-		l.mu.Unlock()
-		return s, nil
-	}
-	l.mu.Unlock()
-	rs, err := l.Runs(bench)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, len(l.cores))
-	baseline := -1
-	for i, c := range l.cores {
-		names[i] = c.Name
-		if c.Name == bench {
-			baseline = i
+	v, err := l.flight.do("study/"+bench, func() (any, error) {
+		rs, err := l.Runs(bench)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if baseline < 0 {
-		return nil, fmt.Errorf("experiments: no customized core for %s", bench)
-	}
-	s, err := switching.NewStudy(names, rs, baseline)
+		names := make([]string, len(l.cores))
+		baseline := -1
+		for i, c := range l.cores {
+			names[i] = c.Name
+			if c.Name == bench {
+				baseline = i
+			}
+		}
+		if baseline < 0 {
+			return nil, fmt.Errorf("experiments: no customized core for %s", bench)
+		}
+		return switching.NewStudy(names, rs, baseline)
+	})
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	l.studies[bench] = s
-	l.mu.Unlock()
-	return s, nil
+	return v.(*switching.Study), nil
 }
 
-// Contest runs a contested execution of the benchmark on the named palette
-// cores at the lab's latency.
+// Contest runs (deduplicating and caching) a contested execution of the
+// benchmark on the named palette cores at the lab's latency.
 func (l *Lab) Contest(bench string, coreNames []string, opts contest.Options) (contest.Result, error) {
-	tr, err := l.Trace(bench)
-	if err != nil {
-		return contest.Result{}, err
-	}
 	cfgs := make([]config.CoreConfig, len(coreNames))
 	for i, n := range coreNames {
 		c, err := config.PaletteCore(n)
@@ -248,71 +368,102 @@ func (l *Lab) Contest(bench string, coreNames []string, opts contest.Options) (c
 		}
 		cfgs[i] = c
 	}
+	return l.ContestConfigs(bench, cfgs, opts)
+}
+
+// ContestConfigs is Contest over explicit core configurations (hybrids,
+// custom cores) rather than palette names.
+func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contest.Options) (contest.Result, error) {
+	tr, err := l.Trace(bench)
+	if err != nil {
+		return contest.Result{}, err
+	}
 	if opts.LatencyNs == 0 {
 		opts.LatencyNs = l.cfg.LatencyNs
 	}
-	return contest.Run(cfgs, tr, opts)
+	key := resultcache.Key("contest", sim.EngineVersion, tr.Fingerprint(), tr.Name(), tr.Len(), cfgs, opts)
+	v, err := l.flight.do("contest/"+key, func() (any, error) {
+		if l.cfg.Cache != nil {
+			var cached contest.Result
+			if l.cfg.Cache.Get(key, &cached) {
+				l.cacheHits.Add(1)
+				return cached, nil
+			}
+			l.cacheMisses.Add(1)
+		}
+		var r contest.Result
+		var rerr error
+		l.exec(func() {
+			l.contests.Add(1)
+			r, rerr = contest.Run(cfgs, tr, opts)
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		l.cfg.Cache.Put(key, r)
+		return r, nil
+	})
+	if err != nil {
+		return contest.Result{}, err
+	}
+	return v.(contest.Result), nil
 }
 
 // BestPair finds (and caches) the benchmark's best 2-way contesting pair:
 // the oracle switching analysis shortlists CandidatePairs fine-grain pairs
 // (plus the best pair containing the benchmark's own core), each shortlisted
-// pair is contested, and the highest-IPT contest wins.
+// pair is contested, and the highest-IPT contest wins. IPT ties break to
+// the earlier candidate (shortlist order), so the winner is deterministic.
 func (l *Lab) BestPair(bench string) (contest.Result, error) {
-	l.mu.Lock()
-	if r, ok := l.bestPair[bench]; ok {
-		l.mu.Unlock()
-		return r, nil
-	}
-	l.mu.Unlock()
-
-	study, err := l.Study(bench)
-	if err != nil {
-		return contest.Result{}, err
-	}
-	pairs := study.TopPairs(l.cfg.CandidatePairs)
-	// Always consider the best pair that includes the benchmark's own core.
-	own := -1
-	for i, c := range l.cores {
-		if c.Name == bench {
-			own = i
-		}
-	}
-	for _, pr := range study.TopPairs(len(l.cores) * len(l.cores)) {
-		if pr.A == own || pr.B == own {
-			pairs = append(pairs, pr)
-			break
-		}
-	}
-	seen := map[[2]int]bool{}
-	var candidates [][2]int
-	for _, pr := range pairs {
-		key := [2]int{pr.A, pr.B}
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		candidates = append(candidates, key)
-	}
-	results := make([]contest.Result, len(candidates))
-	err = l.parallel(len(candidates), func(i int) error {
-		pr := candidates[i]
-		r, err := l.Contest(bench, []string{l.cores[pr[0]].Name, l.cores[pr[1]].Name}, contest.Options{})
+	v, err := l.flight.do("bestpair/"+bench, func() (any, error) {
+		study, err := l.Study(bench)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		results[i] = r
-		return nil
+		pairs := study.TopPairs(l.cfg.CandidatePairs)
+		// Always consider the best pair that includes the benchmark's own core.
+		own := -1
+		for i, c := range l.cores {
+			if c.Name == bench {
+				own = i
+			}
+		}
+		for _, pr := range study.TopPairs(len(l.cores) * len(l.cores)) {
+			if pr.A == own || pr.B == own {
+				pairs = append(pairs, pr)
+				break
+			}
+		}
+		seen := map[[2]int]bool{}
+		var candidates [][2]int
+		for _, pr := range pairs {
+			key := [2]int{pr.A, pr.B}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, key)
+		}
+		results := make([]contest.Result, len(candidates))
+		err = l.parallel(len(candidates), func(i int) error {
+			pr := candidates[i]
+			r, err := l.Contest(bench, []string{l.cores[pr[0]].Name, l.cores[pr[1]].Name}, contest.Options{})
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(results, func(i, j int) bool { return results[i].IPT() > results[j].IPT() })
+		return results[0], nil
 	})
 	if err != nil {
 		return contest.Result{}, err
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].IPT() > results[j].IPT() })
-	best := results[0]
-	l.mu.Lock()
-	l.bestPair[bench] = best
-	l.mu.Unlock()
-	return best, nil
+	return v.(contest.Result), nil
 }
 
 // OwnCoreIPT reports the benchmark's stand-alone IPT on its own customized

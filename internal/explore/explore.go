@@ -5,13 +5,30 @@
 // queue size, L1 and L2 cache geometry, and clock frequency — with the
 // dependent parameters (pipeline depths, wake-up latency, memory and cache
 // latencies) derived by the technology model in internal/config.
+//
+// The annealer is parallel without giving up determinism. Proposals and
+// acceptance tests consume two independent RNG streams split from the
+// seed, so the walk is defined purely by (seed, trace, schedule), and a
+// lookahead window of K candidate neighbors is drawn speculatively under
+// the assumption that the preceding candidates are rejected: the batch is
+// evaluated concurrently, the accept/reject decisions are applied in
+// sequence order, and on an acceptance the remaining speculative
+// candidates (whose proposals a sequential annealer would never have
+// drawn) are discarded and the proposal stream is rewound to the accepted
+// candidate's state. The accepted-move trajectory is therefore identical
+// for every K, including K=1 (pure sequential) — a property the tests
+// lock. A separate parallel-tempering mode runs M chains on a temperature
+// ladder with periodic replica exchange.
 package explore
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"archcontest/internal/config"
+	"archcontest/internal/resultcache"
 	"archcontest/internal/sim"
 	"archcontest/internal/trace"
 	"archcontest/internal/xrand"
@@ -42,6 +59,17 @@ type Options struct {
 	// StartTemp and EndTemp bound the geometric cooling schedule, in
 	// relative objective units (defaults 0.10 and 0.005).
 	StartTemp, EndTemp float64
+	// Lookahead is the speculative batch size K: how many candidate
+	// neighbors are drawn and evaluated concurrently per round (default 1,
+	// the sequential annealer). Any value produces the identical
+	// accepted-move trajectory for the same seed; larger values trade
+	// wasted speculative evaluations for wall-clock parallelism.
+	Lookahead int
+	// Parallelism bounds concurrent candidate evaluations (default NumCPU).
+	Parallelism int
+	// Cache, if non-nil, memoizes design-point evaluations across runs
+	// under the same content-addressed keys the campaign Lab uses.
+	Cache *resultcache.Cache
 	// Progress, if non-nil, observes every accepted move.
 	Progress func(step int, cfg config.CoreConfig, ipt float64)
 }
@@ -56,6 +84,12 @@ func (o *Options) applyDefaults() {
 	if o.EndTemp == 0 {
 		o.EndTemp = 0.005
 	}
+	if o.Lookahead <= 0 {
+		o.Lookahead = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
 }
 
 // Result is the outcome of an exploration.
@@ -64,8 +98,14 @@ type Result struct {
 	Best config.CoreConfig
 	// BestIPT is its measured IPT on the objective trace.
 	BestIPT float64
-	// Evaluated counts simulated design points.
+	// Evaluated counts the design points the walk consumed (the initial
+	// point plus one per processed step). It is identical for every
+	// Lookahead, like the rest of the Result.
 	Evaluated int
+	// Wasted counts speculative evaluations that were discarded because an
+	// earlier candidate in their batch was accepted. Always zero for
+	// Lookahead <= 1; the only Result field that varies with Lookahead.
+	Wasted int
 }
 
 // state is a point in the free-parameter space.
@@ -165,31 +205,101 @@ func neighbor(s state, r *xrand.RNG) state {
 	}
 }
 
+// evaluator measures design points, consulting the optional result cache
+// under the same key derivation the campaign Lab uses.
+type evaluator struct {
+	tr    *trace.Trace
+	name  string
+	ropts sim.RunOptions
+	cache *resultcache.Cache
+}
+
+func newEvaluator(tr *trace.Trace, cache *resultcache.Cache) *evaluator {
+	return &evaluator{
+		tr:    tr,
+		name:  "explore-" + tr.Name(),
+		ropts: sim.RunOptions{MaxCycles: int64(tr.Len()) * 200},
+		cache: cache,
+	}
+}
+
+func (e *evaluator) eval(s state) (config.CoreConfig, float64, error) {
+	cfg, err := config.Derive(s.params(e.name))
+	if err != nil {
+		return config.CoreConfig{}, 0, err
+	}
+	key := resultcache.Key("run", sim.EngineVersion, e.tr.Fingerprint(), e.tr.Name(), e.tr.Len(), cfg, e.ropts)
+	var res sim.Result
+	if !e.cache.Get(key, &res) {
+		res, err = sim.Run(cfg, e.tr, e.ropts)
+		if err != nil {
+			return config.CoreConfig{}, 0, err
+		}
+		e.cache.Put(key, res)
+	}
+	return cfg, res.IPT(), nil
+}
+
+// forEach runs fn(i) for i in [0, n) on at most par concurrent goroutines.
+func forEach(par, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
 // Customize anneals a core configuration that maximizes IPT on the trace.
+//
+// The walk consumes two RNG streams split from the seed: proposals
+// (neighbor draws) and acceptance tests. Per step, a candidate neighbor of
+// the current state is proposed; an improving candidate is always
+// accepted, a worsening one with the Metropolis probability at the current
+// temperature; the temperature cools geometrically each step; an
+// underivable or non-terminating candidate is rejected without consuming
+// an acceptance draw. With Lookahead K > 1 the next K proposals are drawn
+// speculatively (each assuming the prior ones are rejected) and evaluated
+// concurrently; decisions are still applied in sequence order, and an
+// acceptance discards the rest of the batch and rewinds the proposal
+// stream, so the trajectory is exactly the K=1 trajectory.
 func Customize(tr *trace.Trace, opts Options) (Result, error) {
 	if tr == nil || tr.Len() == 0 {
 		return Result{}, fmt.Errorf("explore: empty trace")
 	}
 	opts.applyDefaults()
-	r := xrand.New(opts.Seed)
-
-	evaluate := func(s state) (config.CoreConfig, float64, error) {
-		cfg, err := config.Derive(s.params("explore-" + tr.Name()))
-		if err != nil {
-			return config.CoreConfig{}, 0, err
-		}
-		res, err := sim.Run(cfg, tr, sim.RunOptions{MaxCycles: int64(tr.Len()) * 200})
-		if err != nil {
-			return config.CoreConfig{}, 0, err
-		}
-		return cfg, res.IPT(), nil
-	}
+	base := xrand.New(opts.Seed)
+	rProp := base.Split()
+	rAcc := base.Split()
+	ev := newEvaluator(tr, opts.Cache)
 
 	cur := defaultState()
 	if !cur.valid() {
 		return Result{}, fmt.Errorf("explore: invalid initial state")
 	}
-	curCfg, curIPT, err := evaluate(cur)
+	curCfg, curIPT, err := ev.eval(cur)
 	if err != nil {
 		return Result{}, err
 	}
@@ -197,25 +307,60 @@ func Customize(tr *trace.Trace, opts Options) (Result, error) {
 
 	cool := math.Pow(opts.EndTemp/opts.StartTemp, 1/math.Max(1, float64(opts.Steps-1)))
 	temp := opts.StartTemp
-	for step := 0; step < opts.Steps; step++ {
-		cand := neighbor(cur, r)
-		candCfg, candIPT, err := evaluate(cand)
-		if err != nil {
-			// An occasional underivable point is skipped, not fatal.
-			continue
+
+	type candidate struct {
+		st       state
+		rngAfter xrand.RNG // proposal-stream state after drawing st
+		cfg      config.CoreConfig
+		ipt      float64
+		err      error
+	}
+	for step := 0; step < opts.Steps; {
+		k := opts.Lookahead
+		if rem := opts.Steps - step; k > rem {
+			k = rem
 		}
-		res.Evaluated++
-		rel := (candIPT - curIPT) / curIPT
-		if rel >= 0 || r.Bool(math.Exp(rel/temp)) {
-			cur, curIPT = cand, candIPT
-			if opts.Progress != nil {
-				opts.Progress(step, candCfg, candIPT)
+		// Draw the window's proposals on a scratch copy of the proposal
+		// stream: candidate j is what a sequential annealer would propose
+		// at step+j if candidates 0..j-1 were all rejected.
+		cands := make([]candidate, k)
+		scratch := *rProp
+		for j := range cands {
+			cands[j].st = neighbor(cur, &scratch)
+			cands[j].rngAfter = scratch
+		}
+		forEach(opts.Parallelism, k, func(j int) {
+			c := &cands[j]
+			c.cfg, c.ipt, c.err = ev.eval(c.st)
+		})
+		// Consume in sequence order; stop the window at the first
+		// acceptance (later candidates were proposed from a state the walk
+		// no longer occupies).
+		consumed := 0
+		for j := 0; j < k; j++ {
+			c := &cands[j]
+			consumed++
+			accepted := false
+			if c.err == nil {
+				res.Evaluated++
+				rel := (c.ipt - curIPT) / curIPT
+				accepted = rel >= 0 || rAcc.Bool(math.Exp(rel/temp))
 			}
-			if candIPT > res.BestIPT {
-				res.Best, res.BestIPT = candCfg, candIPT
+			temp *= cool
+			step++
+			if accepted {
+				cur, curIPT = c.st, c.ipt
+				if opts.Progress != nil {
+					opts.Progress(step-1, c.cfg, c.ipt)
+				}
+				if c.ipt > res.BestIPT {
+					res.Best, res.BestIPT = c.cfg, c.ipt
+				}
+				break
 			}
 		}
-		temp *= cool
+		*rProp = cands[consumed-1].rngAfter
+		res.Wasted += k - consumed
 	}
 	res.Best.Name = "custom-" + tr.Name()
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"archcontest/internal/config"
+	"archcontest/internal/resultcache"
 	"archcontest/internal/workload"
 	"archcontest/internal/xrand"
 )
@@ -97,5 +98,136 @@ func TestProgressCallback(t *testing.T) {
 	}
 	if calls == 0 {
 		t.Error("progress callback never invoked (no accepted moves in 20 steps is implausible)")
+	}
+}
+
+// TestSpeculativeTrajectoryIdentical locks the tentpole determinism claim:
+// for the same seed, the accepted-move trajectory, best configuration, and
+// consumed-evaluation count are bit-identical for every lookahead K,
+// including the sequential K=1 walk.
+func TestSpeculativeTrajectoryIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing in short mode")
+	}
+	tr := workload.MustGenerate("twolf", 6000)
+	type move struct {
+		step int
+		cfg  string
+		ipt  float64
+	}
+	walk := func(k int) ([]move, Result) {
+		var moves []move
+		res, err := Customize(tr, Options{
+			Seed: 11, Steps: 24, Lookahead: k,
+			Progress: func(step int, cfg config.CoreConfig, ipt float64) {
+				moves = append(moves, move{step, cfg.String(), ipt})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return moves, res
+	}
+	refMoves, refRes := walk(1)
+	if refRes.Wasted != 0 {
+		t.Fatalf("sequential walk wasted %d evaluations", refRes.Wasted)
+	}
+	if len(refMoves) == 0 {
+		t.Fatal("no accepted moves in 24 steps (implausible)")
+	}
+	for _, k := range []int{4, 8} {
+		moves, res := walk(k)
+		if len(moves) != len(refMoves) {
+			t.Fatalf("K=%d accepted %d moves, K=1 accepted %d", k, len(moves), len(refMoves))
+		}
+		for i := range moves {
+			if moves[i] != refMoves[i] {
+				t.Fatalf("K=%d move %d = %+v, K=1 has %+v", k, i, moves[i], refMoves[i])
+			}
+		}
+		if res.Best.String() != refRes.Best.String() || res.BestIPT != refRes.BestIPT {
+			t.Errorf("K=%d best differs: %.6f vs %.6f", k, res.BestIPT, refRes.BestIPT)
+		}
+		if res.Evaluated != refRes.Evaluated {
+			t.Errorf("K=%d consumed %d evaluations, K=1 consumed %d", k, res.Evaluated, refRes.Evaluated)
+		}
+	}
+}
+
+// The speculative walk must also be independent of the worker count.
+func TestSpeculativeParallelismIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing in short mode")
+	}
+	tr := workload.MustGenerate("vpr", 6000)
+	a, err := Customize(tr, Options{Seed: 5, Steps: 16, Lookahead: 6, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Customize(tr, Options{Seed: 5, Steps: 16, Lookahead: 6, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestIPT != b.BestIPT || a.Best.String() != b.Best.String() || a.Evaluated != b.Evaluated {
+		t.Error("speculative annealing depends on parallelism level")
+	}
+}
+
+// A result cache must change nothing about the walk, only skip re-runs.
+func TestCustomizeWithCacheIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing in short mode")
+	}
+	tr := workload.MustGenerate("gap", 6000)
+	cache, err := resultcache.Open(t.TempDir(), resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Customize(tr, Options{Seed: 9, Steps: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Customize(tr, Options{Seed: 9, Steps: 12, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Customize(tr, Options{Seed: 9, Steps: 12, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BestIPT != cold.BestIPT || cold.BestIPT != warm.BestIPT {
+		t.Error("cache changed the annealing outcome")
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Errorf("warm run hit nothing: %+v", st)
+	}
+}
+
+func TestTemperDeterministicAndImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tempering in short mode")
+	}
+	tr := workload.MustGenerate("parser", 6000)
+	opts := TemperingOptions{Seed: 3, Chains: 3, Steps: 10, ExchangeEvery: 4}
+	a, err := Temper(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	b, err := Temper(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestIPT != b.BestIPT || a.Best.String() != b.Best.String() || a.Evaluated != b.Evaluated {
+		t.Error("tempering not deterministic across parallelism levels")
+	}
+	if a.BestIPT <= 0 || a.Evaluated < 10 {
+		t.Errorf("implausible tempering result: %+v", a)
+	}
+	if err := a.Best.Validate(); err != nil {
+		t.Errorf("best config invalid: %v", err)
+	}
+	if a.Best.Name != "custom-parser" {
+		t.Errorf("best config name %q", a.Best.Name)
 	}
 }

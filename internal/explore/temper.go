@@ -1,0 +1,163 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"archcontest/internal/config"
+	"archcontest/internal/resultcache"
+	"archcontest/internal/trace"
+	"archcontest/internal/xrand"
+)
+
+// TemperingOptions configures a parallel-tempering (replica-exchange)
+// exploration: M chains walk the design space concurrently at fixed
+// temperatures on a geometric ladder, and every ExchangeEvery rounds
+// adjacent chains probabilistically swap states, so cold chains exploit
+// while hot chains explore and good basins percolate down the ladder.
+type TemperingOptions struct {
+	// Seed drives every chain and the exchange decisions deterministically.
+	Seed uint64
+	// Chains is the ladder size M (default 4).
+	Chains int
+	// Steps is the number of rounds; each round evaluates one candidate
+	// per chain (default 200).
+	Steps int
+	// ExchangeEvery is the round interval between replica-exchange sweeps
+	// (default 10).
+	ExchangeEvery int
+	// ColdTemp and HotTemp bound the geometric temperature ladder, in the
+	// annealer's relative objective units (defaults 0.005 and 0.10; chain
+	// 0 is coldest).
+	ColdTemp, HotTemp float64
+	// Parallelism bounds concurrent candidate evaluations (default NumCPU).
+	Parallelism int
+	// Cache, if non-nil, memoizes design-point evaluations.
+	Cache *resultcache.Cache
+	// Progress, if non-nil, observes every accepted move on any chain.
+	Progress func(chain, step int, cfg config.CoreConfig, ipt float64)
+}
+
+func (o *TemperingOptions) applyDefaults() {
+	if o.Chains <= 0 {
+		o.Chains = 4
+	}
+	if o.Steps == 0 {
+		o.Steps = 200
+	}
+	if o.ExchangeEvery <= 0 {
+		o.ExchangeEvery = 10
+	}
+	if o.ColdTemp == 0 {
+		o.ColdTemp = 0.005
+	}
+	if o.HotTemp == 0 {
+		o.HotTemp = 0.10
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 0 // resolved by forEach callers below
+	}
+}
+
+// Temper runs the replica-exchange exploration. Rounds are barriers:
+// every chain's candidate is evaluated before any decision is applied, so
+// the outcome is a pure function of (seed, trace, options) regardless of
+// Parallelism. Result.Evaluated counts all chain evaluations; Wasted is
+// always zero (tempering discards nothing).
+func Temper(tr *trace.Trace, opts TemperingOptions) (Result, error) {
+	if tr == nil || tr.Len() == 0 {
+		return Result{}, fmt.Errorf("explore: empty trace")
+	}
+	opts.applyDefaults()
+	m := opts.Chains
+
+	base := xrand.New(opts.Seed)
+	rExch := base.Split()
+	props := make([]*xrand.RNG, m)
+	accs := make([]*xrand.RNG, m)
+	for i := 0; i < m; i++ {
+		props[i] = base.Split()
+		accs[i] = base.Split()
+	}
+
+	// Geometric ladder, chain 0 coldest.
+	temps := make([]float64, m)
+	for i := range temps {
+		if m == 1 {
+			temps[i] = opts.ColdTemp
+			continue
+		}
+		temps[i] = opts.ColdTemp * math.Pow(opts.HotTemp/opts.ColdTemp, float64(i)/float64(m-1))
+	}
+
+	ev := newEvaluator(tr, opts.Cache)
+	start := defaultState()
+	if !start.valid() {
+		return Result{}, fmt.Errorf("explore: invalid initial state")
+	}
+	startCfg, startIPT, err := ev.eval(start)
+	if err != nil {
+		return Result{}, err
+	}
+
+	curs := make([]state, m)
+	ipts := make([]float64, m)
+	for i := range curs {
+		curs[i], ipts[i] = start, startIPT
+	}
+	res := Result{Best: startCfg, BestIPT: startIPT, Evaluated: 1}
+	// scale normalizes objective differences in the exchange criterion so
+	// the ladder units match the annealer's relative-temperature units.
+	scale := startIPT
+
+	type candidate struct {
+		st  state
+		cfg config.CoreConfig
+		ipt float64
+		err error
+	}
+	par := opts.Parallelism
+	for round := 0; round < opts.Steps; round++ {
+		cands := make([]candidate, m)
+		for i := range cands {
+			cands[i].st = neighbor(curs[i], props[i])
+		}
+		forEach(par, m, func(i int) {
+			c := &cands[i]
+			c.cfg, c.ipt, c.err = ev.eval(c.st)
+		})
+		for i := 0; i < m; i++ {
+			c := &cands[i]
+			if c.err != nil {
+				continue
+			}
+			res.Evaluated++
+			rel := (c.ipt - ipts[i]) / ipts[i]
+			if rel >= 0 || accs[i].Bool(math.Exp(rel/temps[i])) {
+				curs[i], ipts[i] = c.st, c.ipt
+				if opts.Progress != nil {
+					opts.Progress(i, round, c.cfg, c.ipt)
+				}
+				if c.ipt > res.BestIPT {
+					res.Best, res.BestIPT = c.cfg, c.ipt
+				}
+			}
+		}
+		if (round+1)%opts.ExchangeEvery == 0 {
+			for i := 0; i+1 < m; i++ {
+				// Metropolis replica exchange: p = exp((βi−βj)(Ei−Ej))
+				// with E = −IPT/scale, β = 1/T. A cold chain stuck above
+				// a hot chain's objective swaps with certainty.
+				bi, bj := 1/temps[i], 1/temps[i+1]
+				ei, ej := -ipts[i]/scale, -ipts[i+1]/scale
+				p := math.Exp((bi - bj) * (ei - ej))
+				if p >= 1 || rExch.Bool(p) {
+					curs[i], curs[i+1] = curs[i+1], curs[i]
+					ipts[i], ipts[i+1] = ipts[i+1], ipts[i]
+				}
+			}
+		}
+	}
+	res.Best.Name = "custom-" + tr.Name()
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Vals  []int64
+	Score float64
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	a := Key("run", payload{Name: "gcc", Vals: []int64{1, 2}}, 7)
+	b := Key("run", payload{Name: "gcc", Vals: []int64{1, 2}}, 7)
+	if a != b {
+		t.Fatal("equal inputs hashed differently")
+	}
+	if len(a) != 64 {
+		t.Fatalf("key length %d", len(a))
+	}
+	for _, other := range []string{
+		Key("contest", payload{Name: "gcc", Vals: []int64{1, 2}}, 7),
+		Key("run", payload{Name: "mcf", Vals: []int64{1, 2}}, 7),
+		Key("run", payload{Name: "gcc", Vals: []int64{1, 2}}, 8),
+		Key("run", payload{Name: "gcc", Vals: []int64{1, 2, 3}}, 7),
+	} {
+		if other == a {
+			t.Fatal("distinct inputs collided")
+		}
+	}
+}
+
+func TestHitMissRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("run", "x")
+	var got payload
+	if c.Get(key, &got) {
+		t.Fatal("hit on empty cache")
+	}
+	want := payload{Name: "gcc", Vals: []int64{3, 1, 4}, Score: 2.71}
+	c.Put(key, want)
+	if !c.Get(key, &got) {
+		t.Fatal("miss after put")
+	}
+	if got.Name != want.Name || got.Score != want.Score || len(got.Vals) != 3 || got.Vals[2] != 4 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := Open(dir, Options{})
+	key := Key("run", "persist")
+	c1.Put(key, payload{Name: "persisted"})
+
+	c2, _ := Open(dir, Options{})
+	var got payload
+	if !c2.Get(key, &got) || got.Name != "persisted" {
+		t.Fatalf("entry did not survive reopen: %+v", got)
+	}
+	if st := c2.Stats(); st.MemHits != 0 {
+		t.Fatalf("fresh open should hit disk, not memory: %+v", st)
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	// Memory-only cache with two slots: the oldest entry must fall out.
+	c, _ := Open("", Options{MemEntries: 2})
+	keys := []string{Key("k", 0), Key("k", 1), Key("k", 2)}
+	for i, k := range keys {
+		c.Put(k, payload{Vals: []int64{int64(i)}})
+	}
+	var got payload
+	if c.Get(keys[0], &got) {
+		t.Fatal("evicted entry still present")
+	}
+	if !c.Get(keys[1], &got) || !c.Get(keys[2], &got) {
+		t.Fatal("recent entries evicted")
+	}
+	// Touch keys[1] so keys[2] becomes the LRU victim of the next insert.
+	c.Get(keys[1], &got)
+	c.Put(Key("k", 3), payload{})
+	if c.Get(keys[2], &got) {
+		t.Fatal("LRU order ignored: untouched entry survived")
+	}
+	if !c.Get(keys[1], &got) {
+		t.Fatal("recently touched entry evicted")
+	}
+}
+
+func TestCorruptEntryIsAMissAndIsDeleted(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir, Options{})
+	key := Key("run", "doomed")
+	c.Put(key, payload{Name: "fine"})
+
+	// Trash the on-disk bytes, then look it up through a fresh cache so the
+	// memory tier can't mask the damage.
+	p := filepath.Join(dir, key[:2], key+".gob")
+	if err := os.WriteFile(p, []byte("not gob at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Open(dir, Options{})
+	var got payload
+	if c2.Get(key, &got) {
+		t.Fatal("corrupt entry decoded")
+	}
+	st := c2.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not deleted")
+	}
+	// The slot is usable again.
+	c2.Put(key, payload{Name: "healed"})
+	var again payload
+	if !c2.Get(key, &again) || again.Name != "healed" {
+		t.Fatal("recompute after corruption not stored")
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	c.Put("k", payload{})
+	var got payload
+	if c.Get("k", &got) {
+		t.Fatal("nil cache hit")
+	}
+	if c.Stats() != (Stats{}) || c.Dir() != "" {
+		t.Fatal("nil cache stats/dir not zero")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := Open(t.TempDir(), Options{MemEntries: 8})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := Key("k", i%16)
+				c.Put(k, payload{Vals: []int64{int64(i)}})
+				var got payload
+				c.Get(k, &got)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	close(done)
+}

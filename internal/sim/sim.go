@@ -18,6 +18,15 @@ import (
 // is logged.
 const RegionSize = 20
 
+// EngineVersion names the observable semantics of the simulation engine
+// (pipeline, cache, branch, contest — everything a result depends on
+// besides the trace, configuration, and options). It is a component of
+// every resultcache key: bump it whenever an engine change alters any
+// result bit, so persisted campaign caches invalidate themselves instead
+// of serving stale numbers. Trace-content changes need no bump — the
+// trace fingerprint in the key covers them.
+const EngineVersion = "engine-v2"
+
 // Result summarizes one run.
 type Result struct {
 	// Benchmark and Core identify the run.

@@ -10,6 +10,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"archcontest/internal/isa"
 )
@@ -18,6 +19,9 @@ import (
 type Trace struct {
 	name  string
 	insts []isa.Inst
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // New wraps the given instructions as a trace. The slice is taken over by
@@ -77,6 +81,48 @@ func (t *Trace) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a 64-bit content hash over the trace's name, length,
+// and every field of every dynamic instruction (FNV-1a). Two traces with
+// the same fingerprint executed on the same configuration produce the same
+// result, which is what makes the fingerprint a sound result-cache key
+// component: it captures not just the (benchmark, N) request but the
+// actual generated stream, so a change to the workload generator
+// invalidates cached results automatically. The hash is computed once and
+// memoized (traces are immutable).
+func (t *Trace) Fingerprint() uint64 {
+	t.fpOnce.Do(func() {
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xff
+				h *= prime64
+				v >>= 8
+			}
+		}
+		for i := 0; i < len(t.name); i++ {
+			h ^= uint64(t.name[i])
+			h *= prime64
+		}
+		mix(uint64(len(t.insts)))
+		for i := range t.insts {
+			in := &t.insts[i]
+			mix(in.PC)
+			mix(in.Addr)
+			taken := uint64(0)
+			if in.Taken {
+				taken = 1
+			}
+			mix(uint64(in.Src1) | uint64(in.Src2)<<16 | uint64(in.Dst)<<32 | uint64(in.Op)<<48 | taken<<56)
+		}
+		t.fp = h
+	})
+	return t.fp
 }
 
 // Mix is the per-class instruction count of a trace.
