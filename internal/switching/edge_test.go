@@ -1,0 +1,206 @@
+package switching
+
+// Edge cases of the region arithmetic: odd trailing regions, coarsening
+// levels beyond log2 of the log, single-region studies, and degenerate
+// (zero-cost) switching where the oracle should change nothing.
+
+import (
+	"testing"
+
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+)
+
+func durs(vs ...int64) []ticks.Duration {
+	out := make([]ticks.Duration, len(vs))
+	for i, v := range vs {
+		out[i] = ticks.Duration(v)
+	}
+	return out
+}
+
+// boundaries builds a region boundary log (what sim.Result.Regions holds)
+// from per-region durations.
+func boundaries(d []ticks.Duration) []ticks.Time {
+	out := make([]ticks.Time, len(d))
+	var t ticks.Time
+	for i, dd := range d {
+		t = t.Add(dd)
+		out[i] = t
+	}
+	return out
+}
+
+func studyFrom(t *testing.T, baseline int, perCore ...[]ticks.Duration) *Study {
+	t.Helper()
+	names := make([]string, len(perCore))
+	runs := make([]sim.Result, len(perCore))
+	for i, d := range perCore {
+		names[i] = string(rune('a' + i))
+		regions := boundaries(d)
+		runs[i] = sim.Result{Regions: regions, Time: regions[len(regions)-1]}
+	}
+	s, err := NewStudy(names, runs, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCoarsenOddTrailingRegion(t *testing.T) {
+	got := Coarsen(durs(1, 2, 3, 4, 5))
+	want := durs(3, 7, 5) // trailing odd region kept as-is
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCoarsenDegenerate(t *testing.T) {
+	if got := Coarsen(nil); len(got) != 0 {
+		t.Fatalf("Coarsen(nil) = %v", got)
+	}
+	if got := Coarsen(durs(7)); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Coarsen of one region = %v", got)
+	}
+}
+
+func TestCoarsenPreservesTotal(t *testing.T) {
+	d := durs(5, 1, 4, 1, 5, 9, 2, 6, 5)
+	var want ticks.Duration
+	for _, v := range d {
+		want += v
+	}
+	for len(d) > 1 {
+		d = Coarsen(d)
+		var got ticks.Duration
+		for _, v := range d {
+			got += v
+		}
+		if got != want {
+			t.Fatalf("total drifted to %d (want %d) at %v", got, want, d)
+		}
+	}
+}
+
+func TestBestPairAtLevelBeyondLog2(t *testing.T) {
+	// Far past full coarsening every log is a single region; the best pair
+	// is then simply the two fastest totals, and nothing panics.
+	s := studyFrom(t, 0,
+		durs(4, 4, 4, 4), // total 16
+		durs(1, 9, 1, 9), // total 20
+		durs(9, 1, 9, 1), // total 20
+	)
+	fine, err := s.BestPairAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At fine grain, the complementary pair (b,c) wins: oracle time 4.
+	if fine.A != 1 || fine.B != 2 {
+		t.Fatalf("fine best pair (%d,%d)", fine.A, fine.B)
+	}
+	coarse, err := s.BestPairAt(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At whole-trace grain the oracle just picks one core per pair; every
+	// pair containing a (total 16) ties at 16 and the first wins.
+	if coarse.A != 0 || coarse.B != 1 {
+		t.Fatalf("coarse best pair (%d,%d)", coarse.A, coarse.B)
+	}
+	if coarse.Speedup != 0 {
+		t.Fatalf("coarse speedup %v, want 0 (baseline is the fastest total)", coarse.Speedup)
+	}
+}
+
+func TestZeroCostSwitchIdenticalLogs(t *testing.T) {
+	// Two identical configurations: switching can never help, at any
+	// granularity — the speedup is exactly zero.
+	d := durs(3, 1, 4, 1, 5)
+	s := studyFrom(t, 0, d, append([]ticks.Duration(nil), d...))
+	for level := 0; level < 5; level++ {
+		pr, err := s.BestPairAt(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Speedup != 0 {
+			t.Fatalf("level %d: speedup %v from identical logs", level, pr.Speedup)
+		}
+	}
+}
+
+func TestSweepReachesWholeTrace(t *testing.T) {
+	// 5 base regions coarsen 1+ceil(log2(5))=4 times: 5 -> 3 -> 2 -> 1.
+	s := studyFrom(t, 0, durs(1, 2, 3, 4, 5), durs(5, 4, 3, 2, 1))
+	pts, err := s.Sweep(sim.RegionSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d sweep points", len(pts))
+	}
+	for i, p := range pts {
+		if want := sim.RegionSize << i; p.Granularity != want {
+			t.Fatalf("point %d at granularity %d, want %d", i, p.Granularity, want)
+		}
+		if i > 0 && p.Best.Speedup > pts[i-1].Best.Speedup+1e-12 {
+			t.Fatalf("speedup rose with coarsening: %v then %v", pts[i-1].Best.Speedup, p.Best.Speedup)
+		}
+	}
+}
+
+func TestOracleTimeLengthMismatch(t *testing.T) {
+	if _, err := OracleTime(durs(1, 2), durs(1)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestNewStudyValidation(t *testing.T) {
+	good := boundaries(durs(1, 2))
+	cases := []struct {
+		name     string
+		names    []string
+		runs     []sim.Result
+		baseline int
+	}{
+		{"no runs", nil, nil, 0},
+		{"name/run mismatch", []string{"a"}, []sim.Result{{Regions: good}, {Regions: good}}, 0},
+		{"baseline out of range", []string{"a"}, []sim.Result{{Regions: good}}, 1},
+		{"negative baseline", []string{"a"}, []sim.Result{{Regions: good}}, -1},
+		{"missing region log", []string{"a", "b"}, []sim.Result{{Regions: good}, {}}, 0},
+		{"region count mismatch", []string{"a", "b"}, []sim.Result{{Regions: good}, {Regions: boundaries(durs(1))}}, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewStudy(c.names, c.runs, c.baseline); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestBestPairAtSingleConfiguration(t *testing.T) {
+	s := studyFrom(t, 0, durs(1, 2, 3))
+	if _, err := s.BestPairAt(0); err == nil {
+		t.Fatal("single-configuration study produced a pair")
+	}
+}
+
+func TestTopPairsBounds(t *testing.T) {
+	s := studyFrom(t, 0, durs(2, 2), durs(1, 3), durs(3, 1))
+	if got := s.TopPairs(100); len(got) != 3 {
+		t.Fatalf("k beyond pair count: %d pairs", len(got))
+	}
+	got := s.TopPairs(1)
+	if len(got) != 1 || got[0].A != 1 || got[0].B != 2 {
+		t.Fatalf("top pair %+v", got)
+	}
+	if got := s.TopPairs(0); len(got) != 0 {
+		t.Fatalf("k=0 returned pairs: %+v", got)
+	}
+	if got := s.TopPairs(-3); len(got) != 0 {
+		t.Fatalf("negative k returned pairs: %+v", got)
+	}
+}

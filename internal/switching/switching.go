@@ -199,6 +199,9 @@ func (s *Study) TopPairs(k int) []PairResult {
 	if k > len(all) {
 		k = len(all)
 	}
+	if k < 0 {
+		k = 0
+	}
 	out := make([]PairResult, 0, k)
 	for _, sc := range all[:k] {
 		out = append(out, sc.pr)
