@@ -13,6 +13,9 @@
 //	bench -repeat 5            # best-of-5 timing
 //	bench -o out.json          # output path (default BENCH_engine.json)
 //	bench -fast-only           # skip the slow single-step reference
+//	bench -verify=false        # skip the invariant-checker-attached timings
+//	bench -merge               # keep the best time per leg across repeated runs
+//	bench -baseline old.json   # report checker-off wall-time ratio vs old run(s)
 //	bench -campaign            # campaign benchmark -> BENCH_campaign.json
 //	bench -campaign -campaign.n 100000
 package main
@@ -24,6 +27,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"archcontest"
@@ -40,6 +44,12 @@ type scenarioResult struct {
 	EventDriven timing  `json:"event_driven"`
 	SingleStep  *timing `json:"single_step,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
+	// Verified times the same scenario with the oracle + invariant checker
+	// attached; VerifyOverhead is verified/event_driven wall time. The
+	// checker-off leg (event_driven) is the number comparable across PRs:
+	// with no checker attached the hooks are single nil checks.
+	Verified       *timing `json:"verified,omitempty"`
+	VerifyOverhead float64 `json:"verify_overhead,omitempty"`
 }
 
 type report struct {
@@ -48,11 +58,113 @@ type report struct {
 	Repeat         int              `json:"repeat"`
 	Scenarios      []scenarioResult `json:"scenarios"`
 	GeomeanSpeedup float64          `json:"geomean_speedup,omitempty"`
+	Baseline       *baselineCompare `json:"baseline,omitempty"`
+}
+
+// baselineCompare reports the checker-off (event-driven) wall-time ratio of
+// this run against a previous BENCH_engine.json, per scenario and as a
+// geomean — the regression gate for "attaching the verification hooks costs
+// nothing when no checker is attached".
+type baselineCompare struct {
+	Path              string             `json:"path"`
+	Generated         string             `json:"generated"`
+	EventRatios       map[string]float64 `json:"event_ratios"`
+	GeomeanEventRatio float64            `json:"geomean_event_ratio"`
+}
+
+// mergeReport folds a previous report's timings into the fresh one, keeping
+// the best (minimum) wall time per scenario leg. Interleaving several
+// `bench -merge` invocations with runs of a baseline binary is how to
+// compare two engine builds on a noisy machine: slow load drift between the
+// two programs' invocations swamps a sub-percent difference, while
+// alternating rounds sample the same drift for both sides.
+func mergeReport(fresh *report, prev report) {
+	byName := make(map[string]scenarioResult, len(prev.Scenarios))
+	for _, s := range prev.Scenarios {
+		byName[s.Name] = s
+	}
+	minLeg := func(cur *timing, old *timing) {
+		if old != nil && old.WallSeconds < cur.WallSeconds {
+			*cur = *old
+		}
+	}
+	logSpeedup, speedups := 0.0, 0
+	for i := range fresh.Scenarios {
+		s := &fresh.Scenarios[i]
+		old, ok := byName[s.Name]
+		if !ok || old.Insts != s.Insts {
+			continue
+		}
+		minLeg(&s.EventDriven, &old.EventDriven)
+		if s.SingleStep == nil {
+			s.SingleStep = old.SingleStep
+		} else {
+			minLeg(s.SingleStep, old.SingleStep)
+		}
+		if s.Verified == nil {
+			s.Verified = old.Verified
+		} else {
+			minLeg(s.Verified, old.Verified)
+		}
+		if s.SingleStep != nil {
+			s.Speedup = s.SingleStep.WallSeconds / s.EventDriven.WallSeconds
+			logSpeedup += math.Log(s.Speedup)
+			speedups++
+		}
+		if s.Verified != nil {
+			s.VerifyOverhead = s.Verified.WallSeconds / s.EventDriven.WallSeconds
+		}
+	}
+	if speedups > 0 {
+		fresh.GeomeanSpeedup = math.Exp(logSpeedup / float64(speedups))
+	}
+}
+
+// compareBaseline compares checker-off wall times against one or more
+// (comma-separated) previous BENCH_engine.json files, taking the best time
+// per scenario across all of them.
+func compareBaseline(path string, scenarios []scenarioResult) (*baselineCompare, error) {
+	cmp := &baselineCompare{Path: path, EventRatios: map[string]float64{}}
+	baseWall := map[string]float64{}
+	for _, p := range strings.Split(path, ",") {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var base report
+		if err := json.Unmarshal(data, &base); err != nil {
+			return nil, fmt.Errorf("%s: %v", p, err)
+		}
+		cmp.Generated = base.Generated
+		for _, s := range base.Scenarios {
+			w := s.EventDriven.WallSeconds
+			if prev, ok := baseWall[s.Name]; !ok || w < prev {
+				baseWall[s.Name] = w
+			}
+		}
+	}
+	logSum, count := 0.0, 0
+	for _, s := range scenarios {
+		w, ok := baseWall[s.Name]
+		if !ok || w <= 0 {
+			continue
+		}
+		r := s.EventDriven.WallSeconds / w
+		cmp.EventRatios[s.Name] = r
+		logSum += math.Log(r)
+		count++
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%s: no overlapping scenarios", path)
+	}
+	cmp.GeomeanEventRatio = math.Exp(logSum / float64(count))
+	return cmp, nil
 }
 
 type scenario struct {
-	name string
-	run  func(singleStep bool) error
+	name        string
+	run         func(singleStep bool) error
+	runVerified func() error
 }
 
 func singleScenario(bench, core string, n int) scenario {
@@ -69,6 +181,10 @@ func singleScenario(bench, core string, n int) scenario {
 				return fmt.Errorf("incomplete run: %d of %d", r.Insts, tr.Len())
 			}
 			return nil
+		},
+		runVerified: func() error {
+			_, err := archcontest.RunVerified(cfg, tr)
+			return err
 		},
 	}
 }
@@ -92,15 +208,19 @@ func contestScenario(bench string, cores []string, n int) scenario {
 			}
 			return nil
 		},
+		runVerified: func() error {
+			_, err := archcontest.ContestRunVerified(cfgs, tr, archcontest.ContestOptions{})
+			return err
+		},
 	}
 }
 
-// time measures the best wall-clock time of `repeat` runs.
-func timeScenario(s scenario, singleStep bool, repeat, n int) (timing, error) {
+// timeFn measures the best wall-clock time of `repeat` runs.
+func timeFn(run func() error, repeat, n int) (timing, error) {
 	best := math.MaxFloat64
 	for i := 0; i < repeat; i++ {
 		start := time.Now()
-		if err := s.run(singleStep); err != nil {
+		if err := run(); err != nil {
 			return timing{}, err
 		}
 		if sec := time.Since(start).Seconds(); sec < best {
@@ -110,6 +230,10 @@ func timeScenario(s scenario, singleStep bool, repeat, n int) (timing, error) {
 	return timing{WallSeconds: best, MIPS: float64(n) / best / 1e6}, nil
 }
 
+func timeScenario(s scenario, singleStep bool, repeat, n int) (timing, error) {
+	return timeFn(func() error { return s.run(singleStep) }, repeat, n)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
@@ -117,6 +241,9 @@ func main() {
 	repeat := flag.Int("repeat", 3, "runs per scenario (best time wins)")
 	out := flag.String("o", "BENCH_engine.json", "output JSON path")
 	fastOnly := flag.Bool("fast-only", false, "skip the single-step reference timings")
+	verify := flag.Bool("verify", true, "also time each scenario with the invariant checker attached")
+	baseline := flag.String("baseline", "", "previous BENCH_engine.json file(s), comma-separated, to compare checker-off times against")
+	merge := flag.Bool("merge", false, "fold the existing output file's timings in, keeping the best per leg")
 	campaign := flag.Bool("campaign", false, "benchmark the campaign engine instead of the execution engine")
 	campaignN := flag.Int("campaign.n", 60_000, "campaign trace length in instructions")
 	campaignOut := flag.String("campaign.o", "BENCH_campaign.json", "campaign output JSON path")
@@ -149,13 +276,23 @@ func main() {
 	}
 	logSpeedup := 0.0
 	speedups := 0
-	fmt.Printf("%-24s %12s %12s %9s\n", "scenario", "event MIPS", "naive MIPS", "speedup")
+	fmt.Printf("%-24s %12s %12s %9s %12s\n", "scenario", "event MIPS", "naive MIPS", "speedup", "verify cost")
 	for _, s := range scenarios {
 		fast, err := timeScenario(s, false, *repeat, *n)
 		if err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}
 		res := scenarioResult{Name: s.name, Insts: *n, EventDriven: fast}
+		verifyCol := "-"
+		if *verify {
+			v, err := timeFn(s.runVerified, *repeat, *n)
+			if err != nil {
+				log.Fatalf("%s (verified): %v", s.name, err)
+			}
+			res.Verified = &v
+			res.VerifyOverhead = v.WallSeconds / fast.WallSeconds
+			verifyCol = fmt.Sprintf("%.2fx", res.VerifyOverhead)
+		}
 		if !*fastOnly {
 			slow, err := timeScenario(s, true, *repeat, *n)
 			if err != nil {
@@ -165,15 +302,32 @@ func main() {
 			res.Speedup = slow.WallSeconds / fast.WallSeconds
 			logSpeedup += math.Log(res.Speedup)
 			speedups++
-			fmt.Printf("%-24s %12.2f %12.2f %8.2fx\n", s.name, fast.MIPS, slow.MIPS, res.Speedup)
+			fmt.Printf("%-24s %12.2f %12.2f %8.2fx %12s\n", s.name, fast.MIPS, slow.MIPS, res.Speedup, verifyCol)
 		} else {
-			fmt.Printf("%-24s %12.2f %12s %9s\n", s.name, fast.MIPS, "-", "-")
+			fmt.Printf("%-24s %12.2f %12s %9s %12s\n", s.name, fast.MIPS, "-", "-", verifyCol)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
 	if speedups > 0 {
 		rep.GeomeanSpeedup = math.Exp(logSpeedup / float64(speedups))
 		fmt.Printf("%-24s %12s %12s %8.2fx\n", "geomean", "", "", rep.GeomeanSpeedup)
+	}
+	if *merge {
+		if data, err := os.ReadFile(*out); err == nil {
+			var prev report
+			if err := json.Unmarshal(data, &prev); err != nil {
+				log.Fatalf("merge %s: %v", *out, err)
+			}
+			mergeReport(&rep, prev)
+		}
+	}
+	if *baseline != "" {
+		cmp, err := compareBaseline(*baseline, rep.Scenarios)
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		rep.Baseline = cmp
+		fmt.Printf("checker-off vs %s: geomean %.3fx\n", *baseline, cmp.GeomeanEventRatio)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,144 @@
+package fuzz
+
+// Metamorphic properties of the contest engine: relations between runs that
+// must hold whatever the absolute numbers are. Each property pins the
+// option regime that makes it exact — see the comments — rather than
+// weakening its assertion to cover interference the engine models on
+// purpose (store-queue backpressure, exception rendezvous).
+
+import (
+	"reflect"
+	"testing"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/experiments"
+	"archcontest/internal/resultcache"
+	"archcontest/internal/sim"
+	"archcontest/internal/workload"
+)
+
+const metaInsts = 10_000
+
+// metaOptions is the decoupled-contest regime: the lag bound is small
+// enough that a structurally slower core saturates (and detaches) quickly,
+// and the store queue is deeper than the trace has stores, so it can never
+// backpressure the leader. Under these options a contest can only help the
+// fastest core, never hinder it.
+func metaOptions() contest.Options {
+	return contest.Options{MaxLag: 256, StoreQueueCap: 1 << 16}
+}
+
+// The contested system is at least as fast as every contestant running
+// solo, within a settlement tolerance: injected results can only accelerate
+// a core, and under metaOptions no mechanism couples a slow core back onto
+// the leader. Solo baselines use the write-through policy, the same the
+// cores run under inside a contest.
+func TestMetamorphicContestNotSlowerThanSolo(t *testing.T) {
+	pairs := [][2]string{{"gcc", "mcf"}, {"twolf", "vpr"}, {"gzip", "bzip"}}
+	for _, p := range pairs {
+		tr := workload.MustGenerate(p[0], metaInsts)
+		cfgs := []config.CoreConfig{
+			config.MustPaletteCore(p[0]),
+			config.MustPaletteCore(p[1]),
+		}
+		res, err := contest.Run(cfgs, tr, metaOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			solo, err := sim.Run(cfg, tr, sim.RunOptions{WritePolicy: cache.WriteThrough})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 2% settlement tolerance: the leader crown can change hands a
+			// few cycles after the underlying retire counts cross.
+			if float64(res.Time) > 1.02*float64(solo.Time) {
+				t.Errorf("%s vs %s on %s: contested %v slower than %s solo %v",
+					p[0], p[1], p[0], res.Time, cfg.Name, solo.Time)
+			}
+		}
+	}
+}
+
+// Adding a strictly worse contestant (the same core at a quarter of the
+// clock rate) changes nothing about the outcome: it can never lead, its
+// broadcasts are always stale, and under metaOptions it cannot couple back
+// through the store queue — so the winner, the finish time, the lead-change
+// count, and the winner's counters are bit-identical.
+func TestMetamorphicAddWorseCoreKeepsResult(t *testing.T) {
+	for _, bench := range []string{"gcc", "twolf"} {
+		tr := workload.MustGenerate(bench, metaInsts)
+		a := config.MustPaletteCore(bench)
+		b := config.MustPaletteCore("mcf")
+		worse := a
+		worse.Name = a.Name + "-quarterclock"
+		worse.ClockPeriodNs *= 4
+
+		base, err := contest.Run([]config.CoreConfig{a, b}, tr, metaOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := contest.Run([]config.CoreConfig{a, b, worse}, tr, metaOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Time != wide.Time {
+			t.Errorf("%s: finish time moved from %v to %v", bench, base.Time, wide.Time)
+		}
+		if base.Cores[base.Winner] != wide.Cores[wide.Winner] {
+			t.Errorf("%s: winner changed from %s to %s", bench, base.Cores[base.Winner], wide.Cores[wide.Winner])
+		}
+		if base.LeadChanges != wide.LeadChanges {
+			t.Errorf("%s: lead changes moved from %d to %d", bench, base.LeadChanges, wide.LeadChanges)
+		}
+		if !reflect.DeepEqual(base.PerCore[base.Winner], wide.PerCore[wide.Winner]) {
+			t.Errorf("%s: winner stats changed:\nbase: %+v\nwide: %+v",
+				bench, base.PerCore[base.Winner], wide.PerCore[wide.Winner])
+		}
+	}
+}
+
+// A cache-warm rerun of a campaign is bit-identical to the cold run and
+// executes zero simulations.
+func TestMetamorphicCacheWarmRerun(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *resultcache.Cache {
+		c, err := resultcache.Open(dir, resultcache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	type outcome struct {
+		run     sim.Result
+		contest contest.Result
+	}
+	campaign := func(l *experiments.Lab) outcome {
+		r, err := l.RunOn("gcc", l.Cores()[0], sim.RunOptions{LogRegions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := l.Contest("gcc", []string{"gcc", "mcf"}, contest.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{run: r, contest: c}
+	}
+
+	cold := experiments.NewLab(experiments.Config{N: metaInsts, Cache: open()})
+	first := campaign(cold)
+	if st := cold.CampaignStats(); st.Simulations != 1 || st.Contests != 1 {
+		t.Fatalf("cold campaign executed %d sims, %d contests", st.Simulations, st.Contests)
+	}
+
+	warm := experiments.NewLab(experiments.Config{N: metaInsts, Cache: open()})
+	second := campaign(warm)
+	if st := warm.CampaignStats(); st.Simulations != 0 || st.Contests != 0 {
+		t.Errorf("warm campaign executed %d sims, %d contests; want none", st.Simulations, st.Contests)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("warm rerun diverges:\ncold: %+v\nwarm: %+v", first, second)
+	}
+}

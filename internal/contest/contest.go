@@ -70,6 +70,27 @@ type Options struct {
 	// golden-equivalence tests lock this); single-stepping exists as the
 	// reference semantics and for debugging.
 	SingleStep bool
+	// Observer, if non-nil, attaches a verification observer to the system
+	// (see internal/invariant). It never alters the run's result and is
+	// excluded from result-cache keys; campaign layers must bypass their
+	// caches when an observer is attached, or the checks silently don't
+	// run.
+	Observer Observer `json:"-"`
+}
+
+// Observer observes a contested run for verification. Implementations
+// inspect the system through its read-only accessors and must not mutate
+// any simulation state.
+type Observer interface {
+	// Attach is called once from NewSystem, after the system is fully
+	// constructed and before the first cycle.
+	Attach(sys *System)
+	// CoreChecker returns the per-core pipeline checker for core i, or nil.
+	// It is called during system construction, before Attach.
+	CoreChecker(core int) pipeline.Checker
+	// AfterStep runs after every stepped core cycle (fast-forward jumps,
+	// which change no state, are not seen). core is the stepped core.
+	AfterStep(sys *System, core int)
 }
 
 func (o *Options) applyDefaults(n int) {

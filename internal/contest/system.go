@@ -92,13 +92,55 @@ func NewSystem(cfgs []config.CoreConfig, tr *trace.Trace, opts Options) (*System
 		if s.exc != nil {
 			popts.RetireGate = func(idx int64, at ticks.Time) bool { return s.exc.gate(i, idx, at) }
 		}
+		if opts.Observer != nil {
+			popts.Checker = opts.Observer.CoreChecker(i)
+		}
 		core, err := pipeline.NewCore(cfg, tr, popts)
 		if err != nil {
 			return nil, fmt.Errorf("contest: core %d (%s): %w", i, cfg.Name, err)
 		}
 		s.cores[i] = core
 	}
+	if opts.Observer != nil {
+		opts.Observer.Attach(s)
+	}
 	return s, nil
+}
+
+// NumCores reports the number of contesting cores.
+func (s *System) NumCores() int { return len(s.cores) }
+
+// Core returns core i, for read-only inspection by verification observers.
+func (s *System) Core(i int) *pipeline.Core { return s.cores[i] }
+
+// Trace reports the trace the system is executing.
+func (s *System) Trace() *trace.Trace { return s.tr }
+
+// Options reports the system's options with defaults applied.
+func (s *System) Options() Options { return s.opts }
+
+// Leader reports the index of the current leading core.
+func (s *System) Leader() int { return s.leader }
+
+// LeadChanges reports how often the leader has changed so far.
+func (s *System) LeadChanges() int64 { return s.leadChanges }
+
+// IsSaturated reports whether core i has been declared a saturated lagger.
+func (s *System) IsSaturated(i int) bool { return s.saturated[i] }
+
+// Queue returns the synchronizing store queue, for verification observers
+// (read-only, except for installing the Merged callback before the run).
+func (s *System) Queue() *StoreQueue { return s.queue }
+
+// FeedState reports the state of receiver's result FIFO for sender: the
+// pop counter (lo), one past the newest retained result (hi), and the next
+// index the sender will broadcast. ok is false when receiver == sender.
+func (s *System) FeedState(receiver, sender int) (lo, hi, next int64, ok bool) {
+	if receiver == sender {
+		return 0, 0, 0, false
+	}
+	ring := s.feeds[receiver].senders[senderSlot(receiver, sender)]
+	return ring.lo, ring.hi, ring.next, true
 }
 
 // senderSlot maps sender `from` into receiver `to`'s ring list (receivers
@@ -181,6 +223,9 @@ func (s *System) runSingleStep() (Result, error) {
 			s.leader = min
 			s.leadChanges++
 		}
+		if s.opts.Observer != nil {
+			s.opts.Observer.AfterStep(s, min)
+		}
 		if c.Done() {
 			return s.result(min), nil
 		}
@@ -227,6 +272,9 @@ func (s *System) runEventDriven() (Result, error) {
 		if r := c.Retired(); r > s.cores[s.leader].Retired() && i != s.leader {
 			s.leader = i
 			s.leadChanges++
+		}
+		if s.opts.Observer != nil {
+			s.opts.Observer.AfterStep(s, i)
 		}
 		if c.Done() {
 			s.settle(i)

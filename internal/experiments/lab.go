@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -20,6 +21,7 @@ import (
 
 	"archcontest/internal/config"
 	"archcontest/internal/contest"
+	"archcontest/internal/invariant"
 	"archcontest/internal/merit"
 	"archcontest/internal/resultcache"
 	"archcontest/internal/sim"
@@ -51,6 +53,17 @@ type Config struct {
 	// cache invalidation exact: a leaf key hashes the engine version, the
 	// trace fingerprint, the core configuration, and the run options.
 	Cache *resultcache.Cache
+	// Verify attaches the verification subsystem (internal/invariant) to
+	// every leaf simulation: per-cycle invariant checks plus differential
+	// oracle replay of each core's retirement stream. A violation fails the
+	// leaf. Verified leaves bypass the result cache in both directions —
+	// the checks happen during execution, so a cache hit would silently
+	// skip them, and a verified result must never launder into unverified
+	// campaigns.
+	Verify bool
+	// VerifyScanEvery strides the checker's O(window) structural scans
+	// (0 = every cycle). Only meaningful with Verify.
+	VerifyScanEvery int64
 }
 
 func (c *Config) applyDefaults() {
@@ -245,6 +258,18 @@ func (l *Lab) RunOn(bench string, cfg config.CoreConfig, opts sim.RunOptions) (s
 	}
 	key := runKey(tr, cfg, opts)
 	v, err := l.flight.do("run/"+key, func() (any, error) {
+		if l.cfg.Verify {
+			var r sim.Result
+			var rerr error
+			l.exec(func() {
+				l.sims.Add(1)
+				r, rerr = l.runVerified(tr, cfg, opts)
+			})
+			if rerr != nil {
+				return nil, rerr
+			}
+			return r, nil
+		}
 		if l.cfg.Cache != nil {
 			var cached sim.Result
 			if l.cfg.Cache.Get(key, &cached) {
@@ -383,6 +408,18 @@ func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contes
 	}
 	key := resultcache.Key("contest", sim.EngineVersion, tr.Fingerprint(), tr.Name(), tr.Len(), cfgs, opts)
 	v, err := l.flight.do("contest/"+key, func() (any, error) {
+		if l.cfg.Verify {
+			var r contest.Result
+			var rerr error
+			l.exec(func() {
+				l.contests.Add(1)
+				r, rerr = l.contestVerified(tr, cfgs, opts)
+			})
+			if rerr != nil {
+				return nil, rerr
+			}
+			return r, nil
+		}
 		if l.cfg.Cache != nil {
 			var cached contest.Result
 			if l.cfg.Cache.Get(key, &cached) {
@@ -464,6 +501,66 @@ func (l *Lab) BestPair(bench string) (contest.Result, error) {
 		return contest.Result{}, err
 	}
 	return v.(contest.Result), nil
+}
+
+// labViolations collects checker violations of one verified leaf, capped so
+// a systematically broken run cannot accumulate unbounded error chains.
+type labViolations struct {
+	errs []error
+	more int
+}
+
+func (v *labViolations) add(err error) {
+	if len(v.errs) < 8 {
+		v.errs = append(v.errs, err)
+	} else {
+		v.more++
+	}
+}
+
+func (v *labViolations) err(what string) error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	if v.more > 0 {
+		v.errs = append(v.errs, fmt.Errorf("... and %d further violations", v.more))
+	}
+	return fmt.Errorf("experiments: verified %s: %w", what, errors.Join(v.errs...))
+}
+
+// runVerified executes one single-core leaf with the invariant checker and
+// differential oracle attached. Never cached: the checks happen during
+// execution.
+func (l *Lab) runVerified(tr *trace.Trace, cfg config.CoreConfig, opts sim.RunOptions) (sim.Result, error) {
+	var v labViolations
+	chk := invariant.NewCoreChecker(tr, invariant.Options{
+		OnViolation: v.add,
+		ScanEvery:   l.cfg.VerifyScanEvery,
+	})
+	opts.Checker = chk
+	r, err := sim.Run(cfg, tr, opts)
+	if err != nil {
+		return r, err
+	}
+	chk.Finish(int64(tr.Len()))
+	return r, v.err(fmt.Sprintf("run of %s on %s", tr.Name(), cfg.Name))
+}
+
+// contestVerified executes one contested leaf with per-core checkers and the
+// system observer attached. Never cached.
+func (l *Lab) contestVerified(tr *trace.Trace, cfgs []config.CoreConfig, opts contest.Options) (contest.Result, error) {
+	var v labViolations
+	obs := invariant.NewSystemObserver(tr, invariant.Options{
+		OnViolation: v.add,
+		ScanEvery:   l.cfg.VerifyScanEvery,
+	})
+	opts.Observer = obs
+	r, err := contest.Run(cfgs, tr, opts)
+	if err != nil {
+		return r, err
+	}
+	obs.Finish(r)
+	return r, v.err(fmt.Sprintf("contest of %s", tr.Name()))
 }
 
 // OwnCoreIPT reports the benchmark's stand-alone IPT on its own customized

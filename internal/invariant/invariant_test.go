@@ -1,0 +1,231 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/sim"
+	"archcontest/internal/workload"
+)
+
+func collector() (*[]error, Options) {
+	var errs []error
+	return &errs, Options{OnViolation: func(err error) { errs = append(errs, err) }}
+}
+
+// The retirement-stream checks need no core: OnRetire only reads the
+// sequence number and time.
+
+func TestOutOfOrderRetirementReported(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 16)
+	errs, opts := collector()
+	k := NewCoreChecker(tr, opts)
+	k.OnRetire(nil, 0, 10)
+	k.OnRetire(nil, 2, 20) // skips 1
+	if len(*errs) == 0 || !strings.Contains((*errs)[0].Error(), "out-of-order") {
+		t.Fatalf("skipped retirement not reported: %v", *errs)
+	}
+}
+
+func TestRetirementTimeRegressionReported(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 16)
+	errs, opts := collector()
+	k := NewCoreChecker(tr, opts)
+	k.OnRetire(nil, 0, 100)
+	k.OnRetire(nil, 1, 50)
+	if len(*errs) != 1 || !strings.Contains((*errs)[0].Error(), "before previous") {
+		t.Fatalf("time regression not reported: %v", *errs)
+	}
+}
+
+func TestDuplicateRetirementReported(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 16)
+	errs, opts := collector()
+	k := NewCoreChecker(tr, opts)
+	k.OnRetire(nil, 0, 10)
+	k.OnRetire(nil, 0, 10)
+	if len(*errs) == 0 {
+		t.Fatal("duplicate retirement not reported")
+	}
+}
+
+func TestStandaloneInjectionReported(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 16)
+	errs, opts := collector()
+	k := NewCoreChecker(tr, opts)
+	k.OnInject(nil, 3, 10)
+	if len(*errs) != 1 || !strings.Contains((*errs)[0].Error(), "stand-alone") {
+		t.Fatalf("stand-alone injection not reported: %v", *errs)
+	}
+}
+
+func TestFinishShortRunReported(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 16)
+	errs, opts := collector()
+	k := NewCoreChecker(tr, opts)
+	k.OnRetire(nil, 0, 10)
+	k.Finish(16)
+	if len(*errs) != 1 || !strings.Contains((*errs)[0].Error(), "finished with 1 retirements") {
+		t.Fatalf("short run not reported: %v", *errs)
+	}
+}
+
+func TestDefaultOnViolationPanics(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 16)
+	k := NewCoreChecker(tr, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("default OnViolation did not panic")
+		}
+	}()
+	k.OnRetire(nil, 5, 0)
+}
+
+// Whole-run integration: a clean run stays clean, records the identity
+// retirement stream, and drives the oracle to completion.
+
+func TestCleanRunNoViolations(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 4000)
+	errs, opts := collector()
+	opts.RecordRetirements = true
+	k := NewCoreChecker(tr, opts)
+	cfg := config.MustPaletteCore("twolf")
+	if _, err := sim.Run(cfg, tr, sim.RunOptions{Checker: k}); err != nil {
+		t.Fatal(err)
+	}
+	k.Finish(int64(tr.Len()))
+	if len(*errs) != 0 {
+		t.Fatalf("clean run reported %d violations, first: %v", len(*errs), (*errs)[0])
+	}
+	got := k.Retirements()
+	if len(got) != tr.Len() {
+		t.Fatalf("recorded %d retirements, want %d", len(got), tr.Len())
+	}
+	for i, s := range got {
+		if s != int64(i) {
+			t.Fatalf("retirement %d is %d", i, s)
+		}
+	}
+	if !k.Oracle().Done() {
+		t.Fatal("oracle not driven to completion")
+	}
+}
+
+func TestCleanRunSingleStepEquivalent(t *testing.T) {
+	// The checker sees identical state on both scheduler paths.
+	tr := workload.MustGenerate("mcf", 4000)
+	cfg := config.MustPaletteCore("mcf")
+	for _, single := range []bool{false, true} {
+		errs, opts := collector()
+		k := NewCoreChecker(tr, opts)
+		if _, err := sim.Run(cfg, tr, sim.RunOptions{Checker: k, SingleStep: single}); err != nil {
+			t.Fatal(err)
+		}
+		k.Finish(int64(tr.Len()))
+		if len(*errs) != 0 {
+			t.Fatalf("singleStep=%v: %d violations, first: %v", single, len(*errs), (*errs)[0])
+		}
+	}
+}
+
+func TestSystemObserverCleanContest(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 6000)
+	cfgs := []config.CoreConfig{
+		config.MustPaletteCore("gcc"),
+		config.MustPaletteCore("mcf"),
+	}
+	errs, opts := collector()
+	obs := NewSystemObserver(tr, opts)
+	res, err := contest.Run(cfgs, tr, contest.Options{Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Finish(res)
+	if len(*errs) != 0 {
+		t.Fatalf("clean contest reported %d violations, first: %v", len(*errs), (*errs)[0])
+	}
+	if obs.Violations() != 0 {
+		t.Fatalf("Violations() = %d", obs.Violations())
+	}
+	if obs.MergedStores() == 0 {
+		t.Fatal("no merged stores observed — the store-queue hook is dead")
+	}
+	if obs.CoreCheckerFor(0) == nil || obs.CoreCheckerFor(1) == nil {
+		t.Fatal("per-core checkers not attached")
+	}
+}
+
+func TestSystemObserverExceptionAndSaturation(t *testing.T) {
+	// Exception rendezvous and a tiny lag bound (which saturates the slow
+	// core) must both verify cleanly: the observer tracks saturation and
+	// stops holding saturated cores to the contest protocol.
+	tr := workload.MustGenerate("gzip", 6000)
+	cfgs := []config.CoreConfig{
+		config.MustPaletteCore("gzip"),
+		config.MustPaletteCore("perl"),
+	}
+	for _, co := range []contest.Options{
+		{ExceptionEvery: 512},
+		{MaxLag: 64},
+		{StoreQueueCap: 8},
+	} {
+		errs, opts := collector()
+		obs := NewSystemObserver(tr, opts)
+		co.Observer = obs
+		res, err := contest.Run(cfgs, tr, co)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs.Finish(res)
+		if len(*errs) != 0 {
+			t.Fatalf("%+v: %d violations, first: %v", co, len(*errs), (*errs)[0])
+		}
+	}
+}
+
+func TestSystemObserverFinishWrongWinnerReported(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 2000)
+	cfgs := []config.CoreConfig{
+		config.MustPaletteCore("gcc"),
+		config.MustPaletteCore("mcf"),
+	}
+	errs, opts := collector()
+	obs := NewSystemObserver(tr, opts)
+	res, err := contest.Run(cfgs, tr, contest.Options{Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Winner = 1 - res.Winner // lie about the winner
+	obs.Finish(res)
+	if len(*errs) == 0 {
+		t.Fatal("wrong winner not reported")
+	}
+}
+
+func TestScanEveryStride(t *testing.T) {
+	// A strided scan must still catch nothing on a clean run and must not
+	// change the run's result.
+	tr := workload.MustGenerate("bzip", 4000)
+	cfg := config.MustPaletteCore("bzip")
+	plain, err := sim.Run(cfg, tr, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []int64{1, 7, 1024} {
+		errs, opts := collector()
+		opts.ScanEvery = stride
+		k := NewCoreChecker(tr, opts)
+		checked, err := sim.Run(cfg, tr, sim.RunOptions{Checker: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(*errs) != 0 {
+			t.Fatalf("stride %d: %v", stride, (*errs)[0])
+		}
+		if checked.Time != plain.Time || checked.Stats != plain.Stats {
+			t.Fatalf("stride %d perturbed the run", stride)
+		}
+	}
+}

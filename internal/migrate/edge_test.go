@@ -1,0 +1,190 @@
+package migrate
+
+// Edge cases of the migrational baseline: granularity validation, the
+// whole-trace granularity (which must degenerate to "pick the faster core,
+// zero migrations"), partial final decision chunks, decision ties at a
+// region boundary, and the warm-cache optimistic bound.
+
+import (
+	"testing"
+
+	"archcontest/internal/config"
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+	"archcontest/internal/workload"
+)
+
+func resultFrom(d []ticks.Duration) sim.Result {
+	regions := make([]ticks.Time, len(d))
+	var t ticks.Time
+	for i, dd := range d {
+		t = t.Add(dd)
+		regions[i] = t
+	}
+	return sim.Result{
+		Insts:   int64(len(d) * sim.RegionSize),
+		Time:    regions[len(regions)-1],
+		Regions: regions,
+	}
+}
+
+func durs(vs ...int64) []ticks.Duration {
+	out := make([]ticks.Duration, len(vs))
+	for i, v := range vs {
+		out[i] = ticks.Duration(v)
+	}
+	return out
+}
+
+var cfgA, cfgB = config.MustPaletteCore("gcc"), config.MustPaletteCore("mcf")
+
+func TestGranularityValidation(t *testing.T) {
+	a := resultFrom(durs(100, 100))
+	b := resultFrom(durs(100, 100))
+	for _, g := range []int{0, sim.RegionSize - 1, sim.RegionSize + 1, sim.RegionSize*3 - 1, -sim.RegionSize} {
+		if _, err := OracleMigration(a, b, cfgA, cfgB, Options{Granularity: g}); err == nil {
+			t.Errorf("granularity %d accepted", g)
+		}
+	}
+}
+
+func TestRegionLogValidation(t *testing.T) {
+	a := resultFrom(durs(100, 100))
+	opts := Options{Granularity: sim.RegionSize}
+	if _, err := OracleMigration(a, sim.Result{}, cfgA, cfgB, opts); err == nil {
+		t.Error("missing region log accepted")
+	}
+	if _, err := OracleMigration(a, resultFrom(durs(100)), cfgA, cfgB, opts); err == nil {
+		t.Error("mismatched region logs accepted")
+	}
+}
+
+func TestWholeTraceGranularityNoMigrations(t *testing.T) {
+	// One decision covering the entire trace: start on the faster core,
+	// never migrate, pay no costs — the result is that core's own time.
+	a := resultFrom(durs(100, 900, 100, 900)) // total 2000
+	b := resultFrom(durs(400, 400, 400, 400)) // total 1600
+	r, err := OracleMigration(a, b, cfgA, cfgB, Options{Granularity: 8 * sim.RegionSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations != 0 {
+		t.Fatalf("%d migrations at whole-trace granularity", r.Migrations)
+	}
+	if r.Time != 1600 {
+		t.Fatalf("time %d, want the faster core's 1600", r.Time)
+	}
+}
+
+func TestPartialFinalChunk(t *testing.T) {
+	// 5 regions at a 2-region granularity: chunks [0,2), [2,4), [4,5) —
+	// the final partial chunk must be scored, not dropped.
+	a := resultFrom(durs(10, 10, 10, 10, 1000))
+	b := resultFrom(durs(1000, 1000, 1000, 1000, 10))
+	r, err := OracleMigration(a, b, cfgA, cfgB, Options{
+		Granularity: 2 * sim.RegionSize,
+		WarmCaches:  true,
+		TransferNs:  0.01, // 1 tick, to keep the arithmetic visible
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations != 1 {
+		t.Fatalf("%d migrations, want 1 (a->b for the final chunk)", r.Migrations)
+	}
+	// 4 regions on a (40) + final region on b (10) + transfer (1) + drain
+	// (slower pace 1000 ticks for 20 insts * 100 drain insts / 20 = 5000).
+	if want := ticks.Duration(40 + 10 + 1 + 5000); r.Time != want {
+		t.Fatalf("time %d, want %d", r.Time, want)
+	}
+}
+
+func TestTieStaysPut(t *testing.T) {
+	// Equal region times at every decision boundary: wantA stays true, so
+	// no migration is ever taken — switching on a tie would pay costs for
+	// nothing.
+	d := durs(100, 200, 100, 200)
+	a, b := resultFrom(d), resultFrom(d)
+	r, err := OracleMigration(a, b, cfgA, cfgB, Options{Granularity: sim.RegionSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations != 0 {
+		t.Fatalf("%d migrations between identical cores", r.Migrations)
+	}
+	if r.Time != 600 {
+		t.Fatalf("time %d, want 600", r.Time)
+	}
+}
+
+func TestWarmCachesIsOptimisticBound(t *testing.T) {
+	// Alternating phases force migrations; warm caches must never be slower
+	// than cold.
+	a := resultFrom(durs(10, 500, 10, 500, 10, 500))
+	b := resultFrom(durs(500, 10, 500, 10, 500, 10))
+	cold, err := OracleMigration(a, b, cfgA, cfgB, Options{Granularity: sim.RegionSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := OracleMigration(a, b, cfgA, cfgB, Options{Granularity: sim.RegionSize, WarmCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Migrations != warm.Migrations {
+		t.Fatalf("migration counts differ: %d vs %d", cold.Migrations, warm.Migrations)
+	}
+	if cold.Migrations != 5 {
+		t.Fatalf("%d migrations, want 5", cold.Migrations)
+	}
+	if warm.Time > cold.Time {
+		t.Fatalf("warm %d slower than cold %d", warm.Time, cold.Time)
+	}
+}
+
+func TestMigrationAtSettlementBoundary(t *testing.T) {
+	// The phase flips exactly at a decision boundary: migration happens at
+	// the boundary and each chunk runs on its better core; the cold first
+	// chunk after the switch runs at the slower pace.
+	a := resultFrom(durs(10, 10, 500, 500))
+	b := resultFrom(durs(500, 500, 10, 10))
+	r, err := OracleMigration(a, b, cfgA, cfgB, Options{
+		Granularity: 2 * sim.RegionSize,
+		TransferNs:  0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations != 1 {
+		t.Fatalf("%d migrations, want 1", r.Migrations)
+	}
+	// Chunk 1 on a: 20. Switch: transfer 1 + drain (1000 ticks / 40 insts *
+	// 100 = 2500). Chunk 2 cold: slower pace 1000 instead of b's 20.
+	if want := ticks.Duration(20 + 1 + 2500 + 1000); r.Time != want {
+		t.Fatalf("time %d, want %d", r.Time, want)
+	}
+}
+
+func TestSweepGranularityOrderAndMonotoneCosts(t *testing.T) {
+	// End-to-end sweep on real runs: results echo the requested
+	// granularities, and migration counts weakly decrease as granularity
+	// grows.
+	tr := workload.MustGenerate("gcc", 10_000)
+	grans := []int{20, 40, 80, 160, 320}
+	rs, err := Sweep(cfgA, cfgB, tr, grans, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(grans) {
+		t.Fatalf("%d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Granularity != grans[i] {
+			t.Fatalf("result %d at granularity %d", i, r.Granularity)
+		}
+		if i > 0 && rs[i].Migrations > rs[i-1].Migrations*2 {
+			// Coarser decisions cannot multiply migration opportunities:
+			// each doubling at most halves the decision points.
+			t.Fatalf("migrations grew from %d to %d when coarsening", rs[i-1].Migrations, rs[i].Migrations)
+		}
+	}
+}

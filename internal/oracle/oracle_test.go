@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"testing"
+
+	"archcontest/internal/isa"
+	"archcontest/internal/trace"
+	"archcontest/internal/workload"
+)
+
+// tinyTrace builds a hand-written trace exercising every op class and a
+// store-to-load forwarding pair.
+func tinyTrace() *trace.Trace {
+	return trace.New("tiny", []isa.Inst{
+		{Op: isa.OpALU, PC: 0x100, Dst: 1, Src1: 2, Src2: 3},
+		{Op: isa.OpMul, PC: 0x104, Dst: 4, Src1: 1, Src2: 1},
+		{Op: isa.OpStore, PC: 0x108, Addr: 0x1000, Src1: 5, Src2: 4},
+		{Op: isa.OpLoad, PC: 0x10c, Addr: 0x1000, Dst: 6, Src1: 5},
+		{Op: isa.OpDiv, PC: 0x110, Dst: 7, Src1: 6, Src2: 1},
+		{Op: isa.OpBranch, PC: 0x114, Src1: 7, Taken: true},
+		{Op: isa.OpLoad, PC: 0x118, Addr: 0x2000, Dst: 8, Src1: 5},
+	})
+}
+
+func TestStoreToLoadValue(t *testing.T) {
+	x := Run(tinyTrace())
+	st := x.Result(2)
+	ld := x.Result(3)
+	if st.StoreAddr != 0x1000 {
+		t.Fatalf("store addr = %#x, want 0x1000", st.StoreAddr)
+	}
+	if st.StoreData != x.Result(1).Value {
+		t.Errorf("store data %#x does not match producer value %#x", st.StoreData, x.Result(1).Value)
+	}
+	if ld.Value != st.StoreData {
+		t.Errorf("load after store reads %#x, want stored %#x", ld.Value, st.StoreData)
+	}
+	if x.FinalMem(0x1000) != st.StoreData {
+		t.Errorf("final memory %#x, want %#x", x.FinalMem(0x1000), st.StoreData)
+	}
+	// An untouched address reads its deterministic initial value.
+	if got, want := x.Result(6).Value, New(tinyTrace()).Mem(0x2000); got != want {
+		t.Errorf("cold load reads %#x, want initial %#x", got, want)
+	}
+}
+
+func TestBranchOutcomeFromTrace(t *testing.T) {
+	x := Run(tinyTrace())
+	if !x.Result(5).Taken {
+		t.Errorf("branch outcome not taken; trace says taken")
+	}
+	if x.Result(5).Value != 0 {
+		t.Errorf("branch produced a value %#x", x.Result(5).Value)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 5000)
+	a, b := Run(tr), Run(tr)
+	if a.Checksum() != b.Checksum() {
+		t.Fatalf("two oracle runs disagree: %#x vs %#x", a.Checksum(), b.Checksum())
+	}
+	if len(a.Stores()) != len(b.Stores()) {
+		t.Fatalf("store streams differ in length: %d vs %d", len(a.Stores()), len(b.Stores()))
+	}
+	for r := isa.RegID(0); r < isa.NumRegs; r++ {
+		if a.FinalReg(r) != b.FinalReg(r) {
+			t.Errorf("final r%d differs: %#x vs %#x", r, a.FinalReg(r), b.FinalReg(r))
+		}
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 2000)
+	base := Run(tr).Checksum()
+	// A different trace of the same length must checksum differently.
+	if other := Run(workload.MustGenerate("twolf", 2001)); other.Checksum() == base {
+		t.Errorf("checksum insensitive to trace content")
+	}
+}
+
+func TestReplayChecksum(t *testing.T) {
+	tr := workload.MustGenerate("mcf", 3000)
+	x := Run(tr)
+	seqs := make([]int64, tr.Len())
+	for i := range seqs {
+		seqs[i] = int64(i)
+	}
+	got, err := x.ReplayChecksum(seqs)
+	if err != nil {
+		t.Fatalf("identity replay rejected: %v", err)
+	}
+	if got != x.Checksum() {
+		t.Fatalf("identity replay checksum %#x, want %#x", got, x.Checksum())
+	}
+	// A skipped instruction must be rejected, not silently absorbed.
+	if _, err := x.ReplayChecksum(append(append([]int64(nil), seqs[:10]...), 11)); err == nil {
+		t.Errorf("replay with a skipped instruction accepted")
+	}
+	// A prefix replays cleanly but to a different checksum.
+	prefix, err := x.ReplayChecksum(seqs[:100])
+	if err != nil {
+		t.Fatalf("prefix replay rejected: %v", err)
+	}
+	if prefix == x.Checksum() {
+		t.Errorf("prefix checksum equals full checksum")
+	}
+}
+
+func TestZeroRegisterReadsZero(t *testing.T) {
+	e := New(tinyTrace())
+	if e.Reg(isa.NoReg) != 0 {
+		t.Fatalf("zero register reads %#x", e.Reg(isa.NoReg))
+	}
+}
+
+func TestStepPastEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic stepping past the end")
+		}
+	}()
+	e := New(trace.New("one", []isa.Inst{{Op: isa.OpALU, PC: 1, Dst: 1}}))
+	e.Step()
+	e.Step()
+}

@@ -1,0 +1,122 @@
+package pipeline
+
+// Read-only inspection of a core's microarchitectural state, for the
+// invariant checker (internal/invariant). Everything here is accessor-only:
+// the checker sees the window, the issue wake lists, and the occupancy
+// counters exactly as the engine maintains them, so it can cross-check them
+// against a naive reconstruction without being able to perturb the run.
+
+import "archcontest/internal/trace"
+
+// EntryView is a read-only projection of one in-flight window entry.
+type EntryView struct {
+	Seq           int64
+	DispatchReady int64
+	Prod1, Prod2  int64 // in-window producer seqs, NoSeq if none
+	StoreDep      int64 // forwarding store, NoSeq if none
+	CompleteCycle int64
+	ValueReady    int64
+	Completed     bool
+	InIQ          bool
+	Injected      bool
+	Mispredicted  bool
+}
+
+// NoSeq is the absent-sequence marker used by EntryView link fields.
+const NoSeq = noSeq
+
+// Inspector is a read-only view of a Core.
+type Inspector struct{ c *Core }
+
+// Inspect returns the core's read-only inspector.
+func (c *Core) Inspect() Inspector { return Inspector{c: c} }
+
+// Trace reports the trace the core is executing.
+func (c *Core) Trace() *trace.Trace { return c.tr }
+
+// HeadSeq is the oldest in-flight instruction (the next to retire).
+func (i Inspector) HeadSeq() int64 { return i.c.headSeq }
+
+// DispSeq is the next instruction to dispatch into the window.
+func (i Inspector) DispSeq() int64 { return i.c.dispSeq }
+
+// TailSeq is the next instruction to fetch (the core's fetch counter).
+func (i Inspector) TailSeq() int64 { return i.c.tailSeq }
+
+// FetchEnd is the trace length.
+func (i Inspector) FetchEnd() int64 { return i.c.fetchEnd }
+
+// RingSize is the structural window capacity.
+func (i Inspector) RingSize() int64 { return i.c.ringSize }
+
+// IQCount is the engine's issue-queue occupancy counter.
+func (i Inspector) IQCount() int { return i.c.iqCount }
+
+// LSQCount is the engine's load/store-queue occupancy counter.
+func (i Inspector) LSQCount() int { return i.c.lsq }
+
+// PendingBranch is the mispredicted branch gating fetch, NoSeq if none.
+func (i Inspector) PendingBranch() int64 { return i.c.pendingBranch }
+
+// Entry returns the window entry for seq. ok is false when the ring slot
+// no longer holds that sequence (the slot was reused by a younger fetch,
+// which for an in-window seq is an aliasing bug the checker reports).
+func (i Inspector) Entry(seq int64) (EntryView, bool) {
+	e := i.c.at(seq)
+	if e.seq != seq {
+		return EntryView{}, false
+	}
+	return EntryView{
+		Seq:           e.seq,
+		DispatchReady: e.dispatchReady,
+		Prod1:         e.prod1,
+		Prod2:         e.prod2,
+		StoreDep:      e.storeDep,
+		CompleteCycle: e.completeCycle,
+		ValueReady:    e.valueReady,
+		Completed:     e.completed,
+		InIQ:          e.inIQ,
+		Injected:      e.injected,
+		Mispredicted:  e.mispredicted,
+	}, true
+}
+
+// ReadySeqs appends the sequence numbers currently in the ready queue
+// (including lazily-deleted entries) to buf and returns it.
+func (i Inspector) ReadySeqs(buf []int64) []int64 { return append(buf, i.c.readyQ...) }
+
+// WakeSeqs appends the sequence numbers currently scheduled in the wake
+// heap to buf and returns it.
+func (i Inspector) WakeSeqs(buf []int64) []int64 {
+	for _, w := range i.c.wakeQ {
+		buf = append(buf, w.seq)
+	}
+	return buf
+}
+
+// Waiters appends the sequence numbers parked on seq's dependent wake list
+// to buf and returns it.
+func (i Inspector) Waiters(seq int64, buf []int64) []int64 {
+	e := i.c.at(seq)
+	if e.seq != seq {
+		return buf
+	}
+	for s := e.depHead; s != noSeq; s = i.c.at(s).depNext {
+		buf = append(buf, s)
+	}
+	return buf
+}
+
+// Blocker reports seq's first incomplete in-window dependence (NoSeq when
+// every dependence is complete), exactly as the wake lists compute it.
+func (i Inspector) Blocker(seq int64) int64 { return i.c.blockerOf(i.c.at(seq)) }
+
+// ReadyAt reports the earliest cycle seq may issue once unblocked, exactly
+// as the wake lists compute it.
+func (i Inspector) ReadyAt(seq int64) int64 { return i.c.readyAtOf(i.c.at(seq)) }
+
+// RetiredCount is the number of retired instructions.
+func (i Inspector) RetiredCount() int64 { return i.c.stats.Retired }
+
+// CycleCount is the Stats.Cycles counter.
+func (i Inspector) CycleCount() int64 { return i.c.stats.Cycles }

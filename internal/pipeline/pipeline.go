@@ -101,6 +101,26 @@ type Options struct {
 	// branches (ablation; the default trains so a trailing core's predictor
 	// stays warm).
 	NoTrainOnInject bool
+	// Checker, if non-nil, observes every executed cycle, retirement, and
+	// result injection for verification (internal/invariant). The hooks
+	// are nil-guarded single branches: with no checker attached the
+	// steady-state loop stays allocation-free and effectively unchanged.
+	Checker Checker
+}
+
+// Checker observes a core's execution for verification. Implementations
+// inspect the core through its read-only Inspect accessor and must not
+// mutate any core state.
+type Checker interface {
+	// AfterCycle runs at the end of every executed Step (fast-forwarded
+	// dead cycles, which by construction change no state, are not seen).
+	AfterCycle(c *Core)
+	// OnRetire runs at each retirement, after the core's own bookkeeping
+	// and before the Options.OnRetire observer.
+	OnRetire(c *Core, seq int64, at ticks.Time)
+	// OnInject runs when the core completes a fetched instruction from an
+	// arrived result instead of executing it (contesting Scenario #2).
+	OnInject(c *Core, seq int64, at ticks.Time)
 }
 
 // Stats aggregates a core's execution counters.
@@ -331,6 +351,9 @@ func (c *Core) Step() {
 	c.cycle++
 	c.stats.Cycles = c.cycle
 	c.progressed = c.sig() != pre
+	if c.opts.Checker != nil {
+		c.opts.Checker.AfterCycle(c)
+	}
 }
 
 // Progressed reports whether the most recent Step changed any core state
@@ -512,6 +535,9 @@ func (c *Core) doRetire() {
 				c.retireInRegion = 0
 				c.regions = append(c.regions, at)
 			}
+		}
+		if c.opts.Checker != nil {
+			c.opts.Checker.OnRetire(c, e.seq, at)
 		}
 		if c.opts.OnRetire != nil {
 			c.opts.OnRetire(e.seq, at)
@@ -816,6 +842,9 @@ func (c *Core) doFetch() {
 		}
 		if c.opts.Feed != nil && c.opts.Feed.ResultAvailable(c.tailSeq, t) {
 			e.injected = true
+			if c.opts.Checker != nil {
+				c.opts.Checker.OnInject(c, c.tailSeq, t)
+			}
 			c.opts.Feed.ConsumeThrough(c.tailSeq)
 			if in.Op == isa.OpBranch {
 				// Outcome known: complete in the fetch stage. Training keeps

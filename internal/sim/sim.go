@@ -67,11 +67,19 @@ type RunOptions struct {
 	// single-stepping is the reference semantics, kept for debugging and
 	// the golden-equivalence tests.
 	SingleStep bool
+	// Checker, if non-nil, attaches a verification observer to the core
+	// (see internal/invariant). It is excluded from result-cache keys and
+	// never alters the run's result; campaign layers must bypass their
+	// caches when a checker is attached, or the checks silently don't run.
+	Checker Checker `json:"-"`
 }
+
+// Checker observes a core's execution for verification.
+type Checker = pipeline.Checker
 
 // Run executes the trace to completion on a single core.
 func Run(cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) (Result, error) {
-	popts := pipeline.Options{WritePolicy: opts.WritePolicy}
+	popts := pipeline.Options{WritePolicy: opts.WritePolicy, Checker: opts.Checker}
 	if opts.LogRegions {
 		popts.RegionSize = RegionSize
 	}

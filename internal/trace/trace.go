@@ -40,6 +40,20 @@ func (t *Trace) Len() int { return len(t.insts) }
 // backing store; callers must not mutate it.
 func (t *Trace) At(i int64) *isa.Inst { return &t.insts[i] }
 
+// Prefix returns the trace of the first n instructions, sharing the backing
+// store. The prefix has its own name (and therefore fingerprint), since it
+// is a different instruction stream. The fuzz harness uses prefixes to map
+// shrinking inputs onto shrinking traces without regenerating them.
+func (t *Trace) Prefix(n int) *Trace {
+	if n < 0 || n > len(t.insts) {
+		panic(fmt.Sprintf("trace %s: prefix %d of %d", t.name, n, len(t.insts)))
+	}
+	if n == len(t.insts) {
+		return t
+	}
+	return &Trace{name: fmt.Sprintf("%s[:%d]", t.name, n), insts: t.insts[:n]}
+}
+
 // Validate checks the structural invariants every well-formed trace holds:
 // valid op classes, register IDs in range, memory operations carrying
 // addresses, and non-memory operations carrying none.

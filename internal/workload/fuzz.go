@@ -1,0 +1,69 @@
+package workload
+
+// Fuzz support: deterministic, always-valid profile mutation. The fuzz
+// harness (fuzz/) derives workload variants from raw fuzzer bytes; the
+// clamping lives here, next to Validate, so the two can never drift apart —
+// MutateForFuzz promises Validate() == nil for every input byte string
+// (locked by TestMutateForFuzzAlwaysValid).
+
+// MutateForFuzz derives a valid variant of base from fuzz bytes. Equal
+// inputs produce equal profiles; an empty mutation returns base unchanged
+// except for the name tag. The mutation reshapes the phase mixture and the
+// scalar knobs but keeps every parameter inside Validate's ranges.
+func MutateForFuzz(base Profile, data []byte) Profile {
+	p := base
+	p.Name = base.Name + "~fuzz"
+
+	at := func(i int) uint64 {
+		if i < len(data) {
+			return uint64(data[i])
+		}
+		return 0
+	}
+	// frac(i) maps one byte onto [0,1).
+	frac := func(i int) float64 { return float64(at(i)) / 256 }
+
+	p.Seed = base.Seed ^ (at(0) | at(1)<<8 | at(2)<<16)
+
+	// Reshape the phase mixture: scale each archetype's weight by [0.5,1.5)
+	// and keep it strictly positive iff it was. Zero-weight archetypes stay
+	// zero — their structural parameters (footprint, chains, stride) may not
+	// satisfy that archetype's constraints.
+	for a := 0; a < NumArchetypes; a++ {
+		if p.Weights[a] > 0 {
+			p.Weights[a] *= 0.5 + frac(3+a)
+			if p.MeanPhaseLen[a] < 8 {
+				p.MeanPhaseLen[a] = 8
+			}
+			p.MeanPhaseLen[a] *= 0.5 + frac(3+NumArchetypes+a)
+			if p.MeanPhaseLen[a] < 8 {
+				p.MeanPhaseLen[a] = 8
+			}
+		}
+	}
+
+	p.StoreFrac = 0.8 * frac(15)
+	p.BranchNoise = frac(16)
+	if p.Weights[ILP] > 0 {
+		p.ILPDegree = 2 + int(at(17)%23) // [2,24]
+	}
+	if p.Weights[Pointer] > 0 {
+		p.Chains = 1 + int(at(18)%maxChains) // Generate's register budget
+	}
+	if p.Weights[Stream] > 0 {
+		p.StrideBytes = 4 << (at(19) % 8) // 4..512
+		p.StreamBurst = int(at(20) % 64)  // 0 disables bursting
+	}
+	if p.Weights[Scratch] > 0 {
+		p.ConflictWays = 1 + int(at(21)%8)
+		if p.HotBytes < 1024 {
+			p.HotBytes = 1024
+		}
+	}
+	if p.Weights[Stream] > 0 || p.Weights[Pointer] > 0 {
+		if p.Footprint < 4096 {
+			p.Footprint = 4096
+		}
+	}
+	return p
+}

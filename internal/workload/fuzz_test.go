@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// MutateForFuzz's contract: any byte string, any base profile, the result
+// validates and generates.
+func TestMutateForFuzzAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, name := range Benchmarks() {
+		base, err := ProfileFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 64; trial++ {
+			data := make([]byte, rng.Intn(32))
+			rng.Read(data)
+			p := MutateForFuzz(base, data)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s with %v: %v", name, data, err)
+			}
+			if trial%16 == 0 {
+				tr, err := Generate(p, 512)
+				if err != nil {
+					t.Fatalf("%s with %v: %v", name, data, err)
+				}
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("%s with %v: generated trace invalid: %v", name, data, err)
+				}
+			}
+		}
+	}
+}
+
+func TestMutateForFuzzDeterministic(t *testing.T) {
+	base, err := ProfileFor("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	a := MutateForFuzz(base, data)
+	b := MutateForFuzz(base, data)
+	if a != b {
+		t.Fatalf("same input, different profiles:\n%+v\n%+v", a, b)
+	}
+	c := MutateForFuzz(base, nil)
+	if a == c {
+		t.Fatal("mutation bytes had no effect")
+	}
+}

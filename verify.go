@@ -1,0 +1,129 @@
+package archcontest
+
+// Verified run facades: the same Run / ContestRun entry points, with the
+// full verification subsystem riding along. Every executed cycle is checked
+// against the engine's structural invariants, every retirement is replayed
+// against the in-order oracle, and every contested run additionally checks
+// the GRB protocol, bounded lagging distance, leader accounting and the
+// merged store stream. A clean run returns the ordinary result; any
+// violation aborts with an error listing what broke.
+//
+// Verified runs are for tests, fuzzing and debugging: the checks cost an
+// O(window) scan per core-cycle (tune with VerifyOptions.ScanEvery), and
+// they bypass every result cache by construction since the checks happen
+// during execution.
+
+import (
+	"errors"
+	"fmt"
+
+	"archcontest/internal/contest"
+	"archcontest/internal/invariant"
+	"archcontest/internal/oracle"
+	"archcontest/internal/sim"
+)
+
+// VerifyOptions tunes the verification layer of a verified run.
+type VerifyOptions struct {
+	// ScanEvery is the cycle stride of the O(window) structural scans; the
+	// O(1) per-cycle checks always run. 0 scans every cycle.
+	ScanEvery int64
+	// MaxViolations caps how many violations are collected before the
+	// checker stops recording (the run still completes). 0 selects 16.
+	MaxViolations int
+}
+
+// OracleExecution computes the in-order reference execution of a trace:
+// the ground-truth architectural results every conforming run must
+// reproduce.
+func OracleExecution(tr *Trace) *oracle.Execution { return oracle.Run(tr) }
+
+type violationLog struct {
+	max  int
+	errs []error
+	more int
+}
+
+func newViolationLog(max int) *violationLog {
+	if max <= 0 {
+		max = 16
+	}
+	return &violationLog{max: max}
+}
+
+func (v *violationLog) add(err error) {
+	if len(v.errs) < v.max {
+		v.errs = append(v.errs, err)
+	} else {
+		v.more++
+	}
+}
+
+func (v *violationLog) err() error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	if v.more > 0 {
+		v.errs = append(v.errs, fmt.Errorf("... and %d further violations", v.more))
+	}
+	return errors.Join(v.errs...)
+}
+
+// RunVerified executes a trace on a single core with the invariant checker
+// and differential oracle attached. It returns the run's result — identical
+// to Run's — and an error describing every invariant violation observed, if
+// any.
+func RunVerified(cfg CoreConfig, tr *Trace, opts ...RunOptions) (RunResult, error) {
+	var o RunOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return runVerified(cfg, tr, o, VerifyOptions{})
+}
+
+// RunVerifiedWith is RunVerified with explicit verification tuning.
+func RunVerifiedWith(cfg CoreConfig, tr *Trace, o RunOptions, vo VerifyOptions) (RunResult, error) {
+	return runVerified(cfg, tr, o, vo)
+}
+
+func runVerified(cfg CoreConfig, tr *Trace, o RunOptions, vo VerifyOptions) (RunResult, error) {
+	log := newViolationLog(vo.MaxViolations)
+	chk := invariant.NewCoreChecker(tr, invariant.Options{
+		OnViolation: log.add,
+		ScanEvery:   vo.ScanEvery,
+	})
+	o.Checker = chk
+	res, err := sim.Run(cfg, tr, o)
+	if err != nil {
+		return res, err
+	}
+	chk.Finish(int64(tr.Len()))
+	return res, log.err()
+}
+
+// ContestRunVerified executes a contested run with the full verification
+// subsystem attached: per-core invariant checkers plus the system observer
+// asserting the contest protocol (bounded lag, GRB injection timing, leader
+// accounting, store-merge/oracle prefix, exception rendezvous). It returns
+// the run's result — identical to ContestRun's — and an error describing
+// every violation observed, if any.
+func ContestRunVerified(cfgs []CoreConfig, tr *Trace, opts ContestOptions) (ContestResult, error) {
+	return ContestRunVerifiedWith(cfgs, tr, opts, VerifyOptions{})
+}
+
+// ContestRunVerifiedWith is ContestRunVerified with explicit verification
+// tuning.
+func ContestRunVerifiedWith(cfgs []CoreConfig, tr *Trace, opts ContestOptions, vo VerifyOptions) (ContestResult, error) {
+	log := newViolationLog(vo.MaxViolations)
+	obs := invariant.NewSystemObserver(tr, invariant.Options{
+		OnViolation: log.add,
+		ScanEvery:   vo.ScanEvery,
+	})
+	opts.Observer = obs
+	res, err := contest.Run(cfgs, tr, opts)
+	if err != nil {
+		return res, err
+	}
+	obs.Finish(res)
+	return res, log.err()
+}
