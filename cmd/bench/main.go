@@ -14,6 +14,7 @@
 //	bench -o out.json          # output path (default BENCH_engine.json)
 //	bench -fast-only           # skip the slow single-step reference
 //	bench -verify=false        # skip the invariant-checker-attached timings
+//	bench -record=false        # skip the observability-recorder-attached timings
 //	bench -merge               # keep the best time per leg across repeated runs
 //	bench -baseline old.json   # report checker-off wall-time ratio vs old run(s)
 //	bench -campaign            # campaign benchmark -> BENCH_campaign.json
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"archcontest"
+	"archcontest/internal/obs"
 )
 
 type timing struct {
@@ -50,6 +52,13 @@ type scenarioResult struct {
 	// with no checker attached the hooks are single nil checks.
 	Verified       *timing `json:"verified,omitempty"`
 	VerifyOverhead float64 `json:"verify_overhead,omitempty"`
+	// Recorded times the same scenario with the observability recorder
+	// attached; RecordOverhead is recorded/event_driven wall time. The
+	// recorder-off leg is still event_driven — comparing it against a
+	// previous run's BENCH_engine.json (-baseline) is the regression gate
+	// for "a detached recorder costs nothing".
+	Recorded       *timing `json:"recorded,omitempty"`
+	RecordOverhead float64 `json:"record_overhead,omitempty"`
 }
 
 type report struct {
@@ -106,6 +115,11 @@ func mergeReport(fresh *report, prev report) {
 		} else {
 			minLeg(s.Verified, old.Verified)
 		}
+		if s.Recorded == nil {
+			s.Recorded = old.Recorded
+		} else {
+			minLeg(s.Recorded, old.Recorded)
+		}
 		if s.SingleStep != nil {
 			s.Speedup = s.SingleStep.WallSeconds / s.EventDriven.WallSeconds
 			logSpeedup += math.Log(s.Speedup)
@@ -113,6 +127,9 @@ func mergeReport(fresh *report, prev report) {
 		}
 		if s.Verified != nil {
 			s.VerifyOverhead = s.Verified.WallSeconds / s.EventDriven.WallSeconds
+		}
+		if s.Recorded != nil {
+			s.RecordOverhead = s.Recorded.WallSeconds / s.EventDriven.WallSeconds
 		}
 	}
 	if speedups > 0 {
@@ -165,6 +182,7 @@ type scenario struct {
 	name        string
 	run         func(singleStep bool) error
 	runVerified func() error
+	runRecorded func() error
 }
 
 func singleScenario(bench, core string, n int) scenario {
@@ -185,6 +203,18 @@ func singleScenario(bench, core string, n int) scenario {
 		runVerified: func() error {
 			_, err := archcontest.RunVerified(cfg, tr)
 			return err
+		},
+		runRecorded: func() error {
+			rec := obs.NewRecorder(obs.Options{})
+			r, err := archcontest.Run(cfg, tr, archcontest.RunOptions{Checker: rec.CoreChecker(0)})
+			if err != nil {
+				return err
+			}
+			rec.FinishRun(r)
+			if len(rec.Events()) == 0 {
+				return fmt.Errorf("recorder captured nothing")
+			}
+			return nil
 		},
 	}
 }
@@ -211,6 +241,18 @@ func contestScenario(bench string, cores []string, n int) scenario {
 		runVerified: func() error {
 			_, err := archcontest.ContestRunVerified(cfgs, tr, archcontest.ContestOptions{})
 			return err
+		},
+		runRecorded: func() error {
+			rec := obs.NewRecorder(obs.Options{})
+			r, err := archcontest.ContestRun(cfgs, tr, archcontest.ContestOptions{Observer: rec})
+			if err != nil {
+				return err
+			}
+			rec.FinishContest(r)
+			if len(rec.Events()) == 0 {
+				return fmt.Errorf("recorder captured nothing")
+			}
+			return nil
 		},
 	}
 }
@@ -242,6 +284,7 @@ func main() {
 	out := flag.String("o", "BENCH_engine.json", "output JSON path")
 	fastOnly := flag.Bool("fast-only", false, "skip the single-step reference timings")
 	verify := flag.Bool("verify", true, "also time each scenario with the invariant checker attached")
+	record := flag.Bool("record", true, "also time each scenario with the observability recorder attached")
 	baseline := flag.String("baseline", "", "previous BENCH_engine.json file(s), comma-separated, to compare checker-off times against")
 	merge := flag.Bool("merge", false, "fold the existing output file's timings in, keeping the best per leg")
 	campaign := flag.Bool("campaign", false, "benchmark the campaign engine instead of the execution engine")
@@ -276,7 +319,7 @@ func main() {
 	}
 	logSpeedup := 0.0
 	speedups := 0
-	fmt.Printf("%-24s %12s %12s %9s %12s\n", "scenario", "event MIPS", "naive MIPS", "speedup", "verify cost")
+	fmt.Printf("%-24s %12s %12s %9s %12s %12s\n", "scenario", "event MIPS", "naive MIPS", "speedup", "verify cost", "record cost")
 	for _, s := range scenarios {
 		fast, err := timeScenario(s, false, *repeat, *n)
 		if err != nil {
@@ -293,6 +336,16 @@ func main() {
 			res.VerifyOverhead = v.WallSeconds / fast.WallSeconds
 			verifyCol = fmt.Sprintf("%.2fx", res.VerifyOverhead)
 		}
+		recordCol := "-"
+		if *record {
+			r, err := timeFn(s.runRecorded, *repeat, *n)
+			if err != nil {
+				log.Fatalf("%s (recorded): %v", s.name, err)
+			}
+			res.Recorded = &r
+			res.RecordOverhead = r.WallSeconds / fast.WallSeconds
+			recordCol = fmt.Sprintf("%.2fx", res.RecordOverhead)
+		}
 		if !*fastOnly {
 			slow, err := timeScenario(s, true, *repeat, *n)
 			if err != nil {
@@ -302,9 +355,9 @@ func main() {
 			res.Speedup = slow.WallSeconds / fast.WallSeconds
 			logSpeedup += math.Log(res.Speedup)
 			speedups++
-			fmt.Printf("%-24s %12.2f %12.2f %8.2fx %12s\n", s.name, fast.MIPS, slow.MIPS, res.Speedup, verifyCol)
+			fmt.Printf("%-24s %12.2f %12.2f %8.2fx %12s %12s\n", s.name, fast.MIPS, slow.MIPS, res.Speedup, verifyCol, recordCol)
 		} else {
-			fmt.Printf("%-24s %12.2f %12s %9s %12s\n", s.name, fast.MIPS, "-", "-", verifyCol)
+			fmt.Printf("%-24s %12.2f %12s %9s %12s %12s\n", s.name, fast.MIPS, "-", "-", verifyCol, recordCol)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
 	}

@@ -16,6 +16,7 @@ import (
 	"archcontest/internal/config"
 	"archcontest/internal/contest"
 	"archcontest/internal/experiments"
+	"archcontest/internal/obs"
 	"archcontest/internal/sim"
 )
 
@@ -26,8 +27,11 @@ func main() {
 	cores := flag.String("cores", "", "comma-separated palette core names (default: best pair search input required)")
 	n := flag.Int("n", 500000, "trace length in instructions")
 	latency := flag.Float64("latency", 1.0, "core-to-core latency in ns")
-	openCache := cmdutil.CacheFlags()
+	sampleNs := flag.Float64("sample", 100, "observability sampling interval in simulated ns")
+	openCache := cmdutil.CacheFlags(nil)
+	obsFlags := cmdutil.ObsFlags(nil)
 	flag.Parse()
+	obsFlags.StartPprof()
 
 	var names []string
 	for _, name := range strings.Split(*cores, ",") {
@@ -58,14 +62,58 @@ func main() {
 	}
 	fmt.Printf("%-22s own customized core (write-back): IPT %.3f\n", *bench, own.IPT())
 
-	res, err := lab.Contest(*bench, names, contest.Options{LatencyNs: *latency})
-	if err != nil {
-		log.Fatal(err)
+	var res contest.Result
+	var rec *obs.Recorder
+	if obsFlags.Wanted() {
+		// Recorded runs execute the contest directly: the campaign layers
+		// exclude observers from their cache keys, so a cached hit would
+		// silently record nothing.
+		tr, err := lab.Trace(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfgs := make([]config.CoreConfig, len(names))
+		for i, name := range names {
+			cfgs[i] = config.MustPaletteCore(name)
+		}
+		rec = obs.NewRecorder(obs.Options{SampleIntervalNs: *sampleNs})
+		res, err = contest.Run(cfgs, tr, contest.Options{LatencyNs: *latency, Observer: rec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.FinishContest(res)
+	} else {
+		var err error
+		res, err = lab.Contest(*bench, names, contest.Options{LatencyNs: *latency})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("contested %v @ %.3gns: IPT %.3f  (speedup over own core %.1f%%)\n",
 		res.Cores, *latency, res.IPT(), 100*(res.IPT()/own.IPT()-1))
 	fmt.Printf("winner=%s leadChanges=%d saturated=%v injected=%v\n",
 		res.Cores[res.Winner], res.LeadChanges, res.Saturated,
 		[]int64{res.PerCore[0].Injected, res.PerCore[1].Injected})
+	if rec != nil {
+		if err := obsFlags.WriteTimeline(rec.WriteChromeTrace); err != nil {
+			log.Fatalf("timeline: %v", err)
+		}
+		m, err := rec.Metrics()
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := obsFlags.WriteMetricsJSON(m); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("recorded %d events (%d dropped), %d lead changes",
+			len(rec.Events()), rec.Dropped(), rec.LeadChanges())
+		if obsFlags.Timeline != "" {
+			fmt.Printf("; timeline -> %s (open in chrome://tracing or Perfetto)", obsFlags.Timeline)
+		}
+		if obsFlags.Metrics != "" {
+			fmt.Printf("; metrics -> %s", obsFlags.Metrics)
+		}
+		fmt.Println()
+	}
 	cmdutil.PrintCacheStats(resCache)
 }

@@ -13,6 +13,7 @@ import (
 
 	"archcontest"
 	"archcontest/internal/cmdutil"
+	"archcontest/internal/obs"
 )
 
 func main() {
@@ -28,14 +29,20 @@ func main() {
 	exchange := flag.Int("exchange", 10, "tempering rounds between replica exchanges")
 	par := flag.Int("par", 0, "max concurrent evaluations (0 = NumCPU)")
 	verbose := flag.Bool("v", false, "log accepted moves")
-	openCache := cmdutil.CacheFlags()
+	openCache := cmdutil.CacheFlags(nil)
+	obsFlags := cmdutil.ObsFlags(nil)
 	flag.Parse()
+	obsFlags.StartPprof()
 
 	tr, err := archcontest.GenerateTrace(*bench, *n)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cache := openCache()
+	var artifacts *obs.ArtifactLog
+	if obsFlags.Wanted() {
+		artifacts = obs.NewArtifactLog()
+	}
 
 	var res archcontest.ExploreResult
 	switch *mode {
@@ -43,6 +50,7 @@ func main() {
 		opts := archcontest.ExploreOptions{
 			Seed: *seed, Steps: *steps,
 			Lookahead: *lookahead, Parallelism: *par, Cache: cache,
+			Log: artifacts,
 		}
 		if *verbose {
 			opts.Progress = func(step int, cfg archcontest.CoreConfig, ipt float64) {
@@ -55,6 +63,7 @@ func main() {
 			Seed: *seed, Steps: *steps,
 			Chains: *chains, ExchangeEvery: *exchange,
 			Parallelism: *par, Cache: cache,
+			Log: artifacts,
 		}
 		if *verbose {
 			opts.Progress = func(chain, step int, cfg archcontest.CoreConfig, ipt float64) {
@@ -75,5 +84,18 @@ func main() {
 	ref := archcontest.MustPaletteCore(*bench)
 	refRun := archcontest.MustRun(ref, tr)
 	fmt.Printf("paper palette core %q on the same trace: IPT %.3f\n", ref.Name, refRun.IPT())
+	if artifacts != nil {
+		if err := obsFlags.WriteTimeline(artifacts.WriteChromeTrace); err != nil {
+			log.Fatalf("timeline: %v", err)
+		}
+		if err := obsFlags.WriteMetricsJSON(struct {
+			Evaluated int                 `json:"evaluated"`
+			Wasted    int                 `json:"wasted"`
+			BestIPT   float64             `json:"best_ipt"`
+			Artifacts obs.CampaignSummary `json:"artifacts"`
+		}{res.Evaluated, res.Wasted, res.BestIPT, artifacts.Summary()}); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+	}
 	cmdutil.PrintCacheStats(cache)
 }

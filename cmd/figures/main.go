@@ -27,6 +27,7 @@ import (
 
 	"archcontest/internal/cmdutil"
 	"archcontest/internal/experiments"
+	"archcontest/internal/obs"
 )
 
 func main() {
@@ -38,8 +39,10 @@ func main() {
 	pairs := flag.Int("pairs", 3, "oracle-shortlisted candidate pairs per benchmark")
 	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
-	openCache := cmdutil.CacheFlags()
+	openCache := cmdutil.CacheFlags(nil)
+	obsFlags := cmdutil.ObsFlags(nil)
 	flag.Parse()
+	obsFlags.StartPprof()
 
 	if *list {
 		for _, id := range experiments.RegistryOrder {
@@ -53,13 +56,19 @@ func main() {
 		ids = strings.Split(*experiment, ",")
 	}
 	cache := openCache()
+	var artifacts *obs.ArtifactLog
+	if obsFlags.Wanted() {
+		artifacts = obs.NewArtifactLog()
+	}
 	lab := experiments.NewLab(experiments.Config{
 		N:              *n,
 		LatencyNs:      *latency,
 		CandidatePairs: *pairs,
 		Parallelism:    *par,
 		Cache:          cache,
+		Artifacts:      artifacts,
 	})
+	cmdutil.Publish("archcontest.campaign", func() any { return lab.CampaignStats() })
 	campaignStart := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -78,5 +87,16 @@ func main() {
 	st := lab.CampaignStats()
 	fmt.Fprintf(os.Stderr, "campaign: %v wall, %d traces generated, %d simulations, %d contests executed\n",
 		time.Since(campaignStart).Round(time.Millisecond), st.TraceGens, st.Simulations, st.Contests)
+	if artifacts != nil {
+		if err := obsFlags.WriteTimeline(artifacts.WriteChromeTrace); err != nil {
+			log.Fatalf("timeline: %v", err)
+		}
+		if err := obsFlags.WriteMetricsJSON(struct {
+			Campaign  experiments.CampaignStats `json:"campaign"`
+			Artifacts obs.CampaignSummary       `json:"artifacts"`
+		}{st, artifacts.Summary()}); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+	}
 	cmdutil.PrintCacheStats(cache)
 }

@@ -12,6 +12,7 @@ import (
 
 	"archcontest/internal/cmdutil"
 	"archcontest/internal/experiments"
+	"archcontest/internal/obs"
 )
 
 func main() {
@@ -19,11 +20,18 @@ func main() {
 	log.SetPrefix("matrix: ")
 	n := flag.Int("n", 200000, "instructions per trace")
 	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
-	openCache := cmdutil.CacheFlags()
+	openCache := cmdutil.CacheFlags(nil)
+	obsFlags := cmdutil.ObsFlags(nil)
 	flag.Parse()
+	obsFlags.StartPprof()
 
 	cache := openCache()
-	lab := experiments.NewLab(experiments.Config{N: *n, Parallelism: *par, Cache: cache})
+	var artifacts *obs.ArtifactLog
+	if obsFlags.Wanted() {
+		artifacts = obs.NewArtifactLog()
+	}
+	lab := experiments.NewLab(experiments.Config{N: *n, Parallelism: *par, Cache: cache, Artifacts: artifacts})
+	cmdutil.Publish("archcontest.campaign", func() any { return lab.CampaignStats() })
 	start := time.Now()
 	m, err := lab.Matrix()
 	if err != nil {
@@ -53,6 +61,17 @@ func main() {
 			mark = " *"
 		}
 		fmt.Printf("   %s%s\n", best, mark)
+	}
+	if artifacts != nil {
+		if err := obsFlags.WriteTimeline(artifacts.WriteChromeTrace); err != nil {
+			log.Fatalf("timeline: %v", err)
+		}
+		if err := obsFlags.WriteMetricsJSON(struct {
+			Campaign  experiments.CampaignStats `json:"campaign"`
+			Artifacts obs.CampaignSummary       `json:"artifacts"`
+		}{st, artifacts.Summary()}); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
 	}
 	cmdutil.PrintCacheStats(cache)
 }

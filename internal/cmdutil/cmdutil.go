@@ -1,25 +1,39 @@
-// Package cmdutil holds the few flag conventions shared by every cmd/
-// driver, so `-cache.dir`/`-cache.off` behave identically across figures,
+// Package cmdutil holds the flag conventions shared by every cmd/ driver,
+// so `-cache.dir`/`-cache.off` and the observability flags
+// `-timeline`/`-metrics`/`-pprof` behave identically across figures,
 // matrix, explore, contest, and bench.
 package cmdutil
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 
 	"archcontest/internal/resultcache"
 )
 
-// CacheFlags registers -cache.dir and -cache.off on the default FlagSet
-// and returns an opener to call after flag.Parse. The opener returns nil
-// (caching disabled) when -cache.off is set or the directory cannot be
+// CacheFlags registers -cache.dir and -cache.off on fs (flag.CommandLine
+// when nil) and returns an opener to call after parsing. The opener returns
+// nil (caching disabled) when -cache.off is set or the directory cannot be
 // created; a nil *resultcache.Cache is a valid always-miss cache, so
 // callers pass it through unconditionally.
-func CacheFlags() func() *resultcache.Cache {
-	dir := flag.String("cache.dir", resultcache.DefaultDir, "persistent result cache directory")
-	off := flag.Bool("cache.off", false, "disable the persistent result cache")
+//
+// Taking the FlagSet explicitly is what makes the function reusable: the
+// old form registered on the global default set, so a second call — two
+// drivers linked into one test binary, or a test exercising the flags
+// twice — panicked on duplicate flag registration.
+func CacheFlags(fs *flag.FlagSet) func() *resultcache.Cache {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	dir := fs.String("cache.dir", resultcache.DefaultDir, "persistent result cache directory")
+	off := fs.Bool("cache.off", false, "disable the persistent result cache")
 	return func() *resultcache.Cache {
 		if *off {
 			return nil
@@ -44,4 +58,91 @@ func PrintCacheStats(c *resultcache.Cache) {
 	}
 	fmt.Fprintf(os.Stderr, "result cache %s: %d hits (%d mem), %d misses, %d stored, %d corrupt\n",
 		c.Dir(), st.Hits, st.MemHits, st.Misses, st.Stores, st.Corrupt)
+}
+
+// ObsSet holds the observability flag values shared by every driver.
+type ObsSet struct {
+	// Timeline is the -timeline path: a Chrome trace_event JSON of the run
+	// (cmd/contest, cmd/bench) or of the campaign's artifact schedule
+	// (cmd/figures, cmd/matrix, cmd/explore), loadable in chrome://tracing
+	// and Perfetto.
+	Timeline string
+	// Metrics is the -metrics path: the run's aggregated observability
+	// metrics, or the campaign's self-observability counters, as JSON.
+	Metrics string
+	// Pprof is the -pprof listen address; empty leaves the listener off.
+	Pprof string
+}
+
+// ObsFlags registers -timeline, -metrics and -pprof on fs (flag.CommandLine
+// when nil) and returns the value set to read after parsing.
+func ObsFlags(fs *flag.FlagSet) *ObsSet {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	o := &ObsSet{}
+	fs.StringVar(&o.Timeline, "timeline", "", "write a Chrome trace_event timeline to this path")
+	fs.StringVar(&o.Metrics, "metrics", "", "write observability metrics JSON to this path")
+	fs.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return o
+}
+
+// Wanted reports whether any observability output was requested.
+func (o *ObsSet) Wanted() bool {
+	return o.Timeline != "" || o.Metrics != ""
+}
+
+// StartPprof starts the -pprof listener in the background (no-op when the
+// flag is unset). The default mux serves /debug/pprof (profiles) and
+// /debug/vars (every expvar published with Publish).
+func (o *ObsSet) StartPprof() {
+	if o.Pprof == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(o.Pprof, nil); err != nil {
+			log.Printf("pprof listener %s: %v", o.Pprof, err)
+		}
+	}()
+	log.Printf("pprof/expvar listening on http://%s/debug/pprof and /debug/vars", o.Pprof)
+}
+
+// WriteMetricsJSON writes v as indented JSON to the -metrics path (no-op
+// when unset).
+func (o *ObsSet) WriteMetricsJSON(v any) error {
+	if o.Metrics == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(o.Metrics, append(data, '\n'), 0o644)
+}
+
+// WriteTimeline streams a timeline through write to the -timeline path
+// (no-op when unset).
+func (o *ObsSet) WriteTimeline(write func(io.Writer) error) error {
+	if o.Timeline == "" {
+		return nil
+	}
+	f, err := os.Create(o.Timeline)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Publish registers an expvar under name computing its value from f on
+// every read. Republishing an existing name is a no-op (expvar itself
+// panics on duplicates), so drivers may call it unconditionally.
+func Publish(name string, f func() any) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(f))
 }

@@ -23,6 +23,7 @@ import (
 	"archcontest/internal/contest"
 	"archcontest/internal/invariant"
 	"archcontest/internal/merit"
+	"archcontest/internal/obs"
 	"archcontest/internal/resultcache"
 	"archcontest/internal/sim"
 	"archcontest/internal/switching"
@@ -64,6 +65,12 @@ type Config struct {
 	// VerifyScanEvery strides the checker's O(window) structural scans
 	// (0 = every cycle). Only meaningful with Verify.
 	VerifyScanEvery int64
+	// Artifacts, if non-nil, receives a timed span for every leaf
+	// computation the Lab actually executes (trace generation, single
+	// runs, contests) — the campaign's self-observability timeline.
+	// Memoized and cache-served artifacts record nothing, so the log
+	// shows real work only. Excluded from result-cache keys.
+	Artifacts *obs.ArtifactLog `json:"-"`
 }
 
 func (c *Config) applyDefaults() {
@@ -174,14 +181,17 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (any, error) {
 	return c.val, c.err
 }
 
-// exec runs one leaf computation under the global parallelism bound. The
-// caller's goroutine blocks until a slot frees and executes fn itself, so
-// the Lab never owns idle worker goroutines. Leaf computations are pure
+// execTimed runs one leaf computation under the global parallelism bound.
+// The caller's goroutine blocks until a slot frees and executes fn itself,
+// so the Lab never owns idle worker goroutines. Leaf computations are pure
 // (they never wait on other Lab tasks), so slot holders cannot deadlock.
-func (l *Lab) exec(fn func()) {
+// When Artifacts is configured, fn runs inside a recorded span; the span
+// starts after the semaphore is acquired, so the artifact timeline shows
+// executing work, not queueing.
+func (l *Lab) execTimed(kind, name string, fn func()) {
 	l.sem <- struct{}{}
 	defer func() { <-l.sem }()
-	fn()
+	l.cfg.Artifacts.Time(kind, name, fn)
 }
 
 // parallel runs fn(i) for i in [0, n) on a worker pool of at most
@@ -229,7 +239,7 @@ func (l *Lab) Trace(bench string) (*trace.Trace, error) {
 			return nil, err
 		}
 		var tr *trace.Trace
-		l.exec(func() {
+		l.execTimed("trace", bench, func() {
 			l.traceGens.Add(1)
 			tr, err = workload.Generate(p, l.cfg.N)
 		})
@@ -261,7 +271,7 @@ func (l *Lab) RunOn(bench string, cfg config.CoreConfig, opts sim.RunOptions) (s
 		if l.cfg.Verify {
 			var r sim.Result
 			var rerr error
-			l.exec(func() {
+			l.execTimed("run", bench+"/"+cfg.Name, func() {
 				l.sims.Add(1)
 				r, rerr = l.runVerified(tr, cfg, opts)
 			})
@@ -280,7 +290,7 @@ func (l *Lab) RunOn(bench string, cfg config.CoreConfig, opts sim.RunOptions) (s
 		}
 		var r sim.Result
 		var rerr error
-		l.exec(func() {
+		l.execTimed("run", bench+"/"+cfg.Name, func() {
 			l.sims.Add(1)
 			r, rerr = sim.Run(cfg, tr, opts)
 		})
@@ -406,12 +416,16 @@ func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contes
 	if opts.LatencyNs == 0 {
 		opts.LatencyNs = l.cfg.LatencyNs
 	}
+	span := bench
+	for _, c := range cfgs {
+		span += "/" + c.Name
+	}
 	key := resultcache.Key("contest", sim.EngineVersion, tr.Fingerprint(), tr.Name(), tr.Len(), cfgs, opts)
 	v, err := l.flight.do("contest/"+key, func() (any, error) {
 		if l.cfg.Verify {
 			var r contest.Result
 			var rerr error
-			l.exec(func() {
+			l.execTimed("contest", span, func() {
 				l.contests.Add(1)
 				r, rerr = l.contestVerified(tr, cfgs, opts)
 			})
@@ -430,7 +444,7 @@ func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contes
 		}
 		var r contest.Result
 		var rerr error
-		l.exec(func() {
+		l.execTimed("contest", span, func() {
 			l.contests.Add(1)
 			r, rerr = contest.Run(cfgs, tr, opts)
 		})

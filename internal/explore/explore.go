@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"archcontest/internal/config"
+	"archcontest/internal/obs"
 	"archcontest/internal/resultcache"
 	"archcontest/internal/sim"
 	"archcontest/internal/trace"
@@ -70,6 +71,9 @@ type Options struct {
 	// Cache, if non-nil, memoizes design-point evaluations across runs
 	// under the same content-addressed keys the campaign Lab uses.
 	Cache *resultcache.Cache
+	// Log, if non-nil, receives a timed span per executed design-point
+	// simulation (cache hits record nothing), for the campaign timeline.
+	Log *obs.ArtifactLog
 	// Progress, if non-nil, observes every accepted move.
 	Progress func(step int, cfg config.CoreConfig, ipt float64)
 }
@@ -212,14 +216,16 @@ type evaluator struct {
 	name  string
 	ropts sim.RunOptions
 	cache *resultcache.Cache
+	log   *obs.ArtifactLog
 }
 
-func newEvaluator(tr *trace.Trace, cache *resultcache.Cache) *evaluator {
+func newEvaluator(tr *trace.Trace, cache *resultcache.Cache, log *obs.ArtifactLog) *evaluator {
 	return &evaluator{
 		tr:    tr,
 		name:  "explore-" + tr.Name(),
 		ropts: sim.RunOptions{MaxCycles: int64(tr.Len()) * 200},
 		cache: cache,
+		log:   log,
 	}
 }
 
@@ -231,7 +237,9 @@ func (e *evaluator) eval(s state) (config.CoreConfig, float64, error) {
 	key := resultcache.Key("run", sim.EngineVersion, e.tr.Fingerprint(), e.tr.Name(), e.tr.Len(), cfg, e.ropts)
 	var res sim.Result
 	if !e.cache.Get(key, &res) {
-		res, err = sim.Run(cfg, e.tr, e.ropts)
+		e.log.Time("eval", e.name, func() {
+			res, err = sim.Run(cfg, e.tr, e.ropts)
+		})
 		if err != nil {
 			return config.CoreConfig{}, 0, err
 		}
@@ -293,7 +301,7 @@ func Customize(tr *trace.Trace, opts Options) (Result, error) {
 	base := xrand.New(opts.Seed)
 	rProp := base.Split()
 	rAcc := base.Split()
-	ev := newEvaluator(tr, opts.Cache)
+	ev := newEvaluator(tr, opts.Cache, opts.Log)
 
 	cur := defaultState()
 	if !cur.valid() {

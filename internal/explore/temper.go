@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"archcontest/internal/config"
+	"archcontest/internal/obs"
 	"archcontest/internal/resultcache"
 	"archcontest/internal/trace"
 	"archcontest/internal/xrand"
@@ -34,6 +35,9 @@ type TemperingOptions struct {
 	Parallelism int
 	// Cache, if non-nil, memoizes design-point evaluations.
 	Cache *resultcache.Cache
+	// Log, if non-nil, receives a timed span per executed design-point
+	// simulation (cache hits record nothing), for the campaign timeline.
+	Log *obs.ArtifactLog
 	// Progress, if non-nil, observes every accepted move on any chain.
 	Progress func(chain, step int, cfg config.CoreConfig, ipt float64)
 }
@@ -90,7 +94,7 @@ func Temper(tr *trace.Trace, opts TemperingOptions) (Result, error) {
 		temps[i] = opts.ColdTemp * math.Pow(opts.HotTemp/opts.ColdTemp, float64(i)/float64(m-1))
 	}
 
-	ev := newEvaluator(tr, opts.Cache)
+	ev := newEvaluator(tr, opts.Cache, opts.Log)
 	start := defaultState()
 	if !start.valid() {
 		return Result{}, fmt.Errorf("explore: invalid initial state")

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Campaign self-observability: where a figures/matrix/explore run spends
+// its wall time. The campaign engine records a Span per executed leaf
+// artifact (trace generation, single run, contest); the log renders them
+// as a Chrome trace with one lane per concurrently-executing slot, which
+// makes scheduling gaps and parallelism collapse visible at a glance.
+
+// Span is one timed artifact computation.
+type Span struct {
+	// Kind groups spans ("trace", "run", "contest", "eval", ...); Name
+	// identifies the artifact.
+	Kind, Name string
+	Start, End time.Time
+}
+
+// ArtifactLog is a concurrency-safe span collector. The zero value is not
+// usable; a nil *ArtifactLog is, and records nothing — callers hold one
+// pointer and never branch.
+type ArtifactLog struct {
+	mu     sync.Mutex
+	origin time.Time
+	spans  []Span
+}
+
+// NewArtifactLog starts a log; the first recorded span anchors trace time
+// zero at the log's creation.
+func NewArtifactLog() *ArtifactLog {
+	return &ArtifactLog{origin: time.Now()}
+}
+
+// Record appends one finished span (no-op on a nil log).
+func (l *ArtifactLog) Record(kind, name string, start, end time.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.spans = append(l.spans, Span{Kind: kind, Name: name, Start: start, End: end})
+	l.mu.Unlock()
+}
+
+// Time wraps fn in a recorded span (no-op timing on a nil log).
+func (l *ArtifactLog) Time(kind, name string, fn func()) {
+	if l == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	l.Record(kind, name, start, time.Now())
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (l *ArtifactLog) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Span(nil), l.spans...)
+}
+
+// CampaignKindSummary aggregates one artifact kind.
+type CampaignKindSummary struct {
+	Kind   string  `json:"kind"`
+	Count  int     `json:"count"`
+	WallNs int64   `json:"wall_ns"`
+	Share  float64 `json:"share"` // of summed span time
+}
+
+// CampaignSummary is the log's aggregate JSON report.
+type CampaignSummary struct {
+	Schema string `json:"schema"`
+	Spans  int    `json:"spans"`
+	// ElapsedNs is first-start to last-end; BusyNs sums span durations
+	// (BusyNs/ElapsedNs estimates achieved parallelism).
+	ElapsedNs int64                 `json:"elapsed_ns"`
+	BusyNs    int64                 `json:"busy_ns"`
+	Kinds     []CampaignKindSummary `json:"kinds"`
+}
+
+// Summary aggregates the log.
+func (l *ArtifactLog) Summary() CampaignSummary {
+	spans := l.Spans()
+	s := CampaignSummary{Schema: SchemaVersion, Spans: len(spans)}
+	if len(spans) == 0 {
+		return s
+	}
+	first, last := spans[0].Start, spans[0].End
+	byKind := map[string]*CampaignKindSummary{}
+	var order []string
+	for _, sp := range spans {
+		if sp.Start.Before(first) {
+			first = sp.Start
+		}
+		if sp.End.After(last) {
+			last = sp.End
+		}
+		k := byKind[sp.Kind]
+		if k == nil {
+			k = &CampaignKindSummary{Kind: sp.Kind}
+			byKind[sp.Kind] = k
+			order = append(order, sp.Kind)
+		}
+		k.Count++
+		k.WallNs += sp.End.Sub(sp.Start).Nanoseconds()
+		s.BusyNs += sp.End.Sub(sp.Start).Nanoseconds()
+	}
+	s.ElapsedNs = last.Sub(first).Nanoseconds()
+	sort.Strings(order)
+	for _, kind := range order {
+		k := byKind[kind]
+		if s.BusyNs > 0 {
+			k.Share = float64(k.WallNs) / float64(s.BusyNs)
+		}
+		s.Kinds = append(s.Kinds, *k)
+	}
+	return s
+}
+
+// WriteChromeTrace renders the log as a Chrome trace: pid 0 "campaign",
+// one tid lane per concurrently-busy slot (greedy assignment, so the lane
+// count is the achieved parallelism), spans as X duration events in real
+// microseconds from the log's origin.
+func (l *ArtifactLog) WriteChromeTrace(w io.Writer) error {
+	spans := l.Spans()
+	byStart := make([]int, len(spans))
+	for i := range byStart {
+		byStart[i] = i
+	}
+	sort.SliceStable(byStart, func(a, b int) bool {
+		return spans[byStart[a]].Start.Before(spans[byStart[b]].Start)
+	})
+
+	evs := []traceEvent{meta("process_name", 0, 0, map[string]any{"name": "campaign"})}
+	var laneEnd []time.Time // per-lane last span end
+	for _, i := range byStart {
+		sp := spans[i]
+		lane := -1
+		for t, end := range laneEnd {
+			if !end.After(sp.Start) {
+				lane = t
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, time.Time{})
+			evs = append(evs, meta("thread_name", 0, lane,
+				map[string]any{"name": fmt.Sprintf("slot %d", lane)}))
+		}
+		laneEnd[lane] = sp.End
+		evs = append(evs, traceEvent{
+			Name: sp.Kind + " " + sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start.Sub(l.origin).Microseconds()),
+			Dur:  float64(sp.End.Sub(sp.Start).Microseconds()),
+			Pid:  0, Tid: lane,
+			Args: map[string]any{"kind": sp.Kind, "name": sp.Name},
+		})
+	}
+	return writeTraceJSON(w, evs)
+}

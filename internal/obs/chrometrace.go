@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the recorder's event stream rendered in the
+// JSON Array Format that chrome://tracing and Perfetto load directly.
+//
+// Mapping convention (1 trace microsecond = 1 simulated nanosecond, so
+// the viewer's "us" ruler reads as simulated ns):
+//
+//   - pid 0 "contest": tid 0 carries lead-change instants, tid 1 the
+//     leadership stints as duration (X) slices — the lead migrating
+//     between cores is the paper's headline dynamic, so it gets the top
+//     track;
+//   - pid i+1 "core i <name>": counter (C) tracks for interval IPC,
+//     lagging distance and injections, plus instant (i) markers for
+//     exception rendezvous, kill/refork and saturation.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the run's timeline. Call after FinishRun or
+// FinishContest.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if !r.finished {
+		return fmt.Errorf("obs: WriteChromeTrace before FinishRun/FinishContest")
+	}
+	var evs []traceEvent
+
+	// Metadata names the tracks.
+	evs = append(evs,
+		meta("process_name", 0, 0, map[string]any{"name": "contest " + r.benchmark}),
+		meta("thread_name", 0, 0, map[string]any{"name": "lead changes"}),
+		meta("thread_name", 0, 1, map[string]any{"name": "leader"}),
+	)
+	for i := range r.finalStats {
+		evs = append(evs, meta("process_name", i+1, 0,
+			map[string]any{"name": fmt.Sprintf("core %d %s", i, r.coreName(i))}))
+	}
+
+	events := r.ring.events()
+
+	// Leadership stints: reconstruct from the retained lead changes. The
+	// stint before the first retained change starts at the earlier of time
+	// 0 (nothing dropped) or that change's timestamp.
+	stintStart, stintLeader := 0.0, 0
+	sawChange := false
+	for _, e := range events {
+		if e.Kind != KindLeadChange {
+			continue
+		}
+		at := e.Time.Nanoseconds()
+		if !sawChange && r.Dropped() > 0 {
+			stintStart, stintLeader = at, int(e.Seq)
+		}
+		sawChange = true
+		evs = append(evs,
+			traceEvent{
+				Name: fmt.Sprintf("core %d leads", stintLeader),
+				Ph:   "X", Ts: stintStart, Dur: at - stintStart, Pid: 0, Tid: 1,
+			},
+			traceEvent{
+				Name: fmt.Sprintf("lead: core %d -> core %d", e.Seq, e.Core),
+				Ph:   "i", Ts: at, Pid: 0, Tid: 0, Scope: "p",
+				Args: map[string]any{"new_leader_retired": e.Retired},
+			})
+		stintStart, stintLeader = at, int(e.Core)
+	}
+	if end := r.endTime.Nanoseconds(); end > stintStart && len(r.finalStats) > 1 {
+		evs = append(evs, traceEvent{
+			Name: fmt.Sprintf("core %d leads", stintLeader),
+			Ph:   "X", Ts: stintStart, Dur: end - stintStart, Pid: 0, Tid: 1,
+		})
+	}
+
+	// Per-core counters and markers.
+	for i := range r.finalStats {
+		core := int32(i)
+		pid := i + 1
+		for _, iv := range intervalsFor(events, core) {
+			evs = append(evs,
+				counter("ipc", pid, iv.EndNs, map[string]any{"ipc": iv.IPC}),
+				counter("lag", pid, iv.EndNs, map[string]any{"insts": iv.Lag}),
+				counter("injected", pid, iv.EndNs, map[string]any{"insts": iv.Injected}),
+			)
+		}
+		for _, e := range events {
+			if e.Core != core {
+				continue
+			}
+			switch e.Kind {
+			case KindException, KindRefork, KindSaturated:
+				args := map[string]any{"seq": e.Seq}
+				if e.Kind == KindSaturated {
+					args = nil
+				}
+				evs = append(evs, traceEvent{
+					Name: e.Kind.String(), Ph: "i",
+					Ts: e.Time.Nanoseconds(), Pid: pid, Tid: 0, Scope: "t",
+					Args: args,
+				})
+			}
+		}
+	}
+
+	return writeTraceJSON(w, evs)
+}
+
+func meta(name string, pid, tid int, args map[string]any) traceEvent {
+	return traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args}
+}
+
+func counter(name string, pid int, ts float64, args map[string]any) traceEvent {
+	return traceEvent{Name: name, Ph: "C", Ts: ts, Pid: pid, Tid: 0, Args: args}
+}
+
+// writeTraceJSON emits the JSON Array Format: one event per line inside a
+// top-level array, so traces stay diffable and stream-writable.
+func writeTraceJSON(w io.Writer, evs []traceEvent) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range evs {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(evs)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(data, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -1,0 +1,150 @@
+// Package obs is the opt-in observability layer of the contest engine: a
+// zero-allocation, ring-buffered event recorder that rides along a single
+// or contested run through the same nil-guarded hook pattern as
+// internal/invariant, and turns what it sees into per-interval metrics
+// (a stable JSON schema) and Chrome trace_event timelines that open
+// directly in chrome://tracing and Perfetto.
+//
+// The paper's central claim is dynamic — the lead migrates between cores
+// as fine-grain program behaviour changes — and end-of-run aggregates
+// cannot show it. The recorder captures, on a fixed sampling interval of
+// simulated time, each core's retire-rate samples (with cache and
+// mispredict counters), the lagging distance behind the leader, GRB
+// injection progress, every lead change, core saturation, and the
+// exception-rendezvous / kill-refork events of the Section 4.3 model.
+//
+// Attachment is by the existing hooks only — the hot loops gain no new
+// code:
+//
+//   - single-core runs: pass Recorder.CoreChecker(0) as
+//     sim.RunOptions.Checker (pipeline.Options.Checker underneath);
+//   - contested runs: pass the Recorder as contest.Options.Observer.
+//
+// A Recorder never mutates simulation state and never changes a result:
+// a run with a recorder attached is bit-identical to the same run without
+// (locked by the detached-recorder golden tests). All steady-state
+// recording writes into a preallocated ring; when a run outlives the ring
+// the oldest events are overwritten (Dropped counts them) while the
+// aggregate metrics, which are maintained outside the ring, stay exact.
+package obs
+
+import (
+	"archcontest/internal/ticks"
+)
+
+// SchemaVersion names the metrics JSON schema. Bump on any
+// field-semantics change so downstream tooling can detect drift.
+const SchemaVersion = "archcontest-obs-v1"
+
+// Kind discriminates recorded events.
+type Kind uint8
+
+const (
+	// KindSample is a periodic per-core counter sample: the Event carries
+	// the core's cumulative counters at Time.
+	KindSample Kind = 1 + iota
+	// KindLeadChange marks the system leader changing to Core at Time;
+	// Seq holds the previous leader and Retired the new leader's retired
+	// count.
+	KindLeadChange
+	// KindSaturated marks Core being declared a saturated lagger
+	// (contesting disabled for it).
+	KindSaturated
+	// KindException marks Core retiring the excepting instruction Seq
+	// after the rendezvous (the servicing handler under kill/refork).
+	KindException
+	// KindRefork marks Core paying the terminate-and-refork penalty for
+	// excepting instruction Seq (ExceptionKillRefork runs only).
+	KindRefork
+)
+
+// String names the kind for exports.
+func (k Kind) String() string {
+	switch k {
+	case KindSample:
+		return "sample"
+	case KindLeadChange:
+		return "lead-change"
+	case KindSaturated:
+		return "saturated"
+	case KindException:
+		return "exception"
+	case KindRefork:
+		return "refork"
+	}
+	return "unknown"
+}
+
+// Event is one recorded observation. The struct is flat and fixed-size so
+// the ring is a single allocation and appends are plain stores.
+type Event struct {
+	Kind Kind
+	Core int32
+	Time ticks.Time
+	// Seq is the instruction index of point events (exception, refork),
+	// or the previous leader for lead changes; -1 when not applicable.
+	Seq int64
+
+	// Sample payload: the core's cumulative counters at Time. Only
+	// KindSample (and the final sample emitted by Finish*) populate all
+	// of them; KindLeadChange reuses Retired for the new leader's count.
+	Retired, Injected, EarlyResolved int64
+	Mispredicts, Branches            int64
+	L1DAccesses, L1DMisses, L2DMisses int64
+	Cycles int64
+	// Lag is the core's lagging distance behind the leader in
+	// instructions at sample time (0 in single-core runs).
+	Lag int64
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// SampleIntervalNs is the sampling period in simulated nanoseconds
+	// (default 100ns). Each core emits at most one sample event per
+	// interval, timestamped at its first retirement inside it.
+	SampleIntervalNs float64
+	// Capacity is the event-ring capacity (default 32768 events). When a
+	// run outlives the ring, the oldest events are overwritten and
+	// counted in Dropped; aggregates stay exact regardless.
+	Capacity int
+}
+
+func (o *Options) applyDefaults() {
+	if o.SampleIntervalNs == 0 {
+		o.SampleIntervalNs = 100
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 32768
+	}
+}
+
+// ring is a fixed-capacity overwrite-oldest event buffer.
+type ring struct {
+	buf []Event
+	n   int64 // total events ever appended
+}
+
+func (r *ring) append(e Event) {
+	r.buf[r.n%int64(len(r.buf))] = e
+	r.n++
+}
+
+// events returns the retained events in append order (a fresh slice).
+func (r *ring) events() []Event {
+	if r.n <= int64(len(r.buf)) {
+		return append([]Event(nil), r.buf[:r.n]...)
+	}
+	out := make([]Event, len(r.buf))
+	start := int(r.n % int64(len(r.buf)))
+	n := copy(out, r.buf[start:])
+	copy(out[n:], r.buf[:start])
+	return out
+}
+
+// dropped reports how many events were overwritten by wrap-around.
+func (r *ring) dropped() int64 {
+	if d := r.n - int64(len(r.buf)); d > 0 {
+		return d
+	}
+	return 0
+}

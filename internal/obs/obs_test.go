@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+	"archcontest/internal/workload"
+)
+
+func TestRingWrapOrder(t *testing.T) {
+	r := ring{buf: make([]Event, 4)}
+	for i := 0; i < 3; i++ {
+		r.append(Event{Seq: int64(i)})
+	}
+	if d := r.dropped(); d != 0 {
+		t.Fatalf("dropped %d before wrap", d)
+	}
+	evs := r.events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+
+	// Push far past capacity: the newest 4 survive, in append order.
+	for i := 3; i < 11; i++ {
+		r.append(Event{Seq: int64(i)})
+	}
+	if d := r.dropped(); d != 7 {
+		t.Fatalf("dropped %d, want 7", d)
+	}
+	evs = r.events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events after wrap, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(7 + i); e.Seq != want {
+			t.Fatalf("event %d has Seq %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+// A recorder whose ring overflows must still report exact aggregates: the
+// counters live outside the ring, so only the per-interval series is
+// truncated.
+func TestRecorderRingOverflowExactAggregates(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 30_000)
+	cfgs := []config.CoreConfig{config.MustPaletteCore("twolf"), config.MustPaletteCore("vpr")}
+
+	rec := NewRecorder(Options{Capacity: 64, SampleIntervalNs: 25})
+	res, err := contest.Run(cfgs, tr, contest.Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.FinishContest(res)
+
+	if rec.Dropped() == 0 {
+		t.Fatalf("ring did not overflow (capacity 64, %d events kept) — shrink Capacity", len(rec.Events()))
+	}
+	if got := len(rec.Events()); got != 64 {
+		t.Fatalf("retained %d events, want capacity 64", got)
+	}
+	if rec.LeadChanges() != res.LeadChanges {
+		t.Errorf("recorder saw %d lead changes, contest reports %d", rec.LeadChanges(), res.LeadChanges)
+	}
+	m, err := rec.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DroppedEvents != rec.Dropped() {
+		t.Errorf("metrics DroppedEvents %d, recorder %d", m.DroppedEvents, rec.Dropped())
+	}
+	var share float64
+	for i, cm := range m.Cores {
+		if cm.Retired != res.PerCore[i].Retired {
+			t.Errorf("core %d Retired %d, want exact %d despite overflow", i, cm.Retired, res.PerCore[i].Retired)
+		}
+		if cm.Cycles != res.PerCore[i].Cycles {
+			t.Errorf("core %d Cycles %d, want exact %d", i, cm.Cycles, res.PerCore[i].Cycles)
+		}
+		share += cm.LeaderShare
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("leader shares sum to %f, want 1", share)
+	}
+	if won := m.Cores[0].LeadChangesWon + m.Cores[1].LeadChangesWon; won != res.LeadChanges {
+		t.Errorf("lead changes won sum to %d, want %d", won, res.LeadChanges)
+	}
+}
+
+func TestMetricsBeforeFinish(t *testing.T) {
+	rec := NewRecorder(Options{})
+	if _, err := rec.Metrics(); err == nil {
+		t.Error("Metrics before Finish* did not error")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err == nil {
+		t.Error("WriteChromeTrace before Finish* did not error")
+	}
+}
+
+func TestRecorderSingleCoreMetrics(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20_000)
+	cfg := config.MustPaletteCore("gcc")
+	rec := NewRecorder(Options{SampleIntervalNs: 50})
+	res, err := sim.Run(cfg, tr, sim.RunOptions{Checker: rec.CoreChecker(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.FinishRun(res)
+	m, err := rec.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != SchemaVersion {
+		t.Errorf("schema %q, want %q", m.Schema, SchemaVersion)
+	}
+	if m.Kind != "single" || m.Winner != -1 || m.LeadChanges != 0 {
+		t.Errorf("single-core header wrong: %+v", m)
+	}
+	if len(m.Cores) != 1 || m.Cores[0].Retired != res.Stats.Retired {
+		t.Fatalf("core metrics wrong: %+v", m.Cores)
+	}
+	if m.Cores[0].LeaderShare < 0.999 {
+		t.Errorf("only core's LeaderShare %f, want 1", m.Cores[0].LeaderShare)
+	}
+	if len(m.Cores[0].Intervals) == 0 {
+		t.Fatal("no interval series")
+	}
+	// Interval deltas must telescope back to the cumulative counters.
+	var retired int64
+	last := 0.0
+	for _, iv := range m.Cores[0].Intervals {
+		if iv.EndNs <= iv.StartNs {
+			t.Fatalf("degenerate interval %+v", iv)
+		}
+		if iv.StartNs < last {
+			t.Fatalf("intervals out of order at %+v", iv)
+		}
+		last = iv.EndNs
+		retired += iv.Retired
+	}
+	if retired > res.Stats.Retired {
+		t.Errorf("interval retired sum %d exceeds total %d", retired, res.Stats.Retired)
+	}
+	if retired < res.Stats.Retired/2 {
+		t.Errorf("interval series covers only %d of %d retirements", retired, res.Stats.Retired)
+	}
+}
+
+// The exported timeline must be loadable by chrome://tracing / Perfetto:
+// a JSON array of objects, each with the required trace_event fields and a
+// known phase, counters numeric, instants scoped.
+func TestChromeTraceSchema(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 20_000)
+	cfgs := []config.CoreConfig{config.MustPaletteCore("twolf"), config.MustPaletteCore("vpr")}
+	rec := NewRecorder(Options{})
+	res, err := contest.Run(cfgs, tr, contest.Options{Observer: rec, ExceptionEvery: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.FinishContest(res)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+
+	phases := map[string]int{}
+	leadInstants := 0
+	for _, e := range evs {
+		ph := e["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "M", "C", "i", "X":
+		default:
+			t.Fatalf("unknown phase %q in %v", ph, e)
+		}
+		if _, ok := e["name"].(string); !ok {
+			t.Fatalf("event without name: %v", e)
+		}
+		if ts, ok := e["ts"].(float64); !ok || ts < 0 {
+			t.Fatalf("event with bad ts: %v", e)
+		}
+		if ph == "X" {
+			if dur, ok := e["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("X event with bad dur: %v", e)
+			}
+		}
+		if ph == "i" {
+			if s, ok := e["s"].(string); !ok || (s != "p" && s != "t") {
+				t.Fatalf("instant without scope: %v", e)
+			}
+			if strings.HasPrefix(e["name"].(string), "lead:") {
+				leadInstants++
+			}
+		}
+		if ph == "C" {
+			args, ok := e["args"].(map[string]any)
+			if !ok || len(args) == 0 {
+				t.Fatalf("counter without numeric args: %v", e)
+			}
+			for k, v := range args {
+				if _, ok := v.(float64); !ok {
+					t.Fatalf("counter arg %q not numeric: %v", k, e)
+				}
+			}
+		}
+	}
+	for _, ph := range []string{"M", "C", "i", "X"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in trace", ph)
+		}
+	}
+	if int64(leadInstants) != res.LeadChanges {
+		t.Errorf("%d lead-change instants, contest reports %d", leadInstants, res.LeadChanges)
+	}
+}
+
+func TestArtifactLogTraceAndSummary(t *testing.T) {
+	var nilLog *ArtifactLog
+	nilLog.Record("run", "x", time.Time{}, time.Time{}) // must not panic
+	ran := false
+	nilLog.Time("run", "x", func() { ran = true })
+	if !ran {
+		t.Fatal("nil log did not run fn")
+	}
+
+	l := NewArtifactLog()
+	base := l.origin
+	// Two overlapping spans need two lanes; a third after both fits lane 0.
+	l.Record("trace", "gcc", base, base.Add(4*time.Millisecond))
+	l.Record("run", "gcc/gcc", base.Add(1*time.Millisecond), base.Add(3*time.Millisecond))
+	l.Record("contest", "gcc/gcc/mcf", base.Add(5*time.Millisecond), base.Add(6*time.Millisecond))
+
+	s := l.Summary()
+	if s.Spans != 3 || len(s.Kinds) != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.ElapsedNs != (6 * time.Millisecond).Nanoseconds() {
+		t.Errorf("elapsed %d", s.ElapsedNs)
+	}
+	if s.BusyNs != (7 * time.Millisecond).Nanoseconds() {
+		t.Errorf("busy %d", s.BusyNs)
+	}
+	var share float64
+	for _, k := range s.Kinds {
+		share += k.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("kind shares sum to %f", share)
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	lanes := map[float64]bool{}
+	slices := 0
+	for _, e := range evs {
+		if e["ph"] == "X" {
+			slices++
+			lanes[e["tid"].(float64)] = true
+		}
+	}
+	if slices != 3 {
+		t.Errorf("%d slices, want 3", slices)
+	}
+	if len(lanes) != 2 {
+		t.Errorf("%d lanes, want 2 (two overlapping spans, third reuses a lane)", len(lanes))
+	}
+}
+
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	return evs
+}
+
+// Sub-tick sampling intervals clamp to one tick (one sample per tick that
+// retires) instead of a modulo-by-zero panic.
+func TestRecorderTinyInterval(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 2_000)
+	cfg := config.MustPaletteCore("gcc")
+	rec := NewRecorder(Options{SampleIntervalNs: 1e-9})
+	if rec.interval != ticks.Time(1) {
+		t.Fatalf("interval %d, want clamp to 1 tick", rec.interval)
+	}
+	res, err := sim.Run(cfg, tr, sim.RunOptions{Checker: rec.CoreChecker(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.FinishRun(res)
+	// Superscalar retire shares one timestamp across a cycle's retirements,
+	// so the densest possible series is one sample per retiring tick — far
+	// denser than any realistic interval, but bounded by retire bursts.
+	if got := int64(len(rec.Events())) + rec.Dropped(); got < res.Stats.Retired/8 {
+		t.Errorf("tick-rate sampling recorded only %d events for %d retirements", got, res.Stats.Retired)
+	}
+}
+
+// Exception and refork events must appear under the kill/refork handler
+// model, tagged with the excepting instruction.
+func TestRecorderExceptionEvents(t *testing.T) {
+	tr := workload.MustGenerate("gap", 20_000)
+	cfgs := []config.CoreConfig{config.MustPaletteCore("gap"), config.MustPaletteCore("vortex")}
+	rec := NewRecorder(Options{Capacity: 1 << 16})
+	res, err := contest.Run(cfgs, tr, contest.Options{ExceptionEvery: 768, ExceptionKillRefork: true, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.FinishContest(res)
+	exc, refork := 0, 0
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case KindException:
+			exc++
+			if (e.Seq+1)%768 != 0 {
+				t.Fatalf("exception at non-boundary seq %d", e.Seq)
+			}
+		case KindRefork:
+			refork++
+		}
+	}
+	if exc == 0 {
+		t.Error("no exception events recorded")
+	}
+	if refork == 0 {
+		t.Error("no refork events recorded under ExceptionKillRefork")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSample; k <= KindRefork; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "unknown" || Kind(99).String() != "unknown" {
+		t.Error("out-of-range kinds must stringify as unknown")
+	}
+	_ = fmt.Sprintf("%v", KindSample) // fmt.Stringer wiring
+}

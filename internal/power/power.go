@@ -106,10 +106,18 @@ func SingleRun(cfg config.CoreConfig, r sim.Result) Estimate {
 
 // ContestRun estimates the total energy of a contested run: every core's
 // dynamic energy plus every core's leakage for the full system duration.
+// Only cores present in both slices are accounted: a configuration without
+// a matching PerCore entry (killed/reforked core accounting, or a caller
+// passing a subset of the contest's cores) contributes nothing rather than
+// panicking.
 func ContestRun(cfgs []config.CoreConfig, r contest.Result) Estimate {
 	var total Estimate
 	total.TimeNs = r.Time.Nanoseconds()
-	for i, cfg := range cfgs {
+	n := len(cfgs)
+	if len(r.PerCore) < n {
+		n = len(r.PerCore)
+	}
+	for i, cfg := range cfgs[:n] {
 		e := CoreEnergy(cfg, r.PerCore[i], total.TimeNs)
 		total.DynamicNJ += e.DynamicNJ
 		total.StaticNJ += e.StaticNJ

@@ -62,6 +62,47 @@ func TestContestCostsMoreEnergyThanSingle(t *testing.T) {
 	}
 }
 
+// Regression: ContestRun used to index r.PerCore[i] for every entry of
+// cfgs with no length guard, so a configuration slice longer than the
+// result's per-core stats (killed/reforked core accounting, or a caller
+// passing a superset of the contest's cores) panicked with
+// index-out-of-range. Mismatched slices must clamp to the common prefix.
+func TestContestRunMismatchedSlices(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 20000)
+	a := config.MustPaletteCore("twolf")
+	b := config.MustPaletteCore("vpr")
+	c := config.MustPaletteCore("gcc")
+	cfgs := []config.CoreConfig{a, b}
+	cres, err := contest.Run(cfgs, tr, contest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// More configurations than per-core stats: must not panic, and the
+	// unmatched configuration must contribute nothing.
+	over := ContestRun([]config.CoreConfig{a, b, c}, cres)
+	want := ContestRun(cfgs, cres)
+	if over != want {
+		t.Errorf("superset estimate %+v differs from matched estimate %+v", over, want)
+	}
+
+	// Fewer configurations than per-core stats: only the listed cores are
+	// accounted, again without panicking.
+	sub := ContestRun(cfgs[:1], cres)
+	if sub.DynamicNJ <= 0 || sub.DynamicNJ >= want.DynamicNJ {
+		t.Errorf("subset dynamic %.0fnJ not strictly inside (0, %.0fnJ)", sub.DynamicNJ, want.DynamicNJ)
+	}
+	if sub.TimeNs != want.TimeNs {
+		t.Errorf("subset time %.1fns, want %.1fns", sub.TimeNs, want.TimeNs)
+	}
+
+	// Degenerate inputs stay total-function: no stats at all.
+	empty := ContestRun(cfgs, contest.Result{Time: cres.Time})
+	if empty.DynamicNJ != 0 || empty.StaticNJ != 0 {
+		t.Errorf("no-stats estimate %+v, want zero energy", empty)
+	}
+}
+
 func TestInjectionSavesExecutionEnergy(t *testing.T) {
 	// A trailing core's injected instructions skip execution and cache
 	// access, so its dynamic energy must be below a stand-alone run's.

@@ -8,7 +8,10 @@
 // exact (no floating-point drift between cores with different frequencies).
 package ticks
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // PerNanosecond is the number of base time-units in one nanosecond.
 // One tick is 0.01ns, matching the paper's handshake granularity.
@@ -21,12 +24,15 @@ type Time int64
 type Duration int64
 
 // FromNanoseconds converts a duration in nanoseconds to ticks, rounding to
-// the nearest tick.
+// the nearest tick (halves away from zero). Rounding must go through
+// math.Round: the truncate-after-adding-0.5 idiom is off by one tick for
+// odd tick counts at or above 2^52, where the +0.5 addition itself rounds
+// to even.
 func FromNanoseconds(ns float64) Duration {
 	if ns < 0 {
 		panic(fmt.Sprintf("ticks: negative duration %gns", ns))
 	}
-	return Duration(ns*PerNanosecond + 0.5)
+	return Duration(math.Round(ns * PerNanosecond))
 }
 
 // Nanoseconds reports the duration in nanoseconds.

@@ -45,6 +45,56 @@ func TestNanosecondsRoundTrip(t *testing.T) {
 	}
 }
 
+// Regression for the truncate-after-adding-0.5 rounding bug: for odd tick
+// counts at or above 2^52, `Duration(ns*PerNanosecond + 0.5)` rounds the
+// +0.5 addition to even and lands one tick high, so a Duration no longer
+// round-tripped through Nanoseconds(). math.Round is exact here.
+func TestFromNanosecondsLargeDurationRoundTrip(t *testing.T) {
+	for _, d := range []Duration{
+		1 << 52,
+		1<<52 + 1, // fails with the old formula: comes back as 1<<52 + 2
+		1<<52 + 3,
+		1<<52 + 4,
+		1<<52 + 999,
+	} {
+		if got := FromNanoseconds(d.Nanoseconds()); got != d {
+			t.Errorf("FromNanoseconds(%d ticks -> %gns) = %d, off by %d ticks",
+				d, d.Nanoseconds(), got, got-d)
+		}
+	}
+}
+
+// Property: a clock period survives the PeriodNs <-> FromNanoseconds round
+// trip exactly, for every period the paper-style palette can express —
+// including awkward frequencies like 3.03GHz (1/3.03ns periods) whose
+// nanosecond value is not exactly representable. No period may ever be off
+// by one tick, or co-simulated cores would drift against each other.
+func TestClockPeriodRoundTripProperty(t *testing.T) {
+	// Exhaustive over every sub-10ns period (1..1000 ticks), which covers
+	// all realistic core clocks, then spot frequencies from the paper.
+	for p := Duration(1); p <= 1000; p++ {
+		clk := Clock{period: p}
+		if got := FromNanoseconds(clk.PeriodNs()); got != p {
+			t.Fatalf("period %d ticks -> %gns -> %d ticks", p, clk.PeriodNs(), got)
+		}
+	}
+	for _, ghz := range []float64{0.5, 1, 1.52, 2, 2.5, 3, 3.03, 3.33, 4, 1 / 0.33} {
+		clk := NewClock(1 / ghz)
+		if got := FromNanoseconds(clk.PeriodNs()); got != clk.Period() {
+			t.Errorf("%gGHz: period %d ticks -> %gns -> %d ticks",
+				ghz, clk.Period(), clk.PeriodNs(), got)
+		}
+	}
+	f := func(raw uint32) bool {
+		p := Duration(raw%1_000_000 + 1)
+		clk := Clock{period: p}
+		return FromNanoseconds(clk.PeriodNs()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestClockEdges(t *testing.T) {
 	c := NewClock(0.33) // 33 ticks
 	if c.Period() != 33 {

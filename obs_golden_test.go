@@ -1,0 +1,86 @@
+package archcontest
+
+// Golden-equivalence tests for the observability layer: a run with a
+// recorder attached must produce the bit-identical Result of the same run
+// with no recorder — the recorder reads, never steers. The grids mirror
+// golden_test.go (5 benches × 8 cores stand-alone, 6 option-variant pairs
+// × 4 benches contested), so every engine behaviour the golden suite
+// covers — high latency, both exception-handler styles, saturation,
+// store-queue backpressure — is also exercised with recording on.
+
+import (
+	"reflect"
+	"testing"
+
+	"archcontest/internal/obs"
+)
+
+func TestRecorderDetachedEquivalenceSingleCore(t *testing.T) {
+	benches := []string{"gcc", "mcf", "bzip", "crafty", "twolf"}
+	cores := []string{"bzip", "crafty", "gap", "gcc", "gzip", "mcf", "twolf", "vpr"}
+	for _, b := range benches {
+		tr := MustGenerateTrace(b, goldenInsts)
+		for _, cn := range cores {
+			cfg := MustPaletteCore(cn)
+			bare, err := Run(cfg, tr, RunOptions{LogRegions: true})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", b, cn, err)
+			}
+			rec := obs.NewRecorder(obs.Options{})
+			recorded, err := Run(cfg, tr, RunOptions{LogRegions: true, Checker: rec.CoreChecker(0)})
+			if err != nil {
+				t.Fatalf("%s on %s (recorded): %v", b, cn, err)
+			}
+			if !reflect.DeepEqual(bare, recorded) {
+				t.Errorf("%s on %s: recorder changed the result\nbare:     %+v\nrecorded: %+v", b, cn, bare, recorded)
+			}
+			rec.FinishRun(recorded)
+			if len(rec.Events()) == 0 {
+				t.Errorf("%s on %s: recorder attached but captured nothing", b, cn)
+			}
+		}
+	}
+}
+
+func TestRecorderDetachedEquivalenceContested(t *testing.T) {
+	pairs := []struct {
+		a, b string
+		opts ContestOptions
+	}{
+		{"gcc", "mcf", ContestOptions{}},
+		{"bzip", "crafty", ContestOptions{LatencyNs: 5}},
+		{"twolf", "vpr", ContestOptions{ExceptionEvery: 512}},
+		{"gzip", "perl", ContestOptions{MaxLag: 64}},
+		{"gap", "vortex", ContestOptions{ExceptionEvery: 768, ExceptionKillRefork: true}},
+		{"mcf", "parser", ContestOptions{StoreQueueCap: 8}},
+	}
+	benches := []string{"gcc", "mcf", "twolf", "gzip"}
+	for _, p := range pairs {
+		cfgs := []CoreConfig{MustPaletteCore(p.a), MustPaletteCore(p.b)}
+		for _, b := range benches {
+			tr := MustGenerateTrace(b, goldenInsts)
+			bareOpts := p.opts
+			bareOpts.RegionSize = 20
+			bare, err := ContestRun(cfgs, tr, bareOpts)
+			if err != nil {
+				t.Fatalf("%s vs %s on %s: %v", p.a, p.b, b, err)
+			}
+			rec := obs.NewRecorder(obs.Options{})
+			recOpts := p.opts
+			recOpts.RegionSize = 20
+			recOpts.Observer = rec
+			recorded, err := ContestRun(cfgs, tr, recOpts)
+			if err != nil {
+				t.Fatalf("%s vs %s on %s (recorded): %v", p.a, p.b, b, err)
+			}
+			if !reflect.DeepEqual(bare, recorded) {
+				t.Errorf("%s vs %s on %s: recorder changed the result\nbare:     %+v\nrecorded: %+v", p.a, p.b, b, bare, recorded)
+			}
+			rec.FinishContest(recorded)
+			if rec.LeadChanges() != recorded.LeadChanges {
+				t.Errorf("%s vs %s on %s: recorder saw %d lead changes, contest reports %d",
+					p.a, p.b, b, rec.LeadChanges(), recorded.LeadChanges)
+			}
+		}
+	}
+}
