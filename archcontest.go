@@ -37,6 +37,7 @@
 package archcontest
 
 import (
+	"context"
 	"io"
 
 	"archcontest/internal/config"
@@ -145,6 +146,17 @@ func Run(cfg CoreConfig, tr *Trace, opts ...RunOptions) (RunResult, error) {
 	return sim.Run(cfg, tr, o)
 }
 
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx at amortized fast-forward boundaries and returns ctx.Err() once the
+// context ends.
+func RunContext(ctx context.Context, cfg CoreConfig, tr *Trace, opts ...RunOptions) (RunResult, error) {
+	var o RunOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return sim.RunContext(ctx, cfg, tr, o)
+}
+
 // MustRun is Run for known-good inputs.
 func MustRun(cfg CoreConfig, tr *Trace) RunResult {
 	return sim.MustRun(cfg, tr, sim.RunOptions{})
@@ -156,16 +168,23 @@ func ContestRun(cfgs []CoreConfig, tr *Trace, opts ContestOptions) (ContestResul
 	return contest.Run(cfgs, tr, opts)
 }
 
+// ContestRunContext is ContestRun with cooperative cancellation.
+func ContestRunContext(ctx context.Context, cfgs []CoreConfig, tr *Trace, opts ContestOptions) (ContestResult, error) {
+	return contest.RunContext(ctx, cfgs, tr, opts)
+}
+
 // CustomizeCore anneals a core configuration for the trace (the XpScalar
 // stand-in used to derive application-customized cores).
-func CustomizeCore(tr *Trace, opts ExploreOptions) (ExploreResult, error) {
-	return explore.Customize(tr, opts)
+// Cancelling ctx abandons the walk and returns the context error.
+func CustomizeCore(ctx context.Context, tr *Trace, opts ExploreOptions) (ExploreResult, error) {
+	return explore.Customize(ctx, tr, opts)
 }
 
 // TemperCore runs the parallel-tempering (replica-exchange) exploration:
 // M chains on a temperature ladder with periodic state exchange.
-func TemperCore(tr *Trace, opts TemperOptions) (ExploreResult, error) {
-	return explore.Temper(tr, opts)
+// Cancelling ctx abandons the exploration and returns the context error.
+func TemperCore(ctx context.Context, tr *Trace, opts TemperOptions) (ExploreResult, error) {
+	return explore.Temper(ctx, tr, opts)
 }
 
 // OpenResultCache opens (creating if needed) a persistent result cache
@@ -208,13 +227,14 @@ func NewLab(cfg LabConfig) *Lab { return experiments.NewLab(cfg) }
 // RunExperiment.
 func Experiments() []string { return append([]string(nil), experiments.RegistryOrder...) }
 
-// RunExperiment regenerates one paper table or figure.
-func RunExperiment(lab *Lab, id string) (*ExperimentTable, error) {
+// RunExperiment regenerates one paper table or figure. Cancelling ctx
+// abandons the campaign's un-started leaves and returns the context error.
+func RunExperiment(ctx context.Context, lab *Lab, id string) (*ExperimentTable, error) {
 	exp, ok := experiments.Registry[id]
 	if !ok {
 		return nil, errUnknownExperiment(id)
 	}
-	return exp(lab)
+	return exp(ctx, lab)
 }
 
 type errUnknownExperiment string

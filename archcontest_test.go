@@ -1,6 +1,7 @@
 package archcontest
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -49,14 +50,14 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Fatalf("experiment list %v", ids)
 	}
 	lab := NewLab(LabConfig{N: 15000})
-	tab, err := RunExperiment(lab, "appendixA")
+	tab, err := RunExperiment(context.Background(), lab, "appendixA")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(tab.String(), "Appendix A") {
 		t.Error("table rendering")
 	}
-	if _, err := RunExperiment(lab, "figZZ"); err == nil {
+	if _, err := RunExperiment(context.Background(), lab, "figZZ"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -66,7 +67,7 @@ func TestFacadeCustomize(t *testing.T) {
 		t.Skip("annealing in short mode")
 	}
 	tr := MustGenerateTrace("gzip", 8000)
-	res, err := CustomizeCore(tr, ExploreOptions{Seed: 2, Steps: 10})
+	res, err := CustomizeCore(context.Background(), tr, ExploreOptions{Seed: 2, Steps: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

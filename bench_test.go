@@ -5,6 +5,7 @@
 package archcontest
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -40,7 +41,7 @@ func benchmarkExperiment(b *testing.B, id string) {
 	}
 	lab := sharedLab()
 	for i := 0; i < b.N; i++ {
-		tab, err := exp(lab)
+		tab, err := exp(context.Background(), lab)
 		if err != nil {
 			b.Fatal(err)
 		}

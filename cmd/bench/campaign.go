@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"archcontest/internal/cmdutil"
 	"archcontest/internal/experiments"
 	"archcontest/internal/resultcache"
 )
@@ -36,11 +38,11 @@ type campaignReport struct {
 
 // campaignLegRun executes the full figures experiment sweep once on a lab
 // with the given parallelism and cache, and reports what it measured.
-func campaignLegRun(name string, n, workers int, cache *resultcache.Cache) campaignLeg {
+func campaignLegRun(ctx context.Context, name string, n, workers int, cache *resultcache.Cache) campaignLeg {
 	lab := experiments.NewLab(experiments.Config{N: n, Parallelism: workers, Cache: cache})
 	start := time.Now()
 	for _, id := range experiments.RegistryOrder {
-		if _, err := experiments.Registry[id](lab); err != nil {
+		if _, err := experiments.Registry[id](ctx, lab); err != nil {
 			log.Fatalf("campaign %s: %s: %v", name, id, err)
 		}
 	}
@@ -63,7 +65,7 @@ func campaignLegRun(name string, n, workers int, cache *resultcache.Cache) campa
 // runCampaignBench measures the campaign engine on the figures sweep:
 // cold-cache single-worker, cold-cache all-workers (fresh cache), then a
 // warm-cache re-run against the second leg's cache directory.
-func runCampaignBench(n int, out string) {
+func runCampaignBench(ctx context.Context, n int, out string) {
 	if n <= 0 {
 		log.Fatalf("-campaign.n must be positive, got %d", n)
 	}
@@ -92,9 +94,9 @@ func runCampaignBench(n int, out string) {
 		Insts:       n,
 		Experiments: experiments.RegistryOrder,
 	}
-	rep.ColdSingle = campaignLegRun("cold/single", n, 1, open(dirSingle))
-	rep.ColdParallel = campaignLegRun("cold/parallel", n, workers, open(dirParallel))
-	rep.WarmParallel = campaignLegRun("warm/parallel", n, workers, open(dirParallel))
+	rep.ColdSingle = campaignLegRun(ctx, "cold/single", n, 1, open(dirSingle))
+	rep.ColdParallel = campaignLegRun(ctx, "cold/parallel", n, workers, open(dirParallel))
+	rep.WarmParallel = campaignLegRun(ctx, "warm/parallel", n, workers, open(dirParallel))
 	if rep.ColdParallel.WallSeconds > 0 {
 		rep.ParallelSpeedup = rep.ColdSingle.WallSeconds / rep.ColdParallel.WallSeconds
 	}
@@ -108,7 +110,7 @@ func runCampaignBench(n int, out string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	if err := cmdutil.WriteFileAtomic(out, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", out)

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"archcontest"
+	"archcontest/internal/cmdutil"
 	"archcontest/internal/obs"
 )
 
@@ -185,13 +187,13 @@ type scenario struct {
 	runRecorded func() error
 }
 
-func singleScenario(bench, core string, n int) scenario {
+func singleScenario(ctx context.Context, bench, core string, n int) scenario {
 	tr := archcontest.MustGenerateTrace(bench, n)
 	cfg := archcontest.MustPaletteCore(core)
 	return scenario{
 		name: fmt.Sprintf("single/%s-on-%s", bench, core),
 		run: func(singleStep bool) error {
-			r, err := archcontest.Run(cfg, tr, archcontest.RunOptions{SingleStep: singleStep})
+			r, err := archcontest.RunContext(ctx, cfg, tr, archcontest.RunOptions{SingleStep: singleStep})
 			if err != nil {
 				return err
 			}
@@ -206,7 +208,7 @@ func singleScenario(bench, core string, n int) scenario {
 		},
 		runRecorded: func() error {
 			rec := obs.NewRecorder(obs.Options{})
-			r, err := archcontest.Run(cfg, tr, archcontest.RunOptions{Checker: rec.CoreChecker(0)})
+			r, err := archcontest.RunContext(ctx, cfg, tr, archcontest.RunOptions{Checker: rec.CoreChecker(0)})
 			if err != nil {
 				return err
 			}
@@ -219,7 +221,7 @@ func singleScenario(bench, core string, n int) scenario {
 	}
 }
 
-func contestScenario(bench string, cores []string, n int) scenario {
+func contestScenario(ctx context.Context, bench string, cores []string, n int) scenario {
 	tr := archcontest.MustGenerateTrace(bench, n)
 	cfgs := make([]archcontest.CoreConfig, len(cores))
 	for i, c := range cores {
@@ -229,7 +231,7 @@ func contestScenario(bench string, cores []string, n int) scenario {
 	return scenario{
 		name: name,
 		run: func(singleStep bool) error {
-			r, err := archcontest.ContestRun(cfgs, tr, archcontest.ContestOptions{SingleStep: singleStep})
+			r, err := archcontest.ContestRunContext(ctx, cfgs, tr, archcontest.ContestOptions{SingleStep: singleStep})
 			if err != nil {
 				return err
 			}
@@ -244,7 +246,7 @@ func contestScenario(bench string, cores []string, n int) scenario {
 		},
 		runRecorded: func() error {
 			rec := obs.NewRecorder(obs.Options{})
-			r, err := archcontest.ContestRun(cfgs, tr, archcontest.ContestOptions{Observer: rec})
+			r, err := archcontest.ContestRunContext(ctx, cfgs, tr, archcontest.ContestOptions{Observer: rec})
 			if err != nil {
 				return err
 			}
@@ -291,8 +293,10 @@ func main() {
 	campaignN := flag.Int("campaign.n", 60_000, "campaign trace length in instructions")
 	campaignOut := flag.String("campaign.o", "BENCH_campaign.json", "campaign output JSON path")
 	flag.Parse()
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
 	if *campaign {
-		runCampaignBench(*campaignN, *campaignOut)
+		runCampaignBench(ctx, *campaignN, *campaignOut)
 		return
 	}
 	if *n <= 0 {
@@ -303,13 +307,13 @@ func main() {
 	}
 
 	scenarios := []scenario{
-		singleScenario("mcf", "mcf", *n),
-		singleScenario("gcc", "gcc", *n),
-		singleScenario("crafty", "crafty", *n),
-		singleScenario("twolf", "twolf", *n),
-		contestScenario("twolf", []string{"twolf", "vpr"}, *n),
-		contestScenario("mcf", []string{"mcf", "gcc"}, *n),
-		contestScenario("gcc", []string{"gcc", "mcf", "bzip", "crafty"}, *n),
+		singleScenario(ctx, "mcf", "mcf", *n),
+		singleScenario(ctx, "gcc", "gcc", *n),
+		singleScenario(ctx, "crafty", "crafty", *n),
+		singleScenario(ctx, "twolf", "twolf", *n),
+		contestScenario(ctx, "twolf", []string{"twolf", "vpr"}, *n),
+		contestScenario(ctx, "mcf", []string{"mcf", "gcc"}, *n),
+		contestScenario(ctx, "gcc", []string{"gcc", "mcf", "bzip", "crafty"}, *n),
 	}
 
 	rep := report{
@@ -387,7 +391,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := cmdutil.WriteFileAtomic(*out, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)

@@ -1,8 +1,9 @@
 // Command contest runs one contesting experiment: a benchmark trace
 // executed on N named palette cores in a leader-follower arrangement. It
-// runs through the campaign engine, so the stand-alone reference runs and
-// the contested run are cached and a repeated invocation simulates
-// nothing.
+// is a thin shell over the declarative scenario spec (internal/spec) —
+// the same path cmd/serve jobs take — so results are cached, recorded
+// runs bypass the cache, and Ctrl-C cancels the simulation cooperatively
+// instead of killing the process mid-write.
 package main
 
 import (
@@ -13,11 +14,8 @@ import (
 
 	"archcontest/internal/cache"
 	"archcontest/internal/cmdutil"
-	"archcontest/internal/config"
-	"archcontest/internal/contest"
-	"archcontest/internal/experiments"
-	"archcontest/internal/obs"
 	"archcontest/internal/sim"
+	"archcontest/internal/spec"
 )
 
 func main() {
@@ -28,17 +26,18 @@ func main() {
 	n := flag.Int("n", 500000, "trace length in instructions")
 	latency := flag.Float64("latency", 1.0, "core-to-core latency in ns")
 	sampleNs := flag.Float64("sample", 100, "observability sampling interval in simulated ns")
+	verify := flag.Bool("verify", false, "attach the verification subsystem to every run")
 	openCache := cmdutil.CacheFlags(nil)
 	obsFlags := cmdutil.ObsFlags(nil)
 	flag.Parse()
 	obsFlags.StartPprof()
 
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+
 	var names []string
 	for _, name := range strings.Split(*cores, ",") {
 		if name = strings.TrimSpace(name); name != "" {
-			if _, err := config.PaletteCore(name); err != nil {
-				log.Fatal(err)
-			}
 			names = append(names, name)
 		}
 	}
@@ -46,67 +45,58 @@ func main() {
 		log.Fatal("need -cores with at least two palette names, e.g. -cores bzip,crafty")
 	}
 
-	resCache := openCache()
-	lab := experiments.NewLab(experiments.Config{N: *n, LatencyNs: *latency, Cache: resCache})
+	env := spec.NewEnv(openCache())
 
+	// Stand-alone reference runs: each contestant alone (write-through, the
+	// policy contesting forces) and the benchmark's own customized core.
 	for _, name := range names {
-		r, err := lab.RunOn(*bench, config.MustPaletteCore(name), sim.RunOptions{WritePolicy: cache.WriteThrough})
+		out, err := spec.Execute(ctx, spec.Spec{
+			Kind: spec.KindRun, Bench: *bench, N: *n, Cores: []string{name},
+			Run:    &sim.RunOptions{WritePolicy: cache.WriteThrough},
+			Verify: *verify,
+		}, env, spec.Hooks{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s alone: IPT %.3f\n", name, r.IPT())
+		fmt.Printf("%-22s alone: IPT %.3f\n", name, out.Run.IPT())
 	}
-	own, err := lab.RunOn(*bench, config.MustPaletteCore(*bench), sim.RunOptions{})
+	ownOut, err := spec.Execute(ctx, spec.Spec{
+		Kind: spec.KindRun, Bench: *bench, N: *n, Cores: []string{*bench},
+		Verify: *verify,
+	}, env, spec.Hooks{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	own := *ownOut.Run
 	fmt.Printf("%-22s own customized core (write-back): IPT %.3f\n", *bench, own.IPT())
 
-	var res contest.Result
-	var rec *obs.Recorder
-	if obsFlags.Wanted() {
-		// Recorded runs execute the contest directly: the campaign layers
-		// exclude observers from their cache keys, so a cached hit would
-		// silently record nothing.
-		tr, err := lab.Trace(*bench)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfgs := make([]config.CoreConfig, len(names))
-		for i, name := range names {
-			cfgs[i] = config.MustPaletteCore(name)
-		}
-		rec = obs.NewRecorder(obs.Options{SampleIntervalNs: *sampleNs})
-		res, err = contest.Run(cfgs, tr, contest.Options{LatencyNs: *latency, Observer: rec})
-		if err != nil {
-			log.Fatal(err)
-		}
-		rec.FinishContest(res)
-	} else {
-		var err error
-		res, err = lab.Contest(*bench, names, contest.Options{LatencyNs: *latency})
-		if err != nil {
-			log.Fatal(err)
-		}
+	// The contested run. Recording rides on the spec: recorded runs bypass
+	// the result cache by construction (the record happens during
+	// execution), cached plain runs are served without simulating.
+	out, err := spec.Execute(ctx, spec.Spec{
+		Kind: spec.KindContest, Bench: *bench, N: *n, Cores: names,
+		LatencyNs: *latency,
+		Record:    obsFlags.Wanted(),
+		SampleNs:  *sampleNs,
+		Verify:    *verify,
+	}, env, spec.Hooks{})
+	if err != nil {
+		log.Fatal(err)
 	}
+	res := *out.Contest
 	fmt.Printf("contested %v @ %.3gns: IPT %.3f  (speedup over own core %.1f%%)\n",
 		res.Cores, *latency, res.IPT(), 100*(res.IPT()/own.IPT()-1))
 	fmt.Printf("winner=%s leadChanges=%d saturated=%v injected=%v\n",
 		res.Cores[res.Winner], res.LeadChanges, res.Saturated,
 		[]int64{res.PerCore[0].Injected, res.PerCore[1].Injected})
-	if rec != nil {
-		if err := obsFlags.WriteTimeline(rec.WriteChromeTrace); err != nil {
+	if out.Metrics != nil {
+		if err := obsFlags.WriteTimeline(out.WriteChromeTrace); err != nil {
 			log.Fatalf("timeline: %v", err)
 		}
-		m, err := rec.Metrics()
-		if err != nil {
+		if err := obsFlags.WriteMetricsJSON(out.Metrics); err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
-		if err := obsFlags.WriteMetricsJSON(m); err != nil {
-			log.Fatalf("metrics: %v", err)
-		}
-		fmt.Printf("recorded %d events (%d dropped), %d lead changes",
-			len(rec.Events()), rec.Dropped(), rec.LeadChanges())
+		fmt.Printf("recorded metrics (%s), %d lead changes", out.Metrics.Schema, res.LeadChanges)
 		if obsFlags.Timeline != "" {
 			fmt.Printf("; timeline -> %s (open in chrome://tracing or Perfetto)", obsFlags.Timeline)
 		}
@@ -115,5 +105,5 @@ func main() {
 		}
 		fmt.Println()
 	}
-	cmdutil.PrintCacheStats(resCache)
+	cmdutil.PrintCacheStats(env.Cache)
 }

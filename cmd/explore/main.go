@@ -1,9 +1,12 @@
 // Command explore runs the design-space exploration (the XpScalar
 // stand-in) to customize a core for a benchmark: simulated annealing with
 // speculative parallel evaluation by default, or parallel tempering
-// (replica exchange) with -mode temper. Design-point evaluations are
-// memoized in the persistent result cache, so repeated explorations of the
-// same trace re-simulate only new points.
+// (replica exchange) with -mode temper. The exploration is a declarative
+// scenario (internal/spec) executed in the shared environment — the same
+// path cmd/serve jobs take — so design-point evaluations are memoized in
+// the persistent result cache and repeated explorations of the same trace
+// re-simulate only new points. Ctrl-C abandons the walk cooperatively;
+// every completed evaluation stays cached.
 package main
 
 import (
@@ -11,9 +14,10 @@ import (
 	"fmt"
 	"log"
 
-	"archcontest"
 	"archcontest/internal/cmdutil"
+	"archcontest/internal/config"
 	"archcontest/internal/obs"
+	"archcontest/internal/spec"
 )
 
 func main() {
@@ -34,58 +38,49 @@ func main() {
 	flag.Parse()
 	obsFlags.StartPprof()
 
-	tr, err := archcontest.GenerateTrace(*bench, *n)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cache := openCache()
-	var artifacts *obs.ArtifactLog
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+
+	env := spec.NewEnv(openCache())
 	if obsFlags.Wanted() {
-		artifacts = obs.NewArtifactLog()
+		env.Artifacts = obs.NewArtifactLog()
 	}
 
-	var res archcontest.ExploreResult
-	switch *mode {
-	case "anneal":
-		opts := archcontest.ExploreOptions{
-			Seed: *seed, Steps: *steps,
-			Lookahead: *lookahead, Parallelism: *par, Cache: cache,
-			Log: artifacts,
-		}
-		if *verbose {
-			opts.Progress = func(step int, cfg archcontest.CoreConfig, ipt float64) {
+	var hooks spec.Hooks
+	if *verbose {
+		hooks.ExploreMove = func(chain, step int, cfg config.CoreConfig, ipt float64) {
+			if *mode == "temper" {
+				fmt.Printf("chain %d step %3d: IPT %.3f  %v\n", chain, step, ipt, cfg)
+			} else {
 				fmt.Printf("step %3d: IPT %.3f  %v\n", step, ipt, cfg)
 			}
 		}
-		res, err = archcontest.CustomizeCore(tr, opts)
-	case "temper":
-		opts := archcontest.TemperOptions{
-			Seed: *seed, Steps: *steps,
-			Chains: *chains, ExchangeEvery: *exchange,
-			Parallelism: *par, Cache: cache,
-			Log: artifacts,
-		}
-		if *verbose {
-			opts.Progress = func(chain, step int, cfg archcontest.CoreConfig, ipt float64) {
-				fmt.Printf("chain %d step %3d: IPT %.3f  %v\n", chain, step, ipt, cfg)
-			}
-		}
-		res, err = archcontest.TemperCore(tr, opts)
-	default:
-		log.Fatalf("unknown -mode %q (anneal or temper)", *mode)
 	}
+	out, err := spec.Execute(ctx, spec.Spec{
+		Kind: spec.KindExplore, Bench: *bench, N: *n, Parallelism: *par,
+		Explore: &spec.ExploreSpec{
+			Mode: *mode, Seed: *seed, Steps: *steps,
+			Lookahead: *lookahead, Chains: *chains, ExchangeEvery: *exchange,
+		},
+	}, env, hooks)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := *out.Explore
 	fmt.Printf("evaluated %d design points (%d speculative evaluations discarded)\n", res.Evaluated, res.Wasted)
 	fmt.Printf("best IPT %.3f\n%v\n", res.BestIPT, res.Best)
 
-	// Compare against the paper's customized core for the benchmark.
-	ref := archcontest.MustPaletteCore(*bench)
-	refRun := archcontest.MustRun(ref, tr)
-	fmt.Printf("paper palette core %q on the same trace: IPT %.3f\n", ref.Name, refRun.IPT())
-	if artifacts != nil {
-		if err := obsFlags.WriteTimeline(artifacts.WriteChromeTrace); err != nil {
+	// Compare against the paper's customized core for the benchmark, through
+	// the same spec path (so the reference run is cached too).
+	refOut, err := spec.Execute(ctx, spec.Spec{
+		Kind: spec.KindRun, Bench: *bench, N: *n, Cores: []string{*bench},
+	}, env, spec.Hooks{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paper palette core %q on the same trace: IPT %.3f\n", *bench, refOut.Run.IPT())
+	if env.Artifacts != nil {
+		if err := obsFlags.WriteTimeline(env.Artifacts.WriteChromeTrace); err != nil {
 			log.Fatalf("timeline: %v", err)
 		}
 		if err := obsFlags.WriteMetricsJSON(struct {
@@ -93,9 +88,9 @@ func main() {
 			Wasted    int                 `json:"wasted"`
 			BestIPT   float64             `json:"best_ipt"`
 			Artifacts obs.CampaignSummary `json:"artifacts"`
-		}{res.Evaluated, res.Wasted, res.BestIPT, artifacts.Summary()}); err != nil {
+		}{res.Evaluated, res.Wasted, res.BestIPT, env.Artifacts.Summary()}); err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
 	}
-	cmdutil.PrintCacheStats(cache)
+	cmdutil.PrintCacheStats(env.Cache)
 }

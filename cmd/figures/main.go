@@ -1,10 +1,13 @@
 // Command figures regenerates the tables and figures of the paper's
 // evaluation from the reproduction's simulators.
 //
-// The campaign is parallel and incremental: artifacts are computed once
-// per process however many experiments share them, leaf simulations run on
-// all cores, and with the persistent result cache enabled (the default) a
-// re-run only simulates what changed since the last one.
+// Each experiment is a declarative scenario (internal/spec) executed in a
+// shared environment — the same path cmd/serve jobs take — so artifacts
+// are computed once per process however many experiments share them, leaf
+// simulations run on all cores, and with the persistent result cache
+// enabled (the default) a re-run only simulates what changed since the
+// last one. Ctrl-C cancels the campaign cooperatively: un-started leaves
+// are abandoned and the cache keeps every completed leaf.
 //
 // Usage:
 //
@@ -28,6 +31,7 @@ import (
 	"archcontest/internal/cmdutil"
 	"archcontest/internal/experiments"
 	"archcontest/internal/obs"
+	"archcontest/internal/spec"
 )
 
 func main() {
@@ -51,52 +55,56 @@ func main() {
 		return
 	}
 
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+
 	ids := experiments.RegistryOrder
 	if *experiment != "" {
 		ids = strings.Split(*experiment, ",")
 	}
-	cache := openCache()
-	var artifacts *obs.ArtifactLog
+	env := spec.NewEnv(openCache())
+	env.Parallelism = *par
 	if obsFlags.Wanted() {
-		artifacts = obs.NewArtifactLog()
+		env.Artifacts = obs.NewArtifactLog()
 	}
-	lab := experiments.NewLab(experiments.Config{
-		N:              *n,
-		LatencyNs:      *latency,
-		CandidatePairs: *pairs,
-		Parallelism:    *par,
-		Cache:          cache,
-		Artifacts:      artifacts,
+	var campaign func() experiments.CampaignStats
+	hooks := spec.Hooks{Campaign: func(stats func() experiments.CampaignStats) { campaign = stats }}
+	cmdutil.Publish("archcontest.campaign", func() any {
+		if campaign == nil {
+			return experiments.CampaignStats{}
+		}
+		return campaign()
 	})
-	cmdutil.Publish("archcontest.campaign", func() any { return lab.CampaignStats() })
 	campaignStart := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		exp, ok := experiments.Registry[id]
-		if !ok {
-			log.Fatalf("unknown experiment %q (use -list)", id)
-		}
 		start := time.Now()
-		tab, err := exp(lab)
+		out, err := spec.Execute(ctx, spec.Spec{
+			Kind: spec.KindExperiment, Experiment: id,
+			N: *n, LatencyNs: *latency, Pairs: *pairs,
+		}, env, hooks)
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
-		tab.Fprint(os.Stdout)
+		out.Table.Fprint(os.Stdout)
 		fmt.Printf("(%s computed in %v at n=%d)\n\n", id, time.Since(start).Round(time.Millisecond), *n)
 	}
-	st := lab.CampaignStats()
+	var st experiments.CampaignStats
+	if campaign != nil {
+		st = campaign()
+	}
 	fmt.Fprintf(os.Stderr, "campaign: %v wall, %d traces generated, %d simulations, %d contests executed\n",
 		time.Since(campaignStart).Round(time.Millisecond), st.TraceGens, st.Simulations, st.Contests)
-	if artifacts != nil {
-		if err := obsFlags.WriteTimeline(artifacts.WriteChromeTrace); err != nil {
+	if env.Artifacts != nil {
+		if err := obsFlags.WriteTimeline(env.Artifacts.WriteChromeTrace); err != nil {
 			log.Fatalf("timeline: %v", err)
 		}
 		if err := obsFlags.WriteMetricsJSON(struct {
 			Campaign  experiments.CampaignStats `json:"campaign"`
 			Artifacts obs.CampaignSummary       `json:"artifacts"`
-		}{st, artifacts.Summary()}); err != nil {
+		}{st, env.Artifacts.Summary()}); err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
 	}
-	cmdutil.PrintCacheStats(cache)
+	cmdutil.PrintCacheStats(env.Cache)
 }

@@ -1,7 +1,9 @@
 // Command matrix prints the benchmark x core IPT matrix (the reproduction's
-// Appendix A equivalent) for calibration and inspection. It runs on the
-// campaign engine: the 121 runs execute on all cores and persist in the
-// result cache, so a warm re-run simulates nothing.
+// Appendix A equivalent) for calibration and inspection. It submits a
+// matrix scenario (internal/spec) to the shared execution environment —
+// the same path cmd/serve jobs take — so the 121 runs execute on all
+// cores and persist in the result cache, and a warm re-run simulates
+// nothing. Ctrl-C cancels cooperatively without corrupting the cache.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"archcontest/internal/cmdutil"
 	"archcontest/internal/experiments"
 	"archcontest/internal/obs"
+	"archcontest/internal/spec"
 )
 
 func main() {
@@ -25,19 +28,32 @@ func main() {
 	flag.Parse()
 	obsFlags.StartPprof()
 
-	cache := openCache()
-	var artifacts *obs.ArtifactLog
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+
+	env := spec.NewEnv(openCache())
+	env.Parallelism = *par
 	if obsFlags.Wanted() {
-		artifacts = obs.NewArtifactLog()
+		env.Artifacts = obs.NewArtifactLog()
 	}
-	lab := experiments.NewLab(experiments.Config{N: *n, Parallelism: *par, Cache: cache, Artifacts: artifacts})
-	cmdutil.Publish("archcontest.campaign", func() any { return lab.CampaignStats() })
+	var campaign func() experiments.CampaignStats
+	hooks := spec.Hooks{Campaign: func(stats func() experiments.CampaignStats) { campaign = stats }}
+	cmdutil.Publish("archcontest.campaign", func() any {
+		if campaign == nil {
+			return experiments.CampaignStats{}
+		}
+		return campaign()
+	})
 	start := time.Now()
-	m, err := lab.Matrix()
+	out, err := spec.Execute(ctx, spec.Spec{Kind: spec.KindMatrix, N: *n}, env, hooks)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := lab.CampaignStats()
+	m := out.Matrix
+	var st experiments.CampaignStats
+	if campaign != nil {
+		st = campaign()
+	}
 	fmt.Printf("elapsed %v for %d runs of %d insts (%d simulated, %d from cache)\n",
 		time.Since(start).Round(time.Millisecond),
 		len(m.Benchmarks)*len(m.Cores), *n, st.Simulations, st.CacheHits)
@@ -62,16 +78,16 @@ func main() {
 		}
 		fmt.Printf("   %s%s\n", best, mark)
 	}
-	if artifacts != nil {
-		if err := obsFlags.WriteTimeline(artifacts.WriteChromeTrace); err != nil {
+	if env.Artifacts != nil {
+		if err := obsFlags.WriteTimeline(env.Artifacts.WriteChromeTrace); err != nil {
 			log.Fatalf("timeline: %v", err)
 		}
 		if err := obsFlags.WriteMetricsJSON(struct {
 			Campaign  experiments.CampaignStats `json:"campaign"`
 			Artifacts obs.CampaignSummary       `json:"artifacts"`
-		}{st, artifacts.Summary()}); err != nil {
+		}{st, env.Artifacts.Summary()}); err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
 	}
-	cmdutil.PrintCacheStats(cache)
+	cmdutil.PrintCacheStats(env.Cache)
 }

@@ -1,0 +1,287 @@
+// Command serve is the contest-as-a-service daemon: a long-running HTTP
+// server that accepts declarative scenario specs (internal/spec) as jobs,
+// executes them on a bounded worker pool (internal/jobs), and exposes
+// progress snapshots, final results with archcontest-obs-v1 metrics, and
+// Chrome/Perfetto timelines.
+//
+// API (JSON throughout):
+//
+//	POST   /v1/jobs            submit a spec; 202 {"id": "job-0001", ...}
+//	GET    /v1/jobs            list all job snapshots
+//	GET    /v1/jobs/{id}       one snapshot; ?watch=1 streams NDJSON
+//	                           snapshots until the job is terminal, ending
+//	                           with a final snapshot that embeds the result
+//	GET    /v1/jobs/{id}/result the terminal outcome (409 while running)
+//	GET    /v1/jobs/{id}/trace  the recorded Chrome/Perfetto timeline
+//	DELETE /v1/jobs/{id}       cancel the job
+//	GET    /healthz            liveness
+//
+// On SIGTERM/SIGINT the daemon stops accepting submissions, drains
+// in-flight jobs, and exits 0; a second signal hard-cancels everything.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"archcontest/internal/cmdutil"
+	"archcontest/internal/jobs"
+	"archcontest/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrently executing jobs")
+	par := flag.Int("par", 0, "per-campaign simulation parallelism (0 = NumCPU)")
+	drainTimeout := flag.Duration("drain", 10*time.Minute, "max time to drain in-flight jobs on shutdown")
+	openCache := cmdutil.CacheFlags(nil)
+	obsFlags := cmdutil.ObsFlags(nil)
+	flag.Parse()
+	obsFlags.StartPprof()
+
+	env := spec.NewEnv(openCache())
+	env.Parallelism = *par
+	runner := jobs.NewRunner(env, *workers)
+	srv := &http.Server{Addr: *addr, Handler: newAPI(runner)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s (workers=%d)", ln.Addr(), *workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining (second signal hard-cancels)", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Stop accepting HTTP traffic and drain the in-flight jobs. A second
+	// signal, or the drain timeout, hard-cancels everything still running
+	// and waits briefly for the cancellations to land.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	go func() {
+		select {
+		case sig := <-sigc:
+			log.Printf("%v: hard-cancelling in-flight jobs", sig)
+			cancelDrain()
+		case <-drainCtx.Done():
+		}
+	}()
+	go srv.Shutdown(drainCtx)
+	if err := runner.Drain(drainCtx); err != nil {
+		runner.CancelAll()
+		landCtx, cancelLand := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancelLand()
+		if err := runner.Drain(landCtx); err != nil {
+			log.Fatalf("jobs stuck after hard cancel: %v", err)
+		}
+	}
+	cmdutil.PrintCacheStats(env.Cache)
+	log.Printf("drained, exiting")
+}
+
+// api serves the /v1 job interface.
+type api struct {
+	runner *jobs.Runner
+}
+
+func newAPI(r *jobs.Runner) http.Handler {
+	a := &api{runner: r}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/jobs", a.submit)
+	mux.HandleFunc("GET /v1/jobs", a.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.get)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", a.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", a.trace)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	return mux
+}
+
+// jobView is a snapshot plus, once terminal, the outcome payload.
+type jobView struct {
+	jobs.Snapshot
+	Result *spec.Outcome `json:"result,omitempty"`
+}
+
+func view(j *jobs.Job, withResult bool) jobView {
+	v := jobView{Snapshot: j.Snapshot()}
+	if withResult && v.State.Terminal() {
+		if out, err := j.Outcome(); err == nil {
+			v.Result = out
+		}
+	}
+	return v
+}
+
+func (a *api) submit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	defer body.Close()
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	sp, err := spec.Parse(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := a.runner.Submit(sp)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view(j, false))
+}
+
+func (a *api) list(w http.ResponseWriter, _ *http.Request) {
+	all := a.runner.Jobs()
+	views := make([]jobView, 0, len(all))
+	for _, j := range all {
+		views = append(views, view(j, false))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (a *api) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	j, ok := a.runner.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (a *api) get(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, view(j, true))
+		return
+	}
+	a.watch(w, r, j)
+}
+
+// watch streams NDJSON snapshots whenever the job's sequence counter
+// advances, ending with a final snapshot embedding the result (including
+// the archcontest-obs-v1 metrics for recorded jobs).
+func (a *api) watch(w http.ResponseWriter, r *http.Request, j *jobs.Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v jobView) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	lastSeq := int64(-1)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		snap := j.Snapshot()
+		if snap.Seq != lastSeq {
+			lastSeq = snap.Seq
+			if snap.State.Terminal() {
+				emit(view(j, true))
+				return
+			}
+			if !emit(jobView{Snapshot: snap}) {
+				return
+			}
+		} else if snap.State.Terminal() {
+			emit(view(j, true))
+			return
+		}
+		select {
+		case <-j.Done():
+			// Loop once more to emit the terminal snapshot.
+		case <-tick.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (a *api) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	snap := j.Snapshot()
+	if !snap.State.Terminal() {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", snap.ID, snap.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, view(j, true))
+}
+
+func (a *api) trace(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	snap := j.Snapshot()
+	if !snap.State.Terminal() {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", snap.ID, snap.State))
+		return
+	}
+	out, err := j.Outcome()
+	if err != nil || out == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s has no result", snap.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := out.WriteChromeTrace(w); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+	}
+}
+
+func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, view(j, false))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

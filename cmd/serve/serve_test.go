@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"archcontest/internal/jobs"
+	"archcontest/internal/obs"
+	"archcontest/internal/spec"
+)
+
+func newTestServer(t *testing.T, workers int) (*httptest.Server, *jobs.Runner) {
+	t.Helper()
+	runner := jobs.NewRunner(spec.NewEnv(nil), workers)
+	srv := httptest.NewServer(newAPI(runner))
+	t.Cleanup(srv.Close)
+	return srv, runner
+}
+
+func post(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, v
+}
+
+func get(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, v
+}
+
+// TestServeConcurrentJobs submits 8 concurrent jobs and, for each, streams
+// the watch endpoint asserting snapshots are monotonic (seq and done never
+// decrease) and terminate in a done state with an embedded result.
+func TestServeConcurrentJobs(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	const njobs = 8
+	ids := make([]string, njobs)
+	for i := range ids {
+		body := fmt.Sprintf(`{"kind":"run","bench":"gcc","cores":["gcc"],"n":%d}`, 100_000+i)
+		code, v := post(t, srv.URL+"/v1/jobs", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %v", i, code, v)
+		}
+		ids[i] = v["id"].(string)
+	}
+
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "?watch=1")
+			if err != nil {
+				t.Errorf("watch %s: %v", id, err)
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			lastSeq, lastDone := -1.0, -1.0
+			var final map[string]any
+			for sc.Scan() {
+				var snap map[string]any
+				if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+					t.Errorf("watch %s: bad NDJSON line %q: %v", id, sc.Text(), err)
+					return
+				}
+				seq, done := snap["seq"].(float64), snap["done"].(float64)
+				if seq < lastSeq || done < lastDone {
+					t.Errorf("watch %s: snapshot went backwards (seq %v after %v, done %v after %v)",
+						id, seq, lastSeq, done, lastDone)
+					return
+				}
+				lastSeq, lastDone = seq, done
+				final = snap
+			}
+			if final == nil {
+				t.Errorf("watch %s: no snapshots", id)
+				return
+			}
+			if final["state"] != "done" {
+				t.Errorf("watch %s: terminal state %v", id, final["state"])
+			}
+			if final["result"] == nil {
+				t.Errorf("watch %s: terminal snapshot lacks the result", id)
+			}
+			wantN := float64(100_000 + i)
+			if final["done"] != wantN || final["total"] != wantN {
+				t.Errorf("watch %s: final progress %v/%v, want %v", id, final["done"], final["total"], wantN)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+}
+
+// TestServeRecordedContest: a recorded contest job returns
+// archcontest-obs-v1 metrics in the result and a loadable Chrome trace.
+func TestServeRecordedContest(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+	code, v := post(t, srv.URL+"/v1/jobs",
+		`{"kind":"contest","bench":"twolf","cores":["twolf","vpr"],"n":20000,"record":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %v", code, v)
+	}
+	id := v["id"].(string)
+	waitTerminal(t, srv.URL, id)
+
+	code, res := get(t, srv.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d: %v", code, res)
+	}
+	result, _ := res["result"].(map[string]any)
+	if result == nil {
+		t.Fatalf("no result payload: %v", res)
+	}
+	metrics, _ := result["metrics"].(map[string]any)
+	if metrics == nil {
+		t.Fatalf("recorded job returned no metrics: %v", result)
+	}
+	if metrics["schema"] != obs.SchemaVersion {
+		t.Errorf("metrics schema %v, want %q", metrics["schema"], obs.SchemaVersion)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", resp.StatusCode)
+	}
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("trace is not a Chrome trace_event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace is empty")
+	}
+}
+
+func waitTerminal(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		_, v := get(t, base+"/v1/jobs/"+id)
+		switch v["state"] {
+		case "done", "failed", "cancelled":
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became terminal", id)
+	return nil
+}
+
+func TestServeCancel(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"mcf","cores":["mcf"],"n":5000000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %v", code, v)
+	}
+	id := v["id"].(string)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	snap := waitTerminal(t, srv.URL, id)
+	if snap["state"] != "cancelled" {
+		t.Errorf("state %v after DELETE, want cancelled", snap["state"])
+	}
+}
+
+func TestServeRejectsBadSpecs(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"gcc","frobnicate":1}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400 (%v)", code, v)
+	}
+	code, v = post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"doom"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown bench: status %d, want 422 (%v)", code, v)
+	}
+	if code, _ := get(t, srv.URL+"/v1/jobs/job-9999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+}
+
+// TestServeResultConflict: asking for a result before the job is terminal
+// is a 409, not a hang or a partial payload.
+func TestServeResultConflict(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	// Occupy the only worker so the second job stays queued.
+	code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"mcf","cores":["mcf"],"n":5000000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	blocker := v["id"].(string)
+	code, v = post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"gcc","cores":["gcc"],"n":20000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	queued := v["id"].(string)
+	if code, _ := get(t, srv.URL+"/v1/jobs/"+queued+"/result"); code != http.StatusConflict {
+		t.Errorf("result of a queued job: status %d, want 409", code)
+	}
+	// Clean up: cancel both so the runner is idle at test exit.
+	for _, id := range []string{blocker, queued} {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// TestServeList: the listing returns every submitted job in order.
+func TestServeList(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+	for i := 0; i < 3; i++ {
+		code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"gcc","cores":["gcc"],"n":20000}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %v", code, v)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(views))
+	}
+	for i, v := range views {
+		if want := fmt.Sprintf("job-%04d", i+1); v["id"] != want {
+			t.Errorf("job %d listed as %v, want %s", i, v["id"], want)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,7 @@ func main() {
 		len(archcontest.Benchmarks()), len(archcontest.Palette()), *n)
 
 	for _, id := range []string{"appendixA", "table1", "fig9"} {
-		tab, err := archcontest.RunExperiment(lab, id)
+		tab, err := archcontest.RunExperiment(context.Background(), lab, id)
 		if err != nil {
 			log.Fatal(err)
 		}

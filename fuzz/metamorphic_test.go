@@ -7,6 +7,7 @@ package fuzz
 // purpose (store-queue backpressure, exception rendezvous).
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -116,11 +117,11 @@ func TestMetamorphicCacheWarmRerun(t *testing.T) {
 		contest contest.Result
 	}
 	campaign := func(l *experiments.Lab) outcome {
-		r, err := l.RunOn("gcc", l.Cores()[0], sim.RunOptions{LogRegions: true})
+		r, err := l.RunOn(context.Background(), "gcc", l.Cores()[0], sim.RunOptions{LogRegions: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := l.Contest("gcc", []string{"gcc", "mcf"}, contest.Options{})
+		c, err := l.Contest(context.Background(), "gcc", []string{"gcc", "mcf"}, contest.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

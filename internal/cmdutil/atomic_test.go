@@ -1,0 +1,82 @@
+package cmdutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFileAtomic(path, []byte("first\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first\n" {
+		t.Fatalf("content %q", got)
+	}
+	if err := WriteFileAtomic(path, []byte("second\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second\n" {
+		t.Fatalf("content after overwrite %q", got)
+	}
+	assertNoTempResidue(t, dir)
+}
+
+// TestWriteAtomicAbort: a writer that fails mid-stream leaves the previous
+// content untouched and no temp file behind — the property that makes
+// Ctrl-C during an artifact write safe.
+func TestWriteAtomicAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFileAtomic(path, []byte("intact\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("cancelled mid-stream")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "intact\n" {
+		t.Fatalf("aborted write corrupted the file: %q", got)
+	}
+	assertNoTempResidue(t, dir)
+}
+
+func TestWriteAtomicNewFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.json")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Errorf("mode %v, want 0644", info.Mode().Perm())
+	}
+	assertNoTempResidue(t, dir)
+}
+
+func assertNoTempResidue(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if name := e.Name(); len(name) > 0 && name[0] == '.' {
+			t.Errorf("temp residue left behind: %s", name)
+		}
+	}
+}

@@ -5,18 +5,75 @@
 package cmdutil
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"archcontest/internal/resultcache"
 )
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM, the shared
+// driver convention: the first signal requests a cooperative stop (the
+// engines exit at their next context poll, caches and artifact files stay
+// whole), a second signal kills the process through Go's default handler
+// because stop() has already restored it.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, func() { stop() }) // restore default handling once cancelled
+	return ctx, stop
+}
+
+// WriteFileAtomic writes data to path through a temp file in the same
+// directory plus an atomic rename, so an interrupted writer never leaves a
+// truncated artifact behind: readers observe either the old content or the
+// complete new content, nothing in between.
+func WriteFileAtomic(path string, data []byte, perm fs.FileMode) error {
+	return writeAtomic(path, perm, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// WriteAtomic streams content through write into a temp file in path's
+// directory and atomically renames it over path on success. On any error
+// (including a write aborted mid-stream by cancellation) the temp file is
+// removed and path is untouched.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	return writeAtomic(path, 0o644, func(f *os.File) error { return write(f) })
+}
+
+func writeAtomic(path string, perm fs.FileMode, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
 
 // CacheFlags registers -cache.dir and -cache.off on fs (flag.CommandLine
 // when nil) and returns an opener to call after parsing. The opener returns
@@ -117,24 +174,17 @@ func (o *ObsSet) WriteMetricsJSON(v any) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(o.Metrics, append(data, '\n'), 0o644)
+	return WriteFileAtomic(o.Metrics, append(data, '\n'), 0o644)
 }
 
 // WriteTimeline streams a timeline through write to the -timeline path
-// (no-op when unset).
+// (no-op when unset). The write is atomic: an interrupt mid-stream leaves
+// no partial timeline file.
 func (o *ObsSet) WriteTimeline(write func(io.Writer) error) error {
 	if o.Timeline == "" {
 		return nil
 	}
-	f, err := os.Create(o.Timeline)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteAtomic(o.Timeline, write)
 }
 
 // Publish registers an expvar under name computing its value from f on

@@ -1,0 +1,56 @@
+package contest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"archcontest/internal/config"
+	"archcontest/internal/workload"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, singleStep := range []bool{false, true} {
+		_, err := RunContext(ctx, cfgs, tr, Options{SingleStep: singleStep})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("singleStep=%v: err = %v, want context.Canceled", singleStep, err)
+		}
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	tr := workload.MustGenerate("mcf", 500000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunContext(ctx, cfgs, tr, Options{})
+	// The run may legitimately finish before the timer fires on a fast
+	// machine; what must never happen is a non-context error or a hang.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	tr := workload.MustGenerate("twolf", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	a, err := Run(cfgs, tr, Options{RegionSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfgs, tr, Options{RegionSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Insts != b.Insts || a.Time != b.Time || a.Winner != b.Winner || a.LeadChanges != b.LeadChanges {
+		t.Fatalf("RunContext(Background) diverged from Run:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,6 +1,7 @@
 package contest
 
 import (
+	"context"
 	"fmt"
 
 	"archcontest/internal/cache"
@@ -189,23 +190,46 @@ func (s *System) declareSaturated(core int) {
 	s.queue.DisableCore(core)
 }
 
+// ctxPollStride matches sim.ctxPollStride: scheduler iterations between
+// context polls. The check never runs per simulated cycle.
+const ctxPollStride = 4096
+
 // Run executes the contest to completion: the system finishes when the
 // first core retires the whole trace. The event-driven scheduler is used
 // unless Options.SingleStep selects the reference cycle-by-cycle loop; both
 // produce bit-identical results.
 func (s *System) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: both scheduler loops
+// poll ctx.Done() every ctxPollStride iterations and return ctx.Err() when
+// the context ends. A Background context costs one nil check at entry.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if s.opts.SingleStep {
-		return s.runSingleStep()
+		return s.runSingleStep(ctx)
 	}
-	return s.runEventDriven()
+	return s.runEventDriven(ctx)
 }
 
 // runSingleStep is the reference scheduler: one cycle of one core at a
 // time, always the core with the earliest next clock edge.
-func (s *System) runSingleStep() (Result, error) {
+func (s *System) runSingleStep(ctx context.Context) (Result, error) {
 	maxTime := ticks.Time(ticks.FromNanoseconds(s.opts.MaxTimeNs))
 	n := len(s.cores)
+	done := ctx.Done()
+	var poll int
 	for {
+		if done != nil {
+			if poll++; poll >= ctxPollStride {
+				poll = 0
+				select {
+				case <-done:
+					return Result{}, ctx.Err()
+				default:
+				}
+			}
+		}
 		// Step the core with the earliest next clock edge; ties resolve by
 		// core index, the paper's round-robin handshake order.
 		min := 0
@@ -245,11 +269,23 @@ func (s *System) runSingleStep() (Result, error) {
 // in the same global order, with the same inputs, so all reported numbers —
 // including each core's dead-cycle-inflated Stats.Cycles, reconstructed at
 // the end by settle — are bit-identical to runSingleStep.
-func (s *System) runEventDriven() (Result, error) {
+func (s *System) runEventDriven(ctx context.Context) (Result, error) {
 	maxTime := ticks.Time(ticks.FromNanoseconds(s.opts.MaxTimeNs))
 	s.bounds = make([]ticks.Time, len(s.cores))
 	h := newCoreHeap(s)
+	done := ctx.Done()
+	var poll int
 	for {
+		if done != nil {
+			if poll++; poll >= ctxPollStride {
+				poll = 0
+				select {
+				case <-done:
+					return Result{}, ctx.Err()
+				default:
+				}
+			}
+		}
 		i := h.min()
 		c := s.cores[i]
 		if c.Now() > maxTime {
@@ -341,9 +377,15 @@ func (s *System) result(winner int) Result {
 
 // Run builds and runs a contesting system in one call.
 func Run(cfgs []config.CoreConfig, tr *trace.Trace, opts Options) (Result, error) {
+	return RunContext(context.Background(), cfgs, tr, opts)
+}
+
+// RunContext builds and runs a contesting system in one call, with
+// cooperative cancellation (see System.RunContext).
+func RunContext(ctx context.Context, cfgs []config.CoreConfig, tr *trace.Trace, opts Options) (Result, error) {
 	s, err := NewSystem(cfgs, tr, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"archcontest/internal/contest"
@@ -13,7 +15,7 @@ var ablationBenches = []string{"bzip", "twolf", "crafty"}
 // AblationStoreQueue sweeps the synchronizing store queue capacity: an
 // undersized queue backpressures the leader's store retirement and erodes
 // the contesting speedup.
-func AblationStoreQueue(l *Lab) (*Table, error) {
+func AblationStoreQueue(ctx context.Context, l *Lab) (*Table, error) {
 	caps := []int{8, 32, 256}
 	t := &Table{
 		ID:    "Ablation: store queue",
@@ -24,13 +26,13 @@ func AblationStoreQueue(l *Lab) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("cap %d", c))
 	}
 	for _, bench := range ablationBenches {
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{bench}
 		for _, c := range caps {
-			r, err := l.Contest(bench, best.Cores, contest.Options{StoreQueueCap: c})
+			r, err := l.Contest(ctx, bench, best.Cores, contest.Options{StoreQueueCap: c})
 			if err != nil {
 				return nil, err
 			}
@@ -46,7 +48,7 @@ func AblationStoreQueue(l *Lab) (*Table, error) {
 // Too tight a bound misclassifies transient memory-phase excursions as
 // structural saturation and disables contesting for a core that would have
 // recovered.
-func AblationMaxLag(l *Lab) (*Table, error) {
+func AblationMaxLag(ctx context.Context, l *Lab) (*Table, error) {
 	lags := []int{64, 512, 4096}
 	t := &Table{
 		ID:    "Ablation: lagging distance",
@@ -57,13 +59,13 @@ func AblationMaxLag(l *Lab) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("lag %d", lag), "saturated")
 	}
 	for _, bench := range ablationBenches {
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{bench}
 		for _, lag := range lags {
-			r, err := l.Contest(bench, best.Cores, contest.Options{MaxLag: lag})
+			r, err := l.Contest(ctx, bench, best.Cores, contest.Options{MaxLag: lag})
 			if err != nil {
 				return nil, err
 			}
@@ -87,22 +89,22 @@ func AblationMaxLag(l *Lab) (*Table, error) {
 // AblationTrainOnInject toggles predictor training on injected branches: an
 // untrained predictor greets every lead change with a burst of
 // mispredictions.
-func AblationTrainOnInject(l *Lab) (*Table, error) {
+func AblationTrainOnInject(ctx context.Context, l *Lab) (*Table, error) {
 	t := &Table{
 		ID:     "Ablation: predictor training on injection",
 		Title:  "contest IPT with and without training the trailing core's predictor",
 		Header: []string{"benchmark", "train (default)", "no train", "delta"},
 	}
 	for _, bench := range ablationBenches {
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
-		on, err := l.Contest(bench, best.Cores, contest.Options{})
+		on, err := l.Contest(ctx, bench, best.Cores, contest.Options{})
 		if err != nil {
 			return nil, err
 		}
-		off, err := l.Contest(bench, best.Cores, contest.Options{NoTrainOnInject: true})
+		off, err := l.Contest(ctx, bench, best.Cores, contest.Options{NoTrainOnInject: true})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -25,7 +26,7 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rs, err := l.Runs("gcc")
+			rs, err := l.Runs(context.Background(), "gcc")
 			if err != nil {
 				t.Error(err)
 				return
@@ -58,14 +59,14 @@ func TestSingleflightAcrossArtifacts(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := l.BestPair("twolf"); err != nil {
+			if _, err := l.BestPair(context.Background(), "twolf"); err != nil {
 				t.Error(err)
 			}
 		}()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := l.Study("twolf"); err != nil {
+			if _, err := l.Study(context.Background(), "twolf"); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -82,7 +83,7 @@ func TestSingleflightAcrossArtifacts(t *testing.T) {
 func TestParallelFirstErrorDeterministic(t *testing.T) {
 	l := NewLab(Config{N: 1000, Parallelism: 8})
 	for trial := 0; trial < 20; trial++ {
-		err := l.parallel(64, func(i int) error {
+		err := l.parallel(context.Background(), 64, func(i int) error {
 			if i >= 17 {
 				return fmt.Errorf("item %d failed", i)
 			}
@@ -100,7 +101,7 @@ func TestParallelBoundsWorkers(t *testing.T) {
 	const bound = 3
 	l := NewLab(Config{N: 1000, Parallelism: bound})
 	var cur, peak atomic.Int64
-	err := l.parallel(50, func(i int) error {
+	err := l.parallel(context.Background(), 50, func(i int) error {
 		n := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -126,7 +127,7 @@ func TestParallelRetriesAfterError(t *testing.T) {
 	l := NewLab(Config{N: 12_000})
 	fail := true
 	// A failed artifact must not be memoized: the next call retries.
-	_, err := l.flight.do("probe", func() (any, error) {
+	_, err := l.flight.do(context.Background(), "probe", func() (any, error) {
 		if fail {
 			return nil, errors.New("transient")
 		}
@@ -136,7 +137,7 @@ func TestParallelRetriesAfterError(t *testing.T) {
 		t.Fatal("expected failure")
 	}
 	fail = false
-	v, err := l.flight.do("probe", func() (any, error) { return "ok", nil })
+	v, err := l.flight.do(context.Background(), "probe", func() (any, error) { return "ok", nil })
 	if err != nil || v.(string) != "ok" {
 		t.Fatalf("retry failed: %v %v", v, err)
 	}
@@ -165,19 +166,19 @@ func TestWarmCacheGolden(t *testing.T) {
 		bestPair any
 	}
 	collect := func(l *Lab) artifacts {
-		m, err := l.Matrix()
+		m, err := l.Matrix(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := l.Runs("twolf")
+		rs, err := l.Runs(context.Background(), "twolf")
 		if err != nil {
 			t.Fatal(err)
 		}
-		bp, err := l.BestPair("twolf")
+		bp, err := l.BestPair(context.Background(), "twolf")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := l.Study("twolf"); err != nil {
+		if _, err := l.Study(context.Background(), "twolf"); err != nil {
 			t.Fatal(err)
 		}
 		return artifacts{ipt: m.IPT, runs: rs, bestPair: bp}
@@ -216,11 +217,11 @@ func TestParallelismIndependence(t *testing.T) {
 	}
 	seq := NewLab(Config{N: 12_000, Parallelism: 1})
 	par := NewLab(Config{N: 12_000, Parallelism: 8})
-	ms, err := seq.Matrix()
+	ms, err := seq.Matrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp, err := par.Matrix()
+	mp, err := par.Matrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

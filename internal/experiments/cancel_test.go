@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"archcontest/internal/config"
+	"archcontest/internal/resultcache"
+	"archcontest/internal/workload"
+)
+
+// TestCampaignCancellation locks the contract of cancelling a Lab
+// mid-campaign: the call returns context.Canceled, only a bounded number
+// of additional leaves complete after the cancellation is requested, the
+// result cache stays fully loadable, and a warm re-run over the same cache
+// produces bit-identical results.
+func TestCampaignCancellation(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *resultcache.Cache {
+		c, err := resultcache.Open(dir, resultcache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	const par = 2
+	c := open()
+	l := NewLab(Config{N: 5000, Parallelism: par, Cache: c})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel as soon as at least one leaf result has been persisted, so the
+	// warm-re-run assertions below have something to find.
+	simsAtCancel := make(chan int64, 1)
+	go func() {
+		for {
+			if c.Stats().Stores > 0 {
+				simsAtCancel <- l.CampaignStats().Simulations
+				cancel()
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	_, err := l.Matrix(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Matrix under cancel: err = %v, want context.Canceled", err)
+	}
+	atCancel := <-simsAtCancel
+	final := l.CampaignStats().Simulations
+	// Leaves already holding a worker slot finish; everything else is
+	// abandoned. Between observing the counter and the engines seeing the
+	// cancellation, at most one more batch of `par` leaves can slip in.
+	if bound := atCancel + 2*par; final > bound {
+		t.Errorf("%d leaves completed after cancelling at %d (bound %d)", final, atCancel, bound)
+	}
+	total := int64(len(workload.Benchmarks()) * len(config.PaletteNames()))
+	if final >= total {
+		t.Errorf("campaign ran to completion (%d leaves) despite cancellation", final)
+	}
+
+	// The cache must hold only complete, loadable results: a warm re-run
+	// (fresh Lab, same directory) must succeed and match an uncached run
+	// bit-identically.
+	warm := NewLab(Config{N: 5000, Parallelism: par, Cache: open()})
+	mw, err := warm.Matrix(context.Background())
+	if err != nil {
+		t.Fatalf("warm re-run after cancellation: %v", err)
+	}
+	if st := warm.CampaignStats(); st.CacheHits == 0 {
+		t.Error("warm re-run hit the cache zero times; cancelled run persisted nothing")
+	}
+	cold := NewLab(Config{N: 5000, Parallelism: par})
+	mc, err := cold.Matrix(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mw, mc) {
+		t.Error("warm matrix over a cancellation-survivor cache differs from an uncached run")
+	}
+}
+
+// TestCampaignPreCancelled: a cancelled context fails fast without
+// executing any leaf and without touching the cache.
+func TestCampaignPreCancelled(t *testing.T) {
+	l := NewLab(Config{N: 2000, Parallelism: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Runs(ctx, "gcc"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := l.CampaignStats(); st.Simulations != 0 {
+		t.Errorf("%d leaves executed under a pre-cancelled context", st.Simulations)
+	}
+}

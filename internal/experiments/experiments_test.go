@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -26,11 +27,11 @@ func TestTableRendering(t *testing.T) {
 
 func TestLabCaching(t *testing.T) {
 	l := testLab()
-	tr1, err := l.Trace("gcc")
+	tr1, err := l.Trace(context.Background(), "gcc")
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, _ := l.Trace("gcc")
+	tr2, _ := l.Trace(context.Background(), "gcc")
 	if tr1 != tr2 {
 		t.Error("trace not cached")
 	}
@@ -41,7 +42,7 @@ func TestLabCaching(t *testing.T) {
 
 func TestMatrixAndDesigns(t *testing.T) {
 	l := testLab()
-	m, err := l.Matrix()
+	m, err := l.Matrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestMatrixAndDesigns(t *testing.T) {
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	m2, _ := l.Matrix()
+	m2, _ := l.Matrix(context.Background())
 	if m != m2 {
 		t.Error("matrix not cached")
 	}
@@ -68,7 +69,7 @@ func TestMatrixAndDesigns(t *testing.T) {
 
 func TestBestPairContests(t *testing.T) {
 	l := testLab()
-	r, err := l.BestPair("twolf")
+	r, err := l.BestPair(context.Background(), "twolf")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestBestPairContests(t *testing.T) {
 	if r.IPT() <= 0 {
 		t.Fatal("non-positive contest IPT")
 	}
-	r2, _ := l.BestPair("twolf")
+	r2, _ := l.BestPair(context.Background(), "twolf")
 	if r2.Time != r.Time {
 		t.Error("best pair not cached")
 	}
@@ -98,7 +99,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		if exp == nil {
 			t.Fatalf("experiment %s not registered", id)
 		}
-		tab, err := exp(l)
+		tab, err := exp(context.Background(), l)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -116,7 +117,7 @@ func TestFigure6Shape(t *testing.T) {
 		t.Skip("contesting sweep in short mode")
 	}
 	l := testLab()
-	tab, err := Figure6(l)
+	tab, err := Figure6(context.Background(), l)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"archcontest/internal/config"
@@ -16,7 +18,7 @@ import (
 // migration costs (state transfer, drain/refill, cold destination caches).
 // Even with a perfect phase oracle, fine-grain migration drowns in
 // overheads that contesting does not pay.
-func Migration(l *Lab) (*Table, error) {
+func Migration(ctx context.Context, l *Lab) (*Table, error) {
 	grans := []int{20, 80, 320, 1280, 5120, 20480}
 	t := &Table{
 		ID:    "Extension: migration baseline",
@@ -28,15 +30,15 @@ func Migration(l *Lab) (*Table, error) {
 	}
 	t.Header = append(t.Header, "contesting")
 	for _, bench := range []string{"bzip", "gcc", "twolf", "gzip"} {
-		own, err := l.OwnCoreIPT(bench)
+		own, err := l.OwnCoreIPT(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
-		runs, err := l.Runs(bench)
+		runs, err := l.Runs(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +72,7 @@ func Migration(l *Lab) (*Table, error) {
 // roughly one extra core's worth of energy for the single-thread speedup,
 // which is why the paper positions contesting as a need-to-have execution
 // mode rather than a default.
-func Power(l *Lab) (*Table, error) {
+func Power(ctx context.Context, l *Lab) (*Table, error) {
 	t := &Table{
 		ID:    "Extension: energy",
 		Title: "energy and energy-delay of own-core execution vs 2-way contesting",
@@ -78,7 +80,7 @@ func Power(l *Lab) (*Table, error) {
 			"energy ratio", "speedup", "EDP ratio"},
 	}
 	for _, bench := range []string{"bzip", "gcc", "twolf", "crafty"} {
-		runs, err := l.Runs(bench)
+		runs, err := l.Runs(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +92,7 @@ func Power(l *Lab) (*Table, error) {
 			}
 		}
 		eo := power.SingleRun(ownCfg, ownRun)
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -113,23 +115,23 @@ func Power(l *Lab) (*Table, error) {
 // NWay contests three core types at once (the implementation is
 // generalized for N-way, the paper evaluates 2-way) and compares against
 // the 2-way result.
-func NWay(l *Lab) (*Table, error) {
+func NWay(ctx context.Context, l *Lab) (*Table, error) {
 	t := &Table{
 		ID:     "Extension: 3-way contesting",
 		Title:  "2-way vs 3-way contesting (third core from HET-D)",
 		Header: []string{"benchmark", "own core", "2-way", "3-way", "3-way cores", "saturated"},
 	}
-	m, d, err := l.designSet()
+	m, d, err := l.designSet(ctx)
 	if err != nil {
 		return nil, err
 	}
 	third := m.CoreNames(d.HetD)
 	for _, bench := range []string{"bzip", "gcc", "twolf", "gzip"} {
-		own, err := l.OwnCoreIPT(bench)
+		own, err := l.OwnCoreIPT(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +143,7 @@ func NWay(l *Lab) (*Table, error) {
 				break
 			}
 		}
-		r3, err := l.Contest(bench, cores, contest.Options{})
+		r3, err := l.Contest(ctx, bench, cores, contest.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +165,7 @@ func NWay(l *Lab) (*Table, error) {
 // Exceptions compares the paper's parallelized redundant-thread-aware
 // exception handler against terminate-and-refork at several exception
 // rates (Section 4.3).
-func Exceptions(l *Lab) (*Table, error) {
+func Exceptions(ctx context.Context, l *Lab) (*Table, error) {
 	intervals := []int64{50_000, 10_000, 2_000}
 	t := &Table{
 		ID:    "Extension: exceptions",
@@ -174,17 +176,17 @@ func Exceptions(l *Lab) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("par@%d", iv), fmt.Sprintf("refork@%d", iv))
 	}
 	for _, bench := range []string{"gcc", "twolf"} {
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{bench, f2(best.IPT())}
 		for _, iv := range intervals {
-			par, err := l.Contest(bench, best.Cores, contest.Options{ExceptionEvery: iv})
+			par, err := l.Contest(ctx, bench, best.Cores, contest.Options{ExceptionEvery: iv})
 			if err != nil {
 				return nil, err
 			}
-			ref, err := l.Contest(bench, best.Cores, contest.Options{ExceptionEvery: iv, ExceptionKillRefork: true})
+			ref, err := l.Contest(ctx, bench, best.Cores, contest.Options{ExceptionEvery: iv, ExceptionKillRefork: true})
 			if err != nil {
 				return nil, err
 			}

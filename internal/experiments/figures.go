@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"archcontest/internal/config"
@@ -10,7 +12,7 @@ import (
 )
 
 // Experiment computes one paper table or figure.
-type Experiment func(l *Lab) (*Table, error)
+type Experiment func(ctx context.Context, l *Lab) (*Table, error)
 
 // Registry maps experiment IDs to their drivers.
 var Registry = map[string]Experiment{
@@ -46,7 +48,7 @@ var RegistryOrder = []string{
 // Figure1 reproduces the Section 2 motivation study: the oracle speedup of
 // switching between the best two configurations at every power-of-two
 // granularity, per benchmark, over the benchmark's own customized core.
-func Figure1(l *Lab) (*Table, error) {
+func Figure1(ctx context.Context, l *Lab) (*Table, error) {
 	t := &Table{
 		ID:    "Figure 1",
 		Title: "oracle switching speedup between two configurations vs granularity (over own customized core)",
@@ -59,7 +61,7 @@ func Figure1(l *Lab) (*Table, error) {
 	var all []series
 	var grans []int
 	for _, bench := range l.Benchmarks() {
-		study, err := l.Study(bench)
+		study, err := l.Study(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +128,7 @@ func Figure1(l *Lab) (*Table, error) {
 
 // Figure6 reproduces the headline result: 2-way contesting between the best
 // pair of customized cores vs the benchmark's own customized core.
-func Figure6(l *Lab) (*Table, error) {
+func Figure6(ctx context.Context, l *Lab) (*Table, error) {
 	t := &Table{
 		ID:     "Figure 6",
 		Title:  "IPT of 2-way contesting vs own customized core (1ns core-to-core latency)",
@@ -135,11 +137,11 @@ func Figure6(l *Lab) (*Table, error) {
 	var sum, max float64
 	maxBench := ""
 	for _, bench := range l.Benchmarks() {
-		own, err := l.OwnCoreIPT(bench)
+		own, err := l.OwnCoreIPT(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -162,18 +164,18 @@ func Figure6(l *Lab) (*Table, error) {
 // benchmark is contested between two copies of one best-pair core that
 // differ only in their L2 (configuration and access latency), both ways,
 // and the better trial is compared to the full heterogeneous speedup.
-func Figure7(l *Lab) (*Table, error) {
+func Figure7(ctx context.Context, l *Lab) (*Table, error) {
 	t := &Table{
 		ID:     "Figure 7",
 		Title:  "contribution of L2 heterogeneity to the contesting speedup",
 		Header: []string{"benchmark", "full heterogeneity", "L2-only", "L2 share"},
 	}
 	for _, bench := range l.Benchmarks() {
-		own, err := l.OwnCoreIPT(bench)
+		own, err := l.OwnCoreIPT(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +188,7 @@ func Figure7(l *Lab) (*Table, error) {
 		}
 		l2Best := 0.0
 		for _, pair := range trials {
-			r, err := l.ContestConfigs(bench, pair[:], contest.Options{})
+			r, err := l.ContestConfigs(ctx, bench, pair[:], contest.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -209,7 +211,7 @@ func Figure7(l *Lab) (*Table, error) {
 }
 
 // Figure8 sweeps the core-to-core latency for each benchmark's best pair.
-func Figure8(l *Lab) (*Table, error) {
+func Figure8(ctx context.Context, l *Lab) (*Table, error) {
 	latencies := []float64{1, 2, 5, 10, 100}
 	t := &Table{
 		ID:    "Figure 8",
@@ -221,18 +223,18 @@ func Figure8(l *Lab) (*Table, error) {
 	}
 	avg := make([]float64, len(latencies))
 	for _, bench := range l.Benchmarks() {
-		own, err := l.OwnCoreIPT(bench)
+		own, err := l.OwnCoreIPT(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
-		best, err := l.BestPair(bench)
+		best, err := l.BestPair(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{bench}
 		sps := make([]float64, len(latencies))
-		err = l.parallel(len(latencies), func(i int) error {
-			r, err := l.Contest(bench, best.Cores, contest.Options{LatencyNs: latencies[i]})
+		err = l.parallel(ctx, len(latencies), func(i int) error {
+			r, err := l.Contest(ctx, bench, best.Cores, contest.Options{LatencyNs: latencies[i]})
 			if err != nil {
 				return err
 			}
@@ -259,8 +261,8 @@ func Figure8(l *Lab) (*Table, error) {
 }
 
 // designSet derives the paper's CMP designs from the lab's matrix.
-func (l *Lab) designSet() (*merit.Matrix, merit.PaperDesigns, error) {
-	m, err := l.Matrix()
+func (l *Lab) designSet(ctx context.Context) (*merit.Matrix, merit.PaperDesigns, error) {
+	m, err := l.Matrix(ctx)
 	if err != nil {
 		return nil, merit.PaperDesigns{}, err
 	}
@@ -269,8 +271,8 @@ func (l *Lab) designSet() (*merit.Matrix, merit.PaperDesigns, error) {
 }
 
 // Table1 reproduces the five CMP designs and their harmonic-mean IPT.
-func Table1(l *Lab) (*Table, error) {
-	m, d, err := l.designSet()
+func Table1(ctx context.Context, l *Lab) (*Table, error) {
+	m, d, err := l.designSet(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -297,8 +299,8 @@ func Table1(l *Lab) (*Table, error) {
 
 // Figure9 reports per-benchmark IPT on the five CMP designs (each benchmark
 // on its most suitable available core).
-func Figure9(l *Lab) (*Table, error) {
-	m, d, err := l.designSet()
+func Figure9(ctx context.Context, l *Lab) (*Table, error) {
+	m, d, err := l.designSet(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -322,8 +324,8 @@ func Figure9(l *Lab) (*Table, error) {
 // contestedDesign is the shared driver of Figures 10, 11, and 12: per
 // benchmark, IPT on HOM, on the design's best core without contesting, and
 // contested between the design's two core types.
-func contestedDesign(l *Lab, id string, pick func(merit.PaperDesigns) merit.Design) (*Table, error) {
-	m, d, err := l.designSet()
+func contestedDesign(ctx context.Context, l *Lab, id string, pick func(merit.PaperDesigns) merit.Design) (*Table, error) {
+	m, d, err := l.designSet(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -340,8 +342,8 @@ func contestedDesign(l *Lab, id string, pick func(merit.PaperDesigns) merit.Desi
 	}
 	benches := l.Benchmarks()
 	contests := make([]contest.Result, len(benches))
-	err = l.parallel(len(benches), func(i int) error {
-		r, err := l.Contest(benches[i], pair, contest.Options{})
+	err = l.parallel(ctx, len(benches), func(i int) error {
+		r, err := l.Contest(ctx, benches[i], pair, contest.Options{})
 		if err != nil {
 			return err
 		}
@@ -392,25 +394,25 @@ func contestedDesign(l *Lab, id string, pick func(merit.PaperDesigns) merit.Desi
 }
 
 // Figure10 evaluates contesting on HET-A.
-func Figure10(l *Lab) (*Table, error) {
-	return contestedDesign(l, "Figure 10", func(d merit.PaperDesigns) merit.Design { return d.HetA })
+func Figure10(ctx context.Context, l *Lab) (*Table, error) {
+	return contestedDesign(ctx, l, "Figure 10", func(d merit.PaperDesigns) merit.Design { return d.HetA })
 }
 
 // Figure11 evaluates contesting on HET-B.
-func Figure11(l *Lab) (*Table, error) {
-	return contestedDesign(l, "Figure 11", func(d merit.PaperDesigns) merit.Design { return d.HetB })
+func Figure11(ctx context.Context, l *Lab) (*Table, error) {
+	return contestedDesign(ctx, l, "Figure 11", func(d merit.PaperDesigns) merit.Design { return d.HetB })
 }
 
 // Figure12 evaluates contesting on HET-C.
-func Figure12(l *Lab) (*Table, error) {
-	return contestedDesign(l, "Figure 12", func(d merit.PaperDesigns) merit.Design { return d.HetC })
+func Figure12(ctx context.Context, l *Lab) (*Table, error) {
+	return contestedDesign(ctx, l, "Figure 12", func(d merit.PaperDesigns) merit.Design { return d.HetC })
 }
 
 // Figure13 compares contesting between HET-C's two core types against
 // executing on the best of HET-D's three core types and against each
 // benchmark's own customized core (HET-ALL without contesting).
-func Figure13(l *Lab) (*Table, error) {
-	m, d, err := l.designSet()
+func Figure13(ctx context.Context, l *Lab) (*Table, error) {
+	m, d, err := l.designSet(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -422,8 +424,8 @@ func Figure13(l *Lab) (*Table, error) {
 	}
 	benches := l.Benchmarks()
 	contests := make([]contest.Result, len(benches))
-	err = l.parallel(len(benches), func(i int) error {
-		r, err := l.Contest(benches[i], pair, contest.Options{})
+	err = l.parallel(ctx, len(benches), func(i int) error {
+		r, err := l.Contest(ctx, benches[i], pair, contest.Options{})
 		if err != nil {
 			return err
 		}
@@ -438,7 +440,7 @@ func Figure13(l *Lab) (*Table, error) {
 		b, _ := m.BenchIndex(bench)
 		con := contests[i].IPT()
 		_, d3 := m.BestIn(b, d.HetD.Cores)
-		own, err := l.OwnCoreIPT(bench)
+		own, err := l.OwnCoreIPT(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -455,8 +457,8 @@ func Figure13(l *Lab) (*Table, error) {
 
 // AppendixA reports the benchmark x core IPT matrix, the reproduction's
 // equivalent of the paper's Appendix A performance table.
-func AppendixA(l *Lab) (*Table, error) {
-	m, err := l.Matrix()
+func AppendixA(ctx context.Context, l *Lab) (*Table, error) {
+	m, err := l.Matrix(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +497,7 @@ func allCores(m *merit.Matrix) []int {
 
 // AppendixAConfigs lists the palette configurations (the top half of the
 // paper's Appendix A table).
-func AppendixAConfigs(l *Lab) (*Table, error) {
+func AppendixAConfigs(ctx context.Context, l *Lab) (*Table, error) {
 	t := &Table{
 		ID:    "Appendix A (configurations)",
 		Title: "benchmark-customized core configurations (transcribed from the paper)",

@@ -9,9 +9,17 @@
 // parallelism across benchmarks rather than within one call, and leaf
 // results are persisted in an optional content-addressed result cache so a
 // re-run only simulates what changed.
+//
+// Every artifact accessor takes a context. Cancellation is cooperative and
+// bounded: un-started DAG leaves are abandoned (workers claim remaining
+// items as cancelled without running them), in-flight leaves stop at the
+// engines' next context poll, singleflight waiters unblock with the context
+// error, and a cancelled leaf never reaches the result cache — so an
+// interrupted campaign leaves only complete, loadable cache entries behind.
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -157,47 +165,77 @@ type flightCall struct {
 	err  error
 }
 
-func (g *flightGroup) do(key string, fn func() (any, error)) (any, error) {
-	g.mu.Lock()
-	if g.calls == nil {
-		g.calls = make(map[string]*flightCall)
-	}
-	if c, ok := g.calls[key]; ok {
+// do runs fn once per key. Waiters block on the executing call but stay
+// cancellable: a waiter whose own context ends returns its ctx error
+// without waiting for the executor. When the executing call itself died of
+// cancellation (its error is a context error) but this caller's context is
+// still live, the forgotten call is retried rather than inheriting a
+// foreign cancellation.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		if g.calls == nil {
+			g.calls = make(map[string]*flightCall)
+		}
+		if c, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if isCtxErr(c.err) && ctx.Err() == nil {
+				continue // executor was cancelled, we weren't: retry
+			}
+			return c.val, c.err
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
 		g.mu.Unlock()
-		<-c.done
+
+		c.val, c.err = fn()
+		if c.err != nil {
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+		}
+		close(c.done)
 		return c.val, c.err
 	}
-	c := &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
-	g.mu.Unlock()
+}
 
-	c.val, c.err = fn()
-	if c.err != nil {
-		g.mu.Lock()
-		delete(g.calls, key)
-		g.mu.Unlock()
-	}
-	close(c.done)
-	return c.val, c.err
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // execTimed runs one leaf computation under the global parallelism bound.
-// The caller's goroutine blocks until a slot frees and executes fn itself,
-// so the Lab never owns idle worker goroutines. Leaf computations are pure
-// (they never wait on other Lab tasks), so slot holders cannot deadlock.
-// When Artifacts is configured, fn runs inside a recorded span; the span
-// starts after the semaphore is acquired, so the artifact timeline shows
-// executing work, not queueing.
-func (l *Lab) execTimed(kind, name string, fn func()) {
-	l.sem <- struct{}{}
+// The caller's goroutine blocks until a slot frees (or its context ends)
+// and executes fn itself, so the Lab never owns idle worker goroutines.
+// Leaf computations are pure (they never wait on other Lab tasks), so slot
+// holders cannot deadlock. When Artifacts is configured, fn runs inside a
+// recorded span; the span starts after the semaphore is acquired, so the
+// artifact timeline shows executing work, not queueing.
+func (l *Lab) execTimed(ctx context.Context, kind, name string, fn func()) error {
+	select {
+	case l.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	defer func() { <-l.sem }()
 	l.cfg.Artifacts.Time(kind, name, fn)
+	return nil
 }
 
 // parallel runs fn(i) for i in [0, n) on a worker pool of at most
 // Parallelism goroutines total (not one goroutine per item) and returns
-// the error of the lowest-indexed failing item, deterministically.
-func (l *Lab) parallel(n int, fn func(i int) error) error {
+// the error of the lowest-indexed failing item, deterministically. Once
+// the context ends, workers claim the remaining un-started items and mark
+// them with the context error instead of running them, so a cancelled
+// campaign abandons its un-started DAG leaves immediately.
+func (l *Lab) parallel(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -218,6 +256,10 @@ func (l *Lab) parallel(n int, fn func(i int) error) error {
 				if i >= int64(n) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(int(i))
 			}
 		}()
@@ -232,17 +274,19 @@ func (l *Lab) parallel(n int, fn func(i int) error) error {
 }
 
 // Trace returns (generating and caching) the benchmark's trace.
-func (l *Lab) Trace(bench string) (*trace.Trace, error) {
-	v, err := l.flight.do("trace/"+bench, func() (any, error) {
+func (l *Lab) Trace(ctx context.Context, bench string) (*trace.Trace, error) {
+	v, err := l.flight.do(ctx, "trace/"+bench, func() (any, error) {
 		p, err := workload.ProfileFor(bench)
 		if err != nil {
 			return nil, err
 		}
 		var tr *trace.Trace
-		l.execTimed("trace", bench, func() {
+		if eerr := l.execTimed(ctx, "trace", bench, func() {
 			l.traceGens.Add(1)
 			tr, err = workload.Generate(p, l.cfg.N)
-		})
+		}); eerr != nil {
+			return nil, eerr
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -254,27 +298,37 @@ func (l *Lab) Trace(bench string) (*trace.Trace, error) {
 	return v.(*trace.Trace), nil
 }
 
-// runKey derives the content address of one single-core leaf run.
-func runKey(tr *trace.Trace, cfg config.CoreConfig, opts sim.RunOptions) string {
+// RunKey derives the content address of one single-core leaf run. It is
+// the cache identity shared by every layer that executes single runs (Lab,
+// explore, spec): engine version, trace fingerprint and shape, core
+// configuration, run options.
+func RunKey(tr *trace.Trace, cfg config.CoreConfig, opts sim.RunOptions) string {
 	return resultcache.Key("run", sim.EngineVersion, tr.Fingerprint(), tr.Name(), tr.Len(), cfg, opts)
+}
+
+// ContestKey derives the content address of one contested leaf run.
+func ContestKey(tr *trace.Trace, cfgs []config.CoreConfig, opts contest.Options) string {
+	return resultcache.Key("contest", sim.EngineVersion, tr.Fingerprint(), tr.Name(), tr.Len(), cfgs, opts)
 }
 
 // RunOn returns (computing, deduplicating, and caching) one benchmark's
 // stand-alone run on one palette-or-custom core configuration.
-func (l *Lab) RunOn(bench string, cfg config.CoreConfig, opts sim.RunOptions) (sim.Result, error) {
-	tr, err := l.Trace(bench)
+func (l *Lab) RunOn(ctx context.Context, bench string, cfg config.CoreConfig, opts sim.RunOptions) (sim.Result, error) {
+	tr, err := l.Trace(ctx, bench)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	key := runKey(tr, cfg, opts)
-	v, err := l.flight.do("run/"+key, func() (any, error) {
+	key := RunKey(tr, cfg, opts)
+	v, err := l.flight.do(ctx, "run/"+key, func() (any, error) {
 		if l.cfg.Verify {
 			var r sim.Result
 			var rerr error
-			l.execTimed("run", bench+"/"+cfg.Name, func() {
+			if eerr := l.execTimed(ctx, "run", bench+"/"+cfg.Name, func() {
 				l.sims.Add(1)
-				r, rerr = l.runVerified(tr, cfg, opts)
-			})
+				r, rerr = l.runVerified(ctx, tr, cfg, opts)
+			}); eerr != nil {
+				return nil, eerr
+			}
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -290,11 +344,14 @@ func (l *Lab) RunOn(bench string, cfg config.CoreConfig, opts sim.RunOptions) (s
 		}
 		var r sim.Result
 		var rerr error
-		l.execTimed("run", bench+"/"+cfg.Name, func() {
+		if eerr := l.execTimed(ctx, "run", bench+"/"+cfg.Name, func() {
 			l.sims.Add(1)
-			r, rerr = sim.Run(cfg, tr, opts)
-		})
+			r, rerr = sim.RunContext(ctx, cfg, tr, opts)
+		}); eerr != nil {
+			return nil, eerr
+		}
 		if rerr != nil {
+			// A cancelled or failed run never reaches the cache.
 			return nil, rerr
 		}
 		l.cfg.Cache.Put(key, r)
@@ -309,11 +366,11 @@ func (l *Lab) RunOn(bench string, cfg config.CoreConfig, opts sim.RunOptions) (s
 // Runs returns (computing and caching) the benchmark's single-core runs on
 // every palette core, region-logged, in palette order. Single-core runs use
 // the write-back policy (stand-alone, non-contesting mode).
-func (l *Lab) Runs(bench string) ([]sim.Result, error) {
-	v, err := l.flight.do("runs/"+bench, func() (any, error) {
+func (l *Lab) Runs(ctx context.Context, bench string) ([]sim.Result, error) {
+	v, err := l.flight.do(ctx, "runs/"+bench, func() (any, error) {
 		rs := make([]sim.Result, len(l.cores))
-		err := l.parallel(len(l.cores), func(i int) error {
-			r, err := l.RunOn(bench, l.cores[i], sim.RunOptions{LogRegions: true})
+		err := l.parallel(ctx, len(l.cores), func(i int) error {
+			r, err := l.RunOn(ctx, bench, l.cores[i], sim.RunOptions{LogRegions: true})
 			if err != nil {
 				return err
 			}
@@ -335,15 +392,15 @@ func (l *Lab) Runs(bench string) ([]sim.Result, error) {
 // from stand-alone runs. All benchmarks' runs are requested concurrently,
 // so a single Matrix call saturates the Lab's parallelism across the whole
 // 11x11 campaign instead of one benchmark at a time.
-func (l *Lab) Matrix() (*merit.Matrix, error) {
-	v, err := l.flight.do("matrix", func() (any, error) {
+func (l *Lab) Matrix(ctx context.Context) (*merit.Matrix, error) {
+	v, err := l.flight.do(ctx, "matrix", func() (any, error) {
 		names := make([]string, len(l.cores))
 		for i, c := range l.cores {
 			names[i] = c.Name
 		}
 		m := merit.NewMatrix(l.benches, names)
-		err := l.parallel(len(l.benches), func(b int) error {
-			rs, err := l.Runs(l.benches[b])
+		err := l.parallel(ctx, len(l.benches), func(b int) error {
+			rs, err := l.Runs(ctx, l.benches[b])
 			if err != nil {
 				return err
 			}
@@ -367,9 +424,9 @@ func (l *Lab) Matrix() (*merit.Matrix, error) {
 }
 
 // Study returns (computing and caching) the benchmark's switching study.
-func (l *Lab) Study(bench string) (*switching.Study, error) {
-	v, err := l.flight.do("study/"+bench, func() (any, error) {
-		rs, err := l.Runs(bench)
+func (l *Lab) Study(ctx context.Context, bench string) (*switching.Study, error) {
+	v, err := l.flight.do(ctx, "study/"+bench, func() (any, error) {
+		rs, err := l.Runs(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -394,7 +451,7 @@ func (l *Lab) Study(bench string) (*switching.Study, error) {
 
 // Contest runs (deduplicating and caching) a contested execution of the
 // benchmark on the named palette cores at the lab's latency.
-func (l *Lab) Contest(bench string, coreNames []string, opts contest.Options) (contest.Result, error) {
+func (l *Lab) Contest(ctx context.Context, bench string, coreNames []string, opts contest.Options) (contest.Result, error) {
 	cfgs := make([]config.CoreConfig, len(coreNames))
 	for i, n := range coreNames {
 		c, err := config.PaletteCore(n)
@@ -403,13 +460,13 @@ func (l *Lab) Contest(bench string, coreNames []string, opts contest.Options) (c
 		}
 		cfgs[i] = c
 	}
-	return l.ContestConfigs(bench, cfgs, opts)
+	return l.ContestConfigs(ctx, bench, cfgs, opts)
 }
 
 // ContestConfigs is Contest over explicit core configurations (hybrids,
 // custom cores) rather than palette names.
-func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contest.Options) (contest.Result, error) {
-	tr, err := l.Trace(bench)
+func (l *Lab) ContestConfigs(ctx context.Context, bench string, cfgs []config.CoreConfig, opts contest.Options) (contest.Result, error) {
+	tr, err := l.Trace(ctx, bench)
 	if err != nil {
 		return contest.Result{}, err
 	}
@@ -420,15 +477,17 @@ func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contes
 	for _, c := range cfgs {
 		span += "/" + c.Name
 	}
-	key := resultcache.Key("contest", sim.EngineVersion, tr.Fingerprint(), tr.Name(), tr.Len(), cfgs, opts)
-	v, err := l.flight.do("contest/"+key, func() (any, error) {
+	key := ContestKey(tr, cfgs, opts)
+	v, err := l.flight.do(ctx, "contest/"+key, func() (any, error) {
 		if l.cfg.Verify {
 			var r contest.Result
 			var rerr error
-			l.execTimed("contest", span, func() {
+			if eerr := l.execTimed(ctx, "contest", span, func() {
 				l.contests.Add(1)
-				r, rerr = l.contestVerified(tr, cfgs, opts)
-			})
+				r, rerr = l.contestVerified(ctx, tr, cfgs, opts)
+			}); eerr != nil {
+				return nil, eerr
+			}
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -444,10 +503,12 @@ func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contes
 		}
 		var r contest.Result
 		var rerr error
-		l.execTimed("contest", span, func() {
+		if eerr := l.execTimed(ctx, "contest", span, func() {
 			l.contests.Add(1)
-			r, rerr = contest.Run(cfgs, tr, opts)
-		})
+			r, rerr = contest.RunContext(ctx, cfgs, tr, opts)
+		}); eerr != nil {
+			return nil, eerr
+		}
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -465,9 +526,9 @@ func (l *Lab) ContestConfigs(bench string, cfgs []config.CoreConfig, opts contes
 // (plus the best pair containing the benchmark's own core), each shortlisted
 // pair is contested, and the highest-IPT contest wins. IPT ties break to
 // the earlier candidate (shortlist order), so the winner is deterministic.
-func (l *Lab) BestPair(bench string) (contest.Result, error) {
-	v, err := l.flight.do("bestpair/"+bench, func() (any, error) {
-		study, err := l.Study(bench)
+func (l *Lab) BestPair(ctx context.Context, bench string) (contest.Result, error) {
+	v, err := l.flight.do(ctx, "bestpair/"+bench, func() (any, error) {
+		study, err := l.Study(ctx, bench)
 		if err != nil {
 			return nil, err
 		}
@@ -496,9 +557,9 @@ func (l *Lab) BestPair(bench string) (contest.Result, error) {
 			candidates = append(candidates, key)
 		}
 		results := make([]contest.Result, len(candidates))
-		err = l.parallel(len(candidates), func(i int) error {
+		err = l.parallel(ctx, len(candidates), func(i int) error {
 			pr := candidates[i]
-			r, err := l.Contest(bench, []string{l.cores[pr[0]].Name, l.cores[pr[1]].Name}, contest.Options{})
+			r, err := l.Contest(ctx, bench, []string{l.cores[pr[0]].Name, l.cores[pr[1]].Name}, contest.Options{})
 			if err != nil {
 				return err
 			}
@@ -545,14 +606,14 @@ func (v *labViolations) err(what string) error {
 // runVerified executes one single-core leaf with the invariant checker and
 // differential oracle attached. Never cached: the checks happen during
 // execution.
-func (l *Lab) runVerified(tr *trace.Trace, cfg config.CoreConfig, opts sim.RunOptions) (sim.Result, error) {
+func (l *Lab) runVerified(ctx context.Context, tr *trace.Trace, cfg config.CoreConfig, opts sim.RunOptions) (sim.Result, error) {
 	var v labViolations
 	chk := invariant.NewCoreChecker(tr, invariant.Options{
 		OnViolation: v.add,
 		ScanEvery:   l.cfg.VerifyScanEvery,
 	})
 	opts.Checker = chk
-	r, err := sim.Run(cfg, tr, opts)
+	r, err := sim.RunContext(ctx, cfg, tr, opts)
 	if err != nil {
 		return r, err
 	}
@@ -562,14 +623,14 @@ func (l *Lab) runVerified(tr *trace.Trace, cfg config.CoreConfig, opts sim.RunOp
 
 // contestVerified executes one contested leaf with per-core checkers and the
 // system observer attached. Never cached.
-func (l *Lab) contestVerified(tr *trace.Trace, cfgs []config.CoreConfig, opts contest.Options) (contest.Result, error) {
+func (l *Lab) contestVerified(ctx context.Context, tr *trace.Trace, cfgs []config.CoreConfig, opts contest.Options) (contest.Result, error) {
 	var v labViolations
 	obs := invariant.NewSystemObserver(tr, invariant.Options{
 		OnViolation: v.add,
 		ScanEvery:   l.cfg.VerifyScanEvery,
 	})
 	opts.Observer = obs
-	r, err := contest.Run(cfgs, tr, opts)
+	r, err := contest.RunContext(ctx, cfgs, tr, opts)
 	if err != nil {
 		return r, err
 	}
@@ -579,8 +640,8 @@ func (l *Lab) contestVerified(tr *trace.Trace, cfgs []config.CoreConfig, opts co
 
 // OwnCoreIPT reports the benchmark's stand-alone IPT on its own customized
 // core — the baseline of Figures 6, 7, and 8.
-func (l *Lab) OwnCoreIPT(bench string) (float64, error) {
-	m, err := l.Matrix()
+func (l *Lab) OwnCoreIPT(ctx context.Context, bench string) (float64, error) {
+	m, err := l.Matrix(ctx)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -16,11 +17,11 @@ func TestVerifiedLabMatchesPlain(t *testing.T) {
 	verified := NewLab(Config{N: 12_000, Verify: true, VerifyScanEvery: 16})
 
 	cfg := plain.Cores()[0]
-	pr, err := plain.RunOn("gcc", cfg, sim.RunOptions{LogRegions: true})
+	pr, err := plain.RunOn(context.Background(), "gcc", cfg, sim.RunOptions{LogRegions: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vr, err := verified.RunOn("gcc", cfg, sim.RunOptions{LogRegions: true})
+	vr, err := verified.RunOn(context.Background(), "gcc", cfg, sim.RunOptions{LogRegions: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +29,11 @@ func TestVerifiedLabMatchesPlain(t *testing.T) {
 		t.Errorf("verified single run diverges:\nplain:    %+v\nverified: %+v", pr, vr)
 	}
 
-	pc, err := plain.Contest("gcc", []string{"gcc", "mcf"}, contest.Options{})
+	pc, err := plain.Contest(context.Background(), "gcc", []string{"gcc", "mcf"}, contest.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vc, err := verified.Contest("gcc", []string{"gcc", "mcf"}, contest.Options{})
+	vc, err := verified.Contest(context.Background(), "gcc", []string{"gcc", "mcf"}, contest.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestVerifiedLabBypassesCache(t *testing.T) {
 	// Warm the cache with a plain lab.
 	warm := NewLab(Config{N: 12_000, Cache: cache})
 	cfg := warm.Cores()[0]
-	if _, err := warm.RunOn("gcc", cfg, sim.RunOptions{}); err != nil {
+	if _, err := warm.RunOn(context.Background(), "gcc", cfg, sim.RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	warmPuts := cache.Stats().Stores
@@ -62,7 +63,7 @@ func TestVerifiedLabBypassesCache(t *testing.T) {
 	}
 
 	v := NewLab(Config{N: 12_000, Cache: cache, Verify: true, VerifyScanEvery: 16})
-	if _, err := v.RunOn("gcc", cfg, sim.RunOptions{}); err != nil {
+	if _, err := v.RunOn(context.Background(), "gcc", cfg, sim.RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	st := v.CampaignStats()
@@ -86,7 +87,7 @@ func TestVerifiedFiguresSweep(t *testing.T) {
 	}
 	l := NewLab(Config{N: 12_000, CandidatePairs: 2, Verify: true, VerifyScanEvery: 16})
 	for _, id := range RegistryOrder {
-		tab, err := Registry[id](l)
+		tab, err := Registry[id](context.Background(), l)
 		if err != nil {
 			t.Fatalf("%s under verification: %v", id, err)
 		}

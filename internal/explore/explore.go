@@ -22,6 +22,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -229,7 +230,7 @@ func newEvaluator(tr *trace.Trace, cache *resultcache.Cache, log *obs.ArtifactLo
 	}
 }
 
-func (e *evaluator) eval(s state) (config.CoreConfig, float64, error) {
+func (e *evaluator) eval(ctx context.Context, s state) (config.CoreConfig, float64, error) {
 	cfg, err := config.Derive(s.params(e.name))
 	if err != nil {
 		return config.CoreConfig{}, 0, err
@@ -238,7 +239,7 @@ func (e *evaluator) eval(s state) (config.CoreConfig, float64, error) {
 	var res sim.Result
 	if !e.cache.Get(key, &res) {
 		e.log.Time("eval", e.name, func() {
-			res, err = sim.Run(cfg, e.tr, e.ropts)
+			res, err = sim.RunContext(ctx, cfg, e.tr, e.ropts)
 		})
 		if err != nil {
 			return config.CoreConfig{}, 0, err
@@ -293,7 +294,7 @@ func forEach(par, n int, fn func(i int)) {
 // concurrently; decisions are still applied in sequence order, and an
 // acceptance discards the rest of the batch and rewinds the proposal
 // stream, so the trajectory is exactly the K=1 trajectory.
-func Customize(tr *trace.Trace, opts Options) (Result, error) {
+func Customize(ctx context.Context, tr *trace.Trace, opts Options) (Result, error) {
 	if tr == nil || tr.Len() == 0 {
 		return Result{}, fmt.Errorf("explore: empty trace")
 	}
@@ -307,7 +308,7 @@ func Customize(tr *trace.Trace, opts Options) (Result, error) {
 	if !cur.valid() {
 		return Result{}, fmt.Errorf("explore: invalid initial state")
 	}
-	curCfg, curIPT, err := ev.eval(cur)
+	curCfg, curIPT, err := ev.eval(ctx, cur)
 	if err != nil {
 		return Result{}, err
 	}
@@ -324,6 +325,9 @@ func Customize(tr *trace.Trace, opts Options) (Result, error) {
 		err      error
 	}
 	for step := 0; step < opts.Steps; {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		k := opts.Lookahead
 		if rem := opts.Steps - step; k > rem {
 			k = rem
@@ -339,7 +343,7 @@ func Customize(tr *trace.Trace, opts Options) (Result, error) {
 		}
 		forEach(opts.Parallelism, k, func(j int) {
 			c := &cands[j]
-			c.cfg, c.ipt, c.err = ev.eval(c.st)
+			c.cfg, c.ipt, c.err = ev.eval(ctx, c.st)
 		})
 		// Consume in sequence order; stop the window at the first
 		// acceptance (later candidates were proposed from a state the walk
@@ -369,6 +373,9 @@ func Customize(tr *trace.Trace, opts Options) (Result, error) {
 		}
 		*rProp = cands[consumed-1].rngAfter
 		res.Wasted += k - consumed
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	res.Best.Name = "custom-" + tr.Name()
 	return res, nil

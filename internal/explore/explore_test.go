@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"testing"
 
 	"archcontest/internal/config"
@@ -14,7 +15,7 @@ func TestCustomizeImproves(t *testing.T) {
 		t.Skip("annealing in short mode")
 	}
 	tr := workload.MustGenerate("crafty", 20000)
-	res, err := Customize(tr, Options{Seed: 1, Steps: 30})
+	res, err := Customize(context.Background(), tr, Options{Seed: 1, Steps: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,11 +38,11 @@ func TestCustomizeDeterministic(t *testing.T) {
 		t.Skip("annealing in short mode")
 	}
 	tr := workload.MustGenerate("gzip", 10000)
-	a, err := Customize(tr, Options{Seed: 7, Steps: 15})
+	a, err := Customize(context.Background(), tr, Options{Seed: 7, Steps: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Customize(tr, Options{Seed: 7, Steps: 15})
+	b, err := Customize(context.Background(), tr, Options{Seed: 7, Steps: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestCustomizeDeterministic(t *testing.T) {
 }
 
 func TestCustomizeRejectsEmpty(t *testing.T) {
-	if _, err := Customize(nil, Options{}); err == nil {
+	if _, err := Customize(context.Background(), nil, Options{}); err == nil {
 		t.Error("nil trace accepted")
 	}
 }
@@ -89,7 +90,7 @@ func TestProgressCallback(t *testing.T) {
 	}
 	tr := workload.MustGenerate("perl", 8000)
 	calls := 0
-	_, err := Customize(tr, Options{
+	_, err := Customize(context.Background(), tr, Options{
 		Seed: 3, Steps: 20,
 		Progress: func(step int, cfg config.CoreConfig, ipt float64) { calls++ },
 	})
@@ -117,7 +118,7 @@ func TestSpeculativeTrajectoryIdentical(t *testing.T) {
 	}
 	walk := func(k int) ([]move, Result) {
 		var moves []move
-		res, err := Customize(tr, Options{
+		res, err := Customize(context.Background(), tr, Options{
 			Seed: 11, Steps: 24, Lookahead: k,
 			Progress: func(step int, cfg config.CoreConfig, ipt float64) {
 				moves = append(moves, move{step, cfg.String(), ipt})
@@ -160,11 +161,11 @@ func TestSpeculativeParallelismIndependent(t *testing.T) {
 		t.Skip("annealing in short mode")
 	}
 	tr := workload.MustGenerate("vpr", 6000)
-	a, err := Customize(tr, Options{Seed: 5, Steps: 16, Lookahead: 6, Parallelism: 1})
+	a, err := Customize(context.Background(), tr, Options{Seed: 5, Steps: 16, Lookahead: 6, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Customize(tr, Options{Seed: 5, Steps: 16, Lookahead: 6, Parallelism: 8})
+	b, err := Customize(context.Background(), tr, Options{Seed: 5, Steps: 16, Lookahead: 6, Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,15 +184,15 @@ func TestCustomizeWithCacheIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Customize(tr, Options{Seed: 9, Steps: 12})
+	plain, err := Customize(context.Background(), tr, Options{Seed: 9, Steps: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := Customize(tr, Options{Seed: 9, Steps: 12, Cache: cache})
+	cold, err := Customize(context.Background(), tr, Options{Seed: 9, Steps: 12, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Customize(tr, Options{Seed: 9, Steps: 12, Cache: cache})
+	warm, err := Customize(context.Background(), tr, Options{Seed: 9, Steps: 12, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,12 +210,12 @@ func TestTemperDeterministicAndImproves(t *testing.T) {
 	}
 	tr := workload.MustGenerate("parser", 6000)
 	opts := TemperingOptions{Seed: 3, Chains: 3, Steps: 10, ExchangeEvery: 4}
-	a, err := Temper(tr, opts)
+	a, err := Temper(context.Background(), tr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallelism = 8
-	b, err := Temper(tr, opts)
+	b, err := Temper(context.Background(), tr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

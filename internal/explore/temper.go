@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -68,7 +69,7 @@ func (o *TemperingOptions) applyDefaults() {
 // the outcome is a pure function of (seed, trace, options) regardless of
 // Parallelism. Result.Evaluated counts all chain evaluations; Wasted is
 // always zero (tempering discards nothing).
-func Temper(tr *trace.Trace, opts TemperingOptions) (Result, error) {
+func Temper(ctx context.Context, tr *trace.Trace, opts TemperingOptions) (Result, error) {
 	if tr == nil || tr.Len() == 0 {
 		return Result{}, fmt.Errorf("explore: empty trace")
 	}
@@ -99,7 +100,7 @@ func Temper(tr *trace.Trace, opts TemperingOptions) (Result, error) {
 	if !start.valid() {
 		return Result{}, fmt.Errorf("explore: invalid initial state")
 	}
-	startCfg, startIPT, err := ev.eval(start)
+	startCfg, startIPT, err := ev.eval(ctx, start)
 	if err != nil {
 		return Result{}, err
 	}
@@ -122,13 +123,16 @@ func Temper(tr *trace.Trace, opts TemperingOptions) (Result, error) {
 	}
 	par := opts.Parallelism
 	for round := 0; round < opts.Steps; round++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		cands := make([]candidate, m)
 		for i := range cands {
 			cands[i].st = neighbor(curs[i], props[i])
 		}
 		forEach(par, m, func(i int) {
 			c := &cands[i]
-			c.cfg, c.ipt, c.err = ev.eval(c.st)
+			c.cfg, c.ipt, c.err = ev.eval(ctx, c.st)
 		})
 		for i := 0; i < m; i++ {
 			c := &cands[i]
@@ -161,6 +165,9 @@ func Temper(tr *trace.Trace, opts TemperingOptions) (Result, error) {
 				}
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	res.Best.Name = "custom-" + tr.Name()
 	return res, nil

@@ -1,0 +1,159 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"archcontest/internal/spec"
+)
+
+func runSpec(n int) spec.Spec {
+	return spec.Spec{Kind: spec.KindRun, Bench: "gcc", N: n, Cores: []string{"gcc"}}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 2)
+	j, err := r.Submit(runSpec(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	snap := j.Snapshot()
+	if snap.State != StateDone {
+		t.Fatalf("state %s, want done", snap.State)
+	}
+	if snap.Done != snap.Total || snap.Total != 20000 {
+		t.Errorf("progress %d/%d, want 20000/20000", snap.Done, snap.Total)
+	}
+	if snap.StartedAt == nil || snap.FinishedAt == nil {
+		t.Error("timestamps missing on a terminal snapshot")
+	}
+	out, err := j.Outcome()
+	if err != nil || out == nil || out.Run == nil {
+		t.Fatalf("outcome %+v, %v", out, err)
+	}
+	if out.Run.Insts != 20000 {
+		t.Errorf("run result %+v", out.Run)
+	}
+}
+
+// TestJobSnapshotsMonotonic watches a running job and asserts the
+// (Seq, Done, State) stream never goes backwards — the contract the serve
+// daemon's watch endpoint streams to clients.
+func TestJobSnapshotsMonotonic(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 1)
+	j, err := r.Submit(runSpec(300000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq, lastDone int64 = -1, -1
+	lastState := State(-1)
+	updates := 0
+	for {
+		snap := j.Snapshot()
+		if snap.Seq < lastSeq {
+			t.Fatalf("Seq went backwards: %d after %d", snap.Seq, lastSeq)
+		}
+		if snap.Done < lastDone {
+			t.Fatalf("Done went backwards: %d after %d", snap.Done, lastDone)
+		}
+		if snap.State < lastState {
+			t.Fatalf("State went backwards: %s after %s", snap.State, lastState)
+		}
+		if snap.Seq > lastSeq {
+			updates++
+		}
+		lastSeq, lastDone, lastState = snap.Seq, snap.Done, snap.State
+		if snap.State.Terminal() {
+			break
+		}
+	}
+	if lastState != StateDone {
+		t.Fatalf("terminal state %s, want done", lastState)
+	}
+	if updates < 3 {
+		t.Errorf("only %d distinct snapshots observed; progress not streaming", updates)
+	}
+}
+
+func TestJobCancelQueued(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 1)
+	first, err := r.Submit(runSpec(2_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := r.Submit(runSpec(2_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	waitDone(t, queued)
+	if s := queued.Snapshot().State; s != StateCancelled {
+		t.Errorf("queued-cancelled job state %s", s)
+	}
+	first.Cancel()
+	waitDone(t, first)
+	if s := first.Snapshot().State; s != StateCancelled {
+		t.Errorf("running-cancelled job state %s", s)
+	}
+}
+
+func TestRunnerCancelAndGet(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 1)
+	j, err := r.Submit(runSpec(2_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Get(j.ID()); !ok || got != j {
+		t.Fatal("Get lost the job")
+	}
+	if r.Cancel("job-nope") {
+		t.Error("cancelled a job that does not exist")
+	}
+	if !r.Cancel(j.ID()) {
+		t.Error("Cancel did not find the job")
+	}
+	waitDone(t, j)
+	if _, err := j.Outcome(); err == nil {
+		t.Error("cancelled job reported a nil error outcome")
+	}
+}
+
+func TestRunnerDrain(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 4)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Submit(runSpec(20000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, j := range r.Jobs() {
+		if s := j.Snapshot().State; s != StateDone {
+			t.Errorf("job %s state %s after drain", j.ID(), s)
+		}
+	}
+	if _, err := r.Submit(runSpec(20000)); err == nil {
+		t.Error("submission accepted while draining")
+	}
+}
+
+func TestSubmitInvalidSpec(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 1)
+	if _, err := r.Submit(spec.Spec{Kind: "dance"}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

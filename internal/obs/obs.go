@@ -88,10 +88,10 @@ type Event struct {
 	// Sample payload: the core's cumulative counters at Time. Only
 	// KindSample (and the final sample emitted by Finish*) populate all
 	// of them; KindLeadChange reuses Retired for the new leader's count.
-	Retired, Injected, EarlyResolved int64
-	Mispredicts, Branches            int64
+	Retired, Injected, EarlyResolved  int64
+	Mispredicts, Branches             int64
 	L1DAccesses, L1DMisses, L2DMisses int64
-	Cycles int64
+	Cycles                            int64
 	// Lag is the core's lagging distance behind the leader in
 	// instructions at sample time (0 in single-core runs).
 	Lag int64

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"archcontest/internal/contest"
+	"archcontest/internal/pipeline"
+	"archcontest/internal/ticks"
+)
+
+// MultiChecker fans a core's verification/observation hooks out to several
+// checkers in order. Nil entries are dropped; zero live checkers yield nil
+// (so the pipeline's nil-guarded fast path stays intact) and a single live
+// checker is returned unwrapped.
+func MultiChecker(checkers ...pipeline.Checker) pipeline.Checker {
+	live := make(multiChecker, 0, len(checkers))
+	for _, c := range checkers {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiChecker []pipeline.Checker
+
+func (m multiChecker) AfterCycle(c *pipeline.Core) {
+	for _, x := range m {
+		x.AfterCycle(c)
+	}
+}
+
+func (m multiChecker) OnRetire(c *pipeline.Core, seq int64, at ticks.Time) {
+	for _, x := range m {
+		x.OnRetire(c, seq, at)
+	}
+}
+
+func (m multiChecker) OnInject(c *pipeline.Core, seq int64, at ticks.Time) {
+	for _, x := range m {
+		x.OnInject(c, seq, at)
+	}
+}
+
+// MultiObserver fans the contest.Observer hooks out to several observers
+// in order (e.g. a Recorder and an invariant SystemObserver on the same
+// run). Nil entries are dropped; zero live observers yield nil and a
+// single live observer is returned unwrapped.
+func MultiObserver(observers ...contest.Observer) contest.Observer {
+	live := make(multiObserver, 0, len(observers))
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiObserver []contest.Observer
+
+func (m multiObserver) Attach(sys *contest.System) {
+	for _, o := range m {
+		o.Attach(sys)
+	}
+}
+
+func (m multiObserver) CoreChecker(core int) pipeline.Checker {
+	checkers := make([]pipeline.Checker, 0, len(m))
+	for _, o := range m {
+		checkers = append(checkers, o.CoreChecker(core))
+	}
+	return MultiChecker(checkers...)
+}
+
+func (m multiObserver) AfterStep(sys *contest.System, core int) {
+	for _, o := range m {
+		o.AfterStep(sys, core)
+	}
+}
+
+var (
+	_ pipeline.Checker = (multiChecker)(nil)
+	_ contest.Observer = (multiObserver)(nil)
+)

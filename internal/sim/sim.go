@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"archcontest/internal/cache"
@@ -77,8 +78,23 @@ type RunOptions struct {
 // Checker observes a core's execution for verification.
 type Checker = pipeline.Checker
 
+// ctxPollStride is how many scheduler iterations pass between context
+// polls in the run loops. Each iteration is a progressing step (or a
+// fast-forward over dead cycles), so a poll every 4096 iterations bounds
+// the cancellation latency to a few microseconds of simulated work while
+// keeping the check off the per-cycle hot path entirely.
+const ctxPollStride = 4096
+
 // Run executes the trace to completion on a single core.
 func Run(cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) (Result, error) {
+	return RunContext(context.Background(), cfg, tr, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the run loop polls
+// ctx.Done() every ctxPollStride scheduler iterations (never per cycle)
+// and returns ctx.Err() when the context ends. A Background context costs
+// a single nil check at entry.
+func RunContext(ctx context.Context, cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) (Result, error) {
 	popts := pipeline.Options{WritePolicy: opts.WritePolicy, Checker: opts.Checker}
 	if opts.LogRegions {
 		popts.RegionSize = RegionSize
@@ -87,6 +103,8 @@ func Run(cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
+	done := ctx.Done()
+	var poll int
 	for !core.Done() {
 		if opts.SingleStep {
 			core.Step()
@@ -95,6 +113,16 @@ func Run(cfg config.CoreConfig, tr *trace.Trace, opts RunOptions) (Result, error
 		}
 		if opts.MaxCycles > 0 && core.Cycle() > opts.MaxCycles {
 			return Result{}, fmt.Errorf("sim: %s on %s exceeded %d cycles", tr.Name(), cfg.Name, opts.MaxCycles)
+		}
+		if done != nil {
+			if poll++; poll >= ctxPollStride {
+				poll = 0
+				select {
+				case <-done:
+					return Result{}, ctx.Err()
+				default:
+				}
+			}
 		}
 	}
 	st := core.Stats()

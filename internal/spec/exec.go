@@ -1,0 +1,502 @@
+package spec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/experiments"
+	"archcontest/internal/explore"
+	"archcontest/internal/invariant"
+	"archcontest/internal/merit"
+	"archcontest/internal/obs"
+	"archcontest/internal/pipeline"
+	"archcontest/internal/resultcache"
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+	"archcontest/internal/trace"
+	"archcontest/internal/workload"
+)
+
+// Env is the shared execution environment specs run in: the persistent
+// result cache and a memoized pool of experiment Labs, so many jobs (or
+// many experiments of one CLI invocation) share traces, memoized
+// artifacts, and the global parallelism bound instead of rebuilding them
+// per scenario.
+type Env struct {
+	// Cache, if non-nil, persists leaf results across specs and processes.
+	Cache *resultcache.Cache
+	// Parallelism bounds concurrent leaf simulations per Lab (0 = NumCPU).
+	Parallelism int
+	// Artifacts, if non-nil, receives campaign spans from every Lab built
+	// by this Env.
+	Artifacts *obs.ArtifactLog
+
+	mu   sync.Mutex
+	labs map[string]*experiments.Lab
+}
+
+// NewEnv builds an execution environment over an optional result cache.
+func NewEnv(cache *resultcache.Cache) *Env {
+	return &Env{Cache: cache}
+}
+
+// lab returns the Env's memoized Lab for the given campaign shape,
+// building it on first use. Labs are keyed by their full configuration,
+// so two specs differing only in verify/record toggles or trace length
+// get distinct Labs while identical ones share memoized artifacts.
+func (e *Env) lab(cfg experiments.Config) *Lab {
+	key := resultcache.Key("lab", cfg)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.labs == nil {
+		e.labs = make(map[string]*Lab)
+	}
+	if l, ok := e.labs[key]; ok {
+		return l
+	}
+	l := experiments.NewLab(cfg)
+	e.labs[key] = l
+	return l
+}
+
+// Lab aliases the campaign engine for Env's memoized pool.
+type Lab = experiments.Lab
+
+// Hooks observe an executing spec. All callbacks are optional and are
+// invoked from the executing goroutine.
+type Hooks struct {
+	// Progress observes retirement progress of run/contest kinds and step
+	// progress of explore kinds: done units out of total. Calls are
+	// monotonically non-decreasing in done.
+	Progress func(done, total int64)
+	// Campaign is called once, before an experiment/matrix campaign
+	// starts, with a live getter for the Lab's executed-work counters.
+	Campaign func(stats func() experiments.CampaignStats)
+	// ExploreMove observes every accepted exploration move (chain is 0
+	// for annealing).
+	ExploreMove func(chain, step int, cfg config.CoreConfig, ipt float64)
+}
+
+// Outcome is the result of executing a Spec: exactly one of the payload
+// fields matching the spec's kind is set, plus Metrics when Record was
+// requested.
+type Outcome struct {
+	Kind    string             `json:"kind"`
+	Run     *sim.Result        `json:"run,omitempty"`
+	Contest *contest.Result    `json:"contest,omitempty"`
+	Table   *experiments.Table `json:"table,omitempty"`
+	Matrix  *merit.Matrix      `json:"matrix,omitempty"`
+	Explore *explore.Result    `json:"explore,omitempty"`
+	Metrics *obs.Metrics       `json:"metrics,omitempty"`
+
+	recorder *obs.Recorder
+}
+
+// WriteChromeTrace writes the recorded run's Chrome/Perfetto timeline.
+// It errors when the spec did not request Record.
+func (o *Outcome) WriteChromeTrace(w io.Writer) error {
+	if o.recorder == nil {
+		return fmt.Errorf("spec: no recording requested (set record: true)")
+	}
+	return o.recorder.WriteChromeTrace(w)
+}
+
+// progressTracker reports monotonic execution progress, throttled so the
+// hook fires O(hundreds) of times per run instead of per retirement.
+type progressTracker struct {
+	fn     func(done, total int64)
+	total  int64
+	stride int64
+	max    int64
+	next   int64
+}
+
+func newProgressTracker(fn func(done, total int64), total int64) *progressTracker {
+	stride := total / 256
+	if stride < 1 {
+		stride = 1
+	}
+	return &progressTracker{fn: fn, total: total, stride: stride}
+}
+
+func (p *progressTracker) observe(done int64) {
+	if p == nil || done <= p.max {
+		return
+	}
+	p.max = done
+	if done >= p.next {
+		p.next = done + p.stride
+		p.fn(done, p.total)
+	}
+}
+
+func (p *progressTracker) finish() {
+	if p == nil {
+		return
+	}
+	if p.max < p.total {
+		p.max = p.total
+	}
+	p.fn(p.max, p.total)
+}
+
+// checker adapts the tracker to pipeline.Checker (per-core hooks).
+func (p *progressTracker) checker() pipeline.Checker {
+	if p == nil {
+		return nil
+	}
+	return progressChecker{p}
+}
+
+type progressChecker struct{ p *progressTracker }
+
+func (c progressChecker) AfterCycle(*pipeline.Core)                          {}
+func (c progressChecker) OnRetire(_ *pipeline.Core, seq int64, _ ticks.Time) { c.p.observe(seq + 1) }
+func (c progressChecker) OnInject(_ *pipeline.Core, seq int64, _ ticks.Time) { c.p.observe(seq + 1) }
+
+// observer adapts the tracker to contest.Observer: progress is the
+// furthest retirement on any core.
+func (p *progressTracker) observer() contest.Observer {
+	if p == nil {
+		return nil
+	}
+	return progressObserver{p}
+}
+
+type progressObserver struct{ p *progressTracker }
+
+func (o progressObserver) Attach(*contest.System)           {}
+func (o progressObserver) CoreChecker(int) pipeline.Checker { return progressChecker{o.p} }
+func (o progressObserver) AfterStep(*contest.System, int)   {}
+
+// violations collects checker violations, capped.
+type violations struct {
+	errs []error
+	more int
+}
+
+func (v *violations) add(err error) {
+	if len(v.errs) < 8 {
+		v.errs = append(v.errs, err)
+	} else {
+		v.more++
+	}
+}
+
+func (v *violations) err(what string) error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	if v.more > 0 {
+		v.errs = append(v.errs, fmt.Errorf("... and %d further violations", v.more))
+	}
+	return fmt.Errorf("spec: verified %s: %w", what, errors.Join(v.errs...))
+}
+
+// Execute validates and runs the spec inside the environment. Cancelling
+// ctx stops the execution cooperatively: the engines exit at their next
+// context poll, campaign layers abandon un-started leaves, and no partial
+// result is persisted to the cache. The returned error is ctx.Err() (or
+// wraps it) on cancellation.
+func Execute(ctx context.Context, sp Spec, env *Env, hooks Hooks) (*Outcome, error) {
+	if env == nil {
+		env = NewEnv(nil)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	switch sp.Kind {
+	case KindRun:
+		return executeRun(ctx, sp, env, hooks)
+	case KindContest:
+		return executeContest(ctx, sp, env, hooks)
+	case KindExperiment, KindMatrix:
+		return executeCampaign(ctx, sp, env, hooks)
+	case KindExplore:
+		return executeExplore(ctx, sp, env, hooks)
+	}
+	return nil, fmt.Errorf("spec: unknown kind %q", sp.Kind)
+}
+
+// generateTrace builds the spec's benchmark trace.
+func generateTrace(sp Spec) (*trace.Trace, error) {
+	p, err := workload.ProfileFor(sp.Bench)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(p, sp.N)
+}
+
+func executeRun(ctx context.Context, sp Spec, env *Env, hooks Hooks) (*Outcome, error) {
+	cfgs, err := sp.ResolveCores()
+	if err != nil {
+		return nil, err
+	}
+	cfg := cfgs[0]
+	tr, err := generateTrace(sp)
+	if err != nil {
+		return nil, err
+	}
+	var opts sim.RunOptions
+	if sp.Run != nil {
+		opts = *sp.Run
+	}
+	out := &Outcome{Kind: KindRun}
+
+	// The cache serves (and learns) only plain executions: verification
+	// must actually run, and a recording must observe real execution.
+	key := experiments.RunKey(tr, cfg, opts)
+	cacheable := env.Cache != nil && !sp.Verify && !sp.Record
+	if cacheable {
+		var cached sim.Result
+		if env.Cache.Get(key, &cached) {
+			if hooks.Progress != nil {
+				hooks.Progress(int64(tr.Len()), int64(tr.Len()))
+			}
+			out.Run = &cached
+			return out, nil
+		}
+	}
+
+	var tracker *progressTracker
+	if hooks.Progress != nil {
+		tracker = newProgressTracker(hooks.Progress, int64(tr.Len()))
+	}
+	var vlog violations
+	var chk pipeline.Checker
+	if sp.Verify {
+		chk = invariant.NewCoreChecker(tr, invariant.Options{OnViolation: vlog.add})
+	}
+	if sp.Record {
+		out.recorder = obs.NewRecorder(obs.Options{SampleIntervalNs: sp.SampleNs})
+	}
+	var recChk pipeline.Checker
+	if out.recorder != nil {
+		recChk = out.recorder.CoreChecker(0)
+	}
+	opts.Checker = obs.MultiChecker(tracker.checker(), recChk, chk)
+
+	res, err := sim.RunContext(ctx, cfg, tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if fin, ok := chk.(*invariant.CoreChecker); ok && fin != nil {
+		fin.Finish(int64(tr.Len()))
+	}
+	if verr := vlog.err(fmt.Sprintf("run of %s on %s", tr.Name(), cfg.Name)); verr != nil {
+		return nil, verr
+	}
+	tracker.finish()
+	if out.recorder != nil {
+		out.recorder.FinishRun(res)
+		m, err := out.recorder.Metrics()
+		if err != nil {
+			return nil, err
+		}
+		out.Metrics = &m
+	}
+	if cacheable {
+		env.Cache.Put(key, res)
+	}
+	out.Run = &res
+	return out, nil
+}
+
+func executeContest(ctx context.Context, sp Spec, env *Env, hooks Hooks) (*Outcome, error) {
+	cfgs, err := sp.ResolveCores()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := generateTrace(sp)
+	if err != nil {
+		return nil, err
+	}
+	var opts contest.Options
+	if sp.Contest != nil {
+		opts = *sp.Contest
+	}
+	if opts.LatencyNs == 0 && sp.LatencyNs != 0 {
+		opts.LatencyNs = sp.LatencyNs
+	}
+	out := &Outcome{Kind: KindContest}
+
+	key := experiments.ContestKey(tr, cfgs, opts)
+	cacheable := env.Cache != nil && !sp.Verify && !sp.Record
+	if cacheable {
+		var cached contest.Result
+		if env.Cache.Get(key, &cached) {
+			if hooks.Progress != nil {
+				hooks.Progress(int64(tr.Len()), int64(tr.Len()))
+			}
+			out.Contest = &cached
+			return out, nil
+		}
+	}
+
+	var tracker *progressTracker
+	if hooks.Progress != nil {
+		tracker = newProgressTracker(hooks.Progress, int64(tr.Len()))
+	}
+	var vlog violations
+	var inv *invariant.SystemObserver
+	if sp.Verify {
+		inv = invariant.NewSystemObserver(tr, invariant.Options{OnViolation: vlog.add})
+	}
+	if sp.Record {
+		out.recorder = obs.NewRecorder(obs.Options{SampleIntervalNs: sp.SampleNs})
+	}
+	var invObs, recObs contest.Observer
+	if inv != nil {
+		invObs = inv
+	}
+	if out.recorder != nil {
+		recObs = out.recorder
+	}
+	opts.Observer = obs.MultiObserver(tracker.observer(), recObs, invObs)
+
+	res, err := contest.RunContext(ctx, cfgs, tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if inv != nil {
+		inv.Finish(res)
+	}
+	if verr := vlog.err(fmt.Sprintf("contest of %s", tr.Name())); verr != nil {
+		return nil, verr
+	}
+	tracker.finish()
+	if out.recorder != nil {
+		out.recorder.FinishContest(res)
+		m, err := out.recorder.Metrics()
+		if err != nil {
+			return nil, err
+		}
+		out.Metrics = &m
+	}
+	if cacheable {
+		env.Cache.Put(key, res)
+	}
+	out.Contest = &res
+	return out, nil
+}
+
+func (e *Env) labFor(sp Spec) *Lab {
+	par := sp.Parallelism
+	if par == 0 {
+		par = e.Parallelism
+	}
+	if par == 0 {
+		par = runtime.NumCPU()
+	}
+	cache := e.Cache
+	if sp.Verify {
+		cache = nil // the Lab bypasses it anyway; keep the key honest
+	}
+	return e.lab(experiments.Config{
+		N:              sp.N,
+		LatencyNs:      sp.LatencyNs,
+		CandidatePairs: sp.Pairs,
+		Parallelism:    par,
+		Cache:          cache,
+		Verify:         sp.Verify,
+		Artifacts:      e.Artifacts,
+	})
+}
+
+func executeCampaign(ctx context.Context, sp Spec, env *Env, hooks Hooks) (*Outcome, error) {
+	l := env.labFor(sp)
+	if hooks.Campaign != nil {
+		hooks.Campaign(l.CampaignStats)
+	}
+	if sp.Kind == KindMatrix {
+		m, err := l.Matrix(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Kind: KindMatrix, Matrix: m}, nil
+	}
+	t, err := experiments.Registry[sp.Experiment](ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Kind: KindExperiment, Table: t}, nil
+}
+
+func executeExplore(ctx context.Context, sp Spec, env *Env, hooks Hooks) (*Outcome, error) {
+	tr, err := generateTrace(sp)
+	if err != nil {
+		return nil, err
+	}
+	e := sp.Explore
+	cache := env.Cache
+	var res explore.Result
+	var tracker *progressTracker
+	switch e.Mode {
+	case "anneal":
+		opts := explore.Options{
+			Seed:        e.Seed,
+			Steps:       e.Steps,
+			Lookahead:   e.Lookahead,
+			Parallelism: sp.Parallelism,
+			Cache:       cache,
+			Log:         env.Artifacts,
+		}
+		if hooks.Progress != nil {
+			steps := opts.Steps
+			if steps == 0 {
+				steps = 200 // the annealer's default
+			}
+			tracker = newProgressTracker(hooks.Progress, int64(steps))
+		}
+		if hooks.ExploreMove != nil || tracker != nil {
+			tracker := tracker
+			opts.Progress = func(step int, cfg config.CoreConfig, ipt float64) {
+				tracker.observe(int64(step + 1))
+				if hooks.ExploreMove != nil {
+					hooks.ExploreMove(0, step, cfg, ipt)
+				}
+			}
+		}
+		res, err = explore.Customize(ctx, tr, opts)
+	case "temper":
+		opts := explore.TemperingOptions{
+			Seed:          e.Seed,
+			Steps:         e.Steps,
+			Chains:        e.Chains,
+			ExchangeEvery: e.ExchangeEvery,
+			Parallelism:   sp.Parallelism,
+			Cache:         cache,
+			Log:           env.Artifacts,
+		}
+		if hooks.Progress != nil {
+			steps := opts.Steps
+			if steps == 0 {
+				steps = 200 // the tempering default
+			}
+			tracker = newProgressTracker(hooks.Progress, int64(steps))
+		}
+		if hooks.ExploreMove != nil || tracker != nil {
+			tracker := tracker
+			opts.Progress = func(chain, step int, cfg config.CoreConfig, ipt float64) {
+				tracker.observe(int64(step + 1))
+				if hooks.ExploreMove != nil {
+					hooks.ExploreMove(chain, step, cfg, ipt)
+				}
+			}
+		}
+		res, err = explore.Temper(ctx, tr, opts)
+	default:
+		return nil, fmt.Errorf("spec: unknown explore mode %q", e.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tracker.finish()
+	return &Outcome{Kind: KindExplore, Explore: &res}, nil
+}
