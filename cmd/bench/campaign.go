@@ -23,17 +23,27 @@ type campaignLeg struct {
 	Contests    int64   `json:"contests"`
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
+	// Scaling is the cold-campaign wall-time speedup of this worker count
+	// over the workers=1 row of the same series (scaling rows only).
+	Scaling float64 `json:"scaling,omitempty"`
 }
 
 type campaignReport struct {
-	Generated       string      `json:"generated"`
-	Insts           int         `json:"insts"`
-	Experiments     []string    `json:"experiments"`
-	ColdSingle      campaignLeg `json:"cold_single"`
-	ColdParallel    campaignLeg `json:"cold_parallel"`
-	WarmParallel    campaignLeg `json:"warm_parallel"`
-	ParallelSpeedup float64     `json:"parallel_speedup"`
-	WarmSpeedup     float64     `json:"warm_speedup"`
+	Generated   string      `json:"generated"`
+	Insts       int         `json:"insts"`
+	NumCPU      int         `json:"num_cpu"`
+	Experiments []string    `json:"experiments"`
+	ColdSingle  campaignLeg `json:"cold_single"`
+	// ColdWorkers is the per-worker-count cold-cache series (see
+	// -campaign.workers): each row runs the full sweep against a fresh
+	// cache with that many workers, and Scaling reports its wall-time
+	// speedup over the workers=1 row. Interpret it against NumCPU — a
+	// single-CPU runner honestly bounds the series at ~1.0x.
+	ColdWorkers     []campaignLeg `json:"cold_workers,omitempty"`
+	ColdParallel    campaignLeg   `json:"cold_parallel"`
+	WarmParallel    campaignLeg   `json:"warm_parallel"`
+	ParallelSpeedup float64       `json:"parallel_speedup"`
+	WarmSpeedup     float64       `json:"warm_speedup"`
 }
 
 // campaignLegRun executes the full figures experiment sweep once on a lab
@@ -63,13 +73,21 @@ func campaignLegRun(ctx context.Context, name string, n, workers int, cache *res
 }
 
 // runCampaignBench measures the campaign engine on the figures sweep:
-// cold-cache single-worker, cold-cache all-workers (fresh cache), then a
-// warm-cache re-run against the second leg's cache directory.
-func runCampaignBench(ctx context.Context, n int, out string) {
+// cold-cache single-worker, an optional per-worker-count cold series, a
+// cold-cache all-workers leg (fresh cache), then a warm-cache re-run
+// against that leg's cache directory.
+func runCampaignBench(ctx context.Context, n int, workerList, out string) {
 	if n <= 0 {
 		log.Fatalf("-campaign.n must be positive, got %d", n)
 	}
 	workers := runtime.NumCPU()
+	var workerCounts []int
+	if workerList != "" {
+		var err error
+		if workerCounts, err = parseWorkerList(workerList); err != nil {
+			log.Fatalf("-campaign.workers: %v", err)
+		}
+	}
 
 	dirSingle, err := os.MkdirTemp("", "archcontest-campaign-*")
 	if err != nil {
@@ -92,9 +110,26 @@ func runCampaignBench(ctx context.Context, n int, out string) {
 	rep := campaignReport{
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		Insts:       n,
+		NumCPU:      runtime.NumCPU(),
 		Experiments: experiments.RegistryOrder,
 	}
 	rep.ColdSingle = campaignLegRun(ctx, "cold/single", n, 1, open(dirSingle))
+	var baseWall float64
+	for _, w := range workerCounts {
+		dir, err := os.MkdirTemp("", "archcontest-campaign-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		leg := campaignLegRun(ctx, fmt.Sprintf("cold/workers=%d", w), n, w, open(dir))
+		os.RemoveAll(dir)
+		if baseWall == 0 {
+			baseWall = leg.WallSeconds
+		}
+		if baseWall > 0 && leg.WallSeconds > 0 {
+			leg.Scaling = baseWall / leg.WallSeconds
+		}
+		rep.ColdWorkers = append(rep.ColdWorkers, leg)
+	}
 	rep.ColdParallel = campaignLegRun(ctx, "cold/parallel", n, workers, open(dirParallel))
 	rep.WarmParallel = campaignLegRun(ctx, "warm/parallel", n, workers, open(dirParallel))
 	if rep.ColdParallel.WallSeconds > 0 {

@@ -17,8 +17,11 @@
 //	bench -record=false        # skip the observability-recorder-attached timings
 //	bench -merge               # keep the best time per leg across repeated runs
 //	bench -baseline old.json   # report checker-off wall-time ratio vs old run(s)
+//	bench -workers "1,2,4"     # batched multi-worker scaling leg (RunBatch)
+//	bench -cpuprofile p.prof   # CPU profile (source for cmd/bench/default.pgo)
 //	bench -campaign            # campaign benchmark -> BENCH_campaign.json
 //	bench -campaign -campaign.n 100000
+//	bench -campaign -campaign.workers "1,2,4"  # cold-cache worker scaling rows
 package main
 
 import (
@@ -29,6 +32,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -67,9 +72,14 @@ type report struct {
 	Generated      string           `json:"generated"`
 	Insts          int              `json:"insts"`
 	Repeat         int              `json:"repeat"`
+	NumCPU         int              `json:"num_cpu"`
 	Scenarios      []scenarioResult `json:"scenarios"`
 	GeomeanSpeedup float64          `json:"geomean_speedup,omitempty"`
-	Baseline       *baselineCompare `json:"baseline,omitempty"`
+	// Scaling holds the multi-worker throughput series (see -workers).
+	// Interpret it against NumCPU: on a single-CPU runner the series
+	// honestly bounds at ~1.0x no matter how well the engine scales.
+	Scaling  []scalingRow     `json:"scaling,omitempty"`
+	Baseline *baselineCompare `json:"baseline,omitempty"`
 }
 
 // baselineCompare reports the checker-off (event-driven) wall-time ratio of
@@ -136,6 +146,12 @@ func mergeReport(fresh *report, prev report) {
 	}
 	if speedups > 0 {
 		fresh.GeomeanSpeedup = math.Exp(logSpeedup / float64(speedups))
+	}
+	if len(fresh.Scaling) == 0 {
+		// A run without the scaling leg must not drop a previous series.
+		fresh.Scaling = prev.Scaling
+	} else {
+		fresh.Scaling = mergeScaling(fresh.Scaling, prev.Scaling)
 	}
 }
 
@@ -292,11 +308,29 @@ func main() {
 	campaign := flag.Bool("campaign", false, "benchmark the campaign engine instead of the execution engine")
 	campaignN := flag.Int("campaign.n", 60_000, "campaign trace length in instructions")
 	campaignOut := flag.String("campaign.o", "BENCH_campaign.json", "campaign output JSON path")
+	campaignWorkers := flag.String("campaign.workers", "", "comma-separated worker counts for the campaign cold-cache scaling series (e.g. \"1,2,4\"); empty skips it")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (source for cmd/bench/default.pgo)")
+	workers := flag.String("workers", "", "comma-separated worker counts for the multi-core scaling leg (e.g. \"1,2,4\"); empty skips it")
 	flag.Parse()
 	ctx, stop := cmdutil.SignalContext()
 	defer stop()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("cpuprofile: %v", err)
+			}
+		}()
+	}
 	if *campaign {
-		runCampaignBench(ctx, *campaignN, *campaignOut)
+		runCampaignBench(ctx, *campaignN, *campaignWorkers, *campaignOut)
 		return
 	}
 	if *n <= 0 {
@@ -320,6 +354,7 @@ func main() {
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Insts:     *n,
 		Repeat:    *repeat,
+		NumCPU:    runtime.NumCPU(),
 	}
 	logSpeedup := 0.0
 	speedups := 0
@@ -368,6 +403,13 @@ func main() {
 	if speedups > 0 {
 		rep.GeomeanSpeedup = math.Exp(logSpeedup / float64(speedups))
 		fmt.Printf("%-24s %12s %12s %8.2fx\n", "geomean", "", "", rep.GeomeanSpeedup)
+	}
+	if *workers != "" {
+		counts, err := parseWorkerList(*workers)
+		if err != nil {
+			log.Fatalf("-workers: %v", err)
+		}
+		rep.Scaling = runScalingLeg(ctx, counts, *n, *repeat)
 	}
 	if *merge {
 		if data, err := os.ReadFile(*out); err == nil {

@@ -1,0 +1,157 @@
+package fuzz
+
+// Scheduler equivalence regression: the bitmap ready-selection scheduler
+// (the default since the throughput rework) and the pre-rework heap-based
+// wake-list scheduler (pipeline.Options.LegacySched) must produce
+// bit-identical results on every corpus input — same Stats, same finish
+// time, and the same retirement stream, asserted via an order-sensitive
+// checksum over (seq, retire time) pairs. The corpus is the checked-in
+// seed set plus every minimized input under testdata/fuzz, so a scheduler
+// regression caught once by fuzzing stays caught forever.
+
+import (
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"archcontest/internal/contest"
+	"archcontest/internal/pipeline"
+	"archcontest/internal/sim"
+	"archcontest/internal/ticks"
+)
+
+// corpusInputs returns the seed corpus plus the checked-in minimized
+// corpus files of the named fuzz target (testdata/fuzz/<target>/*).
+func corpusInputs(t *testing.T, target string) [][]byte {
+	t.Helper()
+	inputs := SeedCorpus()
+	dir := filepath.Join("testdata", "fuzz", target)
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return inputs
+		}
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parseCorpusFile(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		inputs = append(inputs, b)
+	}
+	return inputs
+}
+
+// parseCorpusFile extracts the []byte value from a `go test fuzz v1`
+// corpus file.
+func parseCorpusFile(s string) ([]byte, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "go test fuzz") {
+		return nil, strconv.ErrSyntax
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimPrefix(body, "[]byte(")
+	body = strings.TrimSuffix(body, ")")
+	q, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(q), nil
+}
+
+// retireChecksum runs one single-core job under the given scheduler and
+// returns its stats plus an FNV-1a checksum over the ordered retirement
+// stream.
+func retireChecksum(t *testing.T, data []byte, legacy bool) (pipeline.Stats, uint64) {
+	t.Helper()
+	tr, cfg := decodePipeline(data)
+	h := fnv.New64a()
+	var buf [16]byte
+	core, err := pipeline.NewCore(cfg, tr, pipeline.Options{
+		LegacySched: legacy,
+		OnRetire: func(idx int64, at ticks.Time) {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(uint64(idx) >> (8 * i))
+				buf[8+i] = byte(uint64(at) >> (8 * i))
+			}
+			h.Write(buf[:])
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !core.Done(); i++ {
+		core.Advance()
+		if i > 50_000_000 {
+			t.Fatal("run did not terminate")
+		}
+	}
+	return core.Stats(), h.Sum64()
+}
+
+// TestSchedEquivPipeline: every pipeline corpus input retires identically
+// under the bitmap and legacy schedulers.
+func TestSchedEquivPipeline(t *testing.T) {
+	for i, data := range corpusInputs(t, "FuzzPipeline") {
+		bmStats, bmSum := retireChecksum(t, data, false)
+		lgStats, lgSum := retireChecksum(t, data, true)
+		if !reflect.DeepEqual(bmStats, lgStats) {
+			t.Errorf("input %d: stats diverge\nbitmap: %+v\nlegacy: %+v", i, bmStats, lgStats)
+		}
+		if bmSum != lgSum {
+			t.Errorf("input %d: retirement checksum diverges: bitmap %x, legacy %x", i, bmSum, lgSum)
+		}
+	}
+}
+
+// TestSchedEquivPipelineResults cross-checks through the sim harness too,
+// so the RunOptions plumbing of the shim stays covered.
+func TestSchedEquivPipelineResults(t *testing.T) {
+	for i, data := range corpusInputs(t, "FuzzPipeline") {
+		tr, cfg := decodePipeline(data)
+		bm, err := sim.Run(cfg, tr, sim.RunOptions{MaxCycles: 50_000_000})
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		lg, err := sim.Run(cfg, tr, sim.RunOptions{MaxCycles: 50_000_000, LegacySched: true})
+		if err != nil {
+			t.Fatalf("input %d (legacy): %v", i, err)
+		}
+		if !reflect.DeepEqual(bm, lg) {
+			t.Errorf("input %d: results diverge\nbitmap: %+v\nlegacy: %+v", i, bm, lg)
+		}
+	}
+}
+
+// TestSchedEquivContest: every contested corpus input produces an
+// identical system result under both schedulers.
+func TestSchedEquivContest(t *testing.T) {
+	for i, data := range corpusInputs(t, "FuzzContest") {
+		tr, cfgs, opts := decodeContest(data)
+		bm, err := contest.Run(cfgs, tr, opts)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		lopts := opts
+		lopts.LegacySched = true
+		lg, err := contest.Run(cfgs, tr, lopts)
+		if err != nil {
+			t.Fatalf("input %d (legacy): %v", i, err)
+		}
+		if !reflect.DeepEqual(bm, lg) {
+			t.Errorf("input %d: contest results diverge\nbitmap: %+v\nlegacy: %+v", i, bm, lg)
+		}
+	}
+}

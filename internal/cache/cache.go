@@ -51,16 +51,25 @@ func (c Config) String() string {
 		c.Sets, c.Assoc, c.BlockBytes, c.SizeBytes()/1024, c.LatencyCycles)
 }
 
+// line is the tracked state of one cache way. The tag and the LRU stamp
+// are packed side by side so a set probe walks one contiguous run of
+// memory instead of two parallel arrays; the stamp doubles as the valid
+// bit — every allocation touches the line, so a line is valid exactly when
+// its last-use stamp is non-zero.
+type line struct {
+	tag   uint64
+	stamp uint64 // last-use timestamp; lowest is LRU, 0 is invalid
+}
+
 // Cache is one set-associative level with true-LRU replacement.
 type Cache struct {
 	cfg        Config
-	tags       []uint64 // sets*assoc entries; tag 0 means empty via valid bit
-	valid      []bool
+	lines      []line // sets*assoc entries
 	dirty      []bool
-	stamp      []uint64 // last-use timestamp per line; lowest is LRU
-	tick       uint64   // monotonically increasing use counter
+	tick       uint64 // monotonically increasing use counter
 	setMask    uint64
 	blockShift uint
+	setShift   uint // log2(Sets), for the tag extraction in set()
 
 	// Stats accumulates access counts.
 	Stats Stats
@@ -90,15 +99,14 @@ func New(cfg Config) *Cache {
 	n := cfg.Sets * cfg.Assoc
 	c := &Cache{
 		cfg:     cfg,
-		tags:    make([]uint64, n),
-		valid:   make([]bool, n),
+		lines:   make([]line, n),
 		dirty:   make([]bool, n),
-		stamp:   make([]uint64, n),
 		setMask: uint64(cfg.Sets - 1),
 	}
 	for bs := cfg.BlockBytes; bs > 1; bs >>= 1 {
 		c.blockShift++
 	}
+	c.setShift = uintLog2(cfg.Sets)
 	return c
 }
 
@@ -107,10 +115,9 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.lines {
 		c.dirty[i] = false
-		c.stamp[i] = 0
+		c.lines[i] = line{}
 	}
 	c.tick = 0
 	c.Stats = Stats{}
@@ -118,7 +125,7 @@ func (c *Cache) Reset() {
 
 func (c *Cache) set(addr uint64) (base int, tag uint64) {
 	block := addr >> c.blockShift
-	return int(block&c.setMask) * c.cfg.Assoc, block >> uintLog2(c.cfg.Sets)
+	return int(block&c.setMask) * c.cfg.Assoc, block >> c.setShift
 }
 
 func uintLog2(n int) uint {
@@ -132,15 +139,16 @@ func uintLog2(n int) uint {
 // touch promotes way w of the set starting at base to MRU.
 func (c *Cache) touch(base, w int) {
 	c.tick++
-	c.stamp[base+w] = c.tick
+	c.lines[base+w].stamp = c.tick
 }
 
 // Probe reports whether addr hits without changing any state (no stats, no
 // LRU update). Used by tests and by the hierarchy's inclusive checks.
 func (c *Cache) Probe(addr uint64) bool {
 	base, tag := c.set(addr)
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+	set := c.lines[base : base+c.cfg.Assoc]
+	for w := range set {
+		if set[w].stamp != 0 && set[w].tag == tag {
 			return true
 		}
 	}
@@ -154,9 +162,11 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Access(addr uint64, write bool) (hit bool, wroteBack bool) {
 	c.Stats.Accesses++
 	base, tag := c.set(addr)
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
-			c.touch(base, w)
+	set := c.lines[base : base+c.cfg.Assoc]
+	for w := range set {
+		if set[w].stamp != 0 && set[w].tag == tag {
+			c.tick++
+			set[w].stamp = c.tick
 			if write {
 				c.dirty[base+w] = true
 			}
@@ -164,27 +174,23 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, wroteBack bool) {
 		}
 	}
 	c.Stats.Misses++
-	// Choose the least-recently-used way, preferring invalid ways.
+	// Choose the least-recently-used way; an invalid way has stamp 0 and
+	// therefore always wins.
 	victim := 0
 	best := ^uint64(0)
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if !c.valid[base+w] {
-			victim = w
-			break
-		}
-		if c.stamp[base+w] < best {
-			best = c.stamp[base+w]
+	for w := range set {
+		if set[w].stamp < best {
+			best = set[w].stamp
 			victim = w
 		}
 	}
-	if c.valid[base+victim] && c.dirty[base+victim] {
+	if best != 0 && c.dirty[base+victim] {
 		wroteBack = true
 		c.Stats.Writebacks++
 	}
-	c.valid[base+victim] = true
-	c.tags[base+victim] = tag
+	c.tick++
+	set[victim] = line{tag: tag, stamp: c.tick}
 	c.dirty[base+victim] = write
-	c.touch(base, victim)
 	return false, wroteBack
 }
 
@@ -241,6 +247,11 @@ type Hierarchy struct {
 	Policy WritePolicy
 
 	l2Free, memFree int64 // next cycle each shared structure is free
+
+	// Latencies and occupancies cached at construction, so the load path
+	// does not re-derive them from the level configs on every access.
+	l1Lat, l2Lat  int64
+	l2Occ, memOcc int64
 }
 
 // NewHierarchy builds the hierarchy. Configurations must be valid.
@@ -259,6 +270,10 @@ func NewHierarchy(l1, l2 Config, memLatency int, policy WritePolicy) (*Hierarchy
 		L2:               New(l2),
 		MemLatencyCycles: memLatency,
 		Policy:           policy,
+		l1Lat:            int64(l1.LatencyCycles),
+		l2Lat:            int64(l2.LatencyCycles),
+		l2Occ:            L2OccupancyCycles(l1.BlockBytes),
+		memOcc:           MemOccupancyCycles(l2.BlockBytes),
 	}, nil
 }
 
@@ -277,9 +292,9 @@ func (h *Hierarchy) l2Access(addr uint64, earliest int64, write bool) (doneAt in
 	if h.l2Free > start {
 		start = h.l2Free
 	}
-	h.l2Free = start + L2OccupancyCycles(h.L1.Config().BlockBytes)
+	h.l2Free = start + h.l2Occ
 	hit, _ = h.L2.Access(addr, write)
-	return start + int64(h.L2.Config().LatencyCycles), hit
+	return start + h.l2Lat, hit
 }
 
 // memAccess runs one access through the memory channel starting no earlier
@@ -289,7 +304,7 @@ func (h *Hierarchy) memAccess(earliest int64) int64 {
 	if h.memFree > start {
 		start = h.memFree
 	}
-	h.memFree = start + MemOccupancyCycles(h.L2.Config().BlockBytes)
+	h.memFree = start + h.memOcc
 	return start + int64(h.MemLatencyCycles)
 }
 
@@ -297,7 +312,7 @@ func (h *Hierarchy) memAccess(earliest int64) int64 {
 // latency in cycles, including any queueing on the L2 port and the memory
 // channel.
 func (h *Hierarchy) Load(addr uint64, now int64) int {
-	l1Done := now + int64(h.L1.Config().LatencyCycles)
+	l1Done := now + h.l1Lat
 	if hit, _ := h.L1.Access(addr, false); hit {
 		return int(l1Done - now)
 	}
@@ -314,7 +329,7 @@ func (h *Hierarchy) Load(addr uint64, now int64) int {
 // queue's job); under write-back it dirties the L1 line, filling it on a
 // miss.
 func (h *Hierarchy) Store(addr uint64, now int64) int {
-	l1Lat := int64(h.L1.Config().LatencyCycles)
+	l1Lat := h.l1Lat
 	switch h.Policy {
 	case WriteThrough:
 		// No-allocate on L1 store miss keeps write-through simple. The

@@ -57,23 +57,23 @@ func (c OpClass) String() string {
 // Valid reports whether c names a defined operation class.
 func (c OpClass) Valid() bool { return c < numOpClasses }
 
+// opLatencies holds the execution latency of each class; loads and stores
+// carry their one-cycle address generation here, with hierarchy latency
+// added by the core.
+var opLatencies = [NumOpClasses]int{
+	OpALU:    1,
+	OpMul:    3,
+	OpDiv:    12,
+	OpLoad:   1,
+	OpStore:  1,
+	OpBranch: 1,
+}
+
 // Latency reports the execution latency of the class in cycles, exclusive of
 // memory hierarchy time (loads and stores add cache access latency on top of
-// their one-cycle address generation).
-func (c OpClass) Latency() int {
-	switch c {
-	case OpALU, OpBranch:
-		return 1
-	case OpMul:
-		return 3
-	case OpDiv:
-		return 12
-	case OpLoad, OpStore:
-		return 1 // address generation; hierarchy latency is added by the core
-	default:
-		panic("isa: latency of invalid op class")
-	}
-}
+// their one-cycle address generation). It panics on an invalid class, as the
+// bounds of the latency table enforce.
+func (c OpClass) Latency() int { return opLatencies[c] }
 
 // Pipelined reports whether multiple operations of the class may be in
 // flight in one functional unit (divides are not).

@@ -1,0 +1,71 @@
+package pipeline
+
+// Batch advances a set of independent cores in a cache-friendly interleave.
+// Stepping one core to completion before starting the next leaves every
+// other core's window arrays cold exactly when the campaign needs them;
+// stepping all cores strictly round-robin reloads each core's working set
+// (the SoA field arrays, the trace segment in flight, the cache tag
+// arrays) on every switch. Batch splits the difference: each Pass gives
+// every live core a quantum of progressing iterations, long enough to
+// amortize the working-set reload and short enough that a pass cycles
+// through the whole batch before any core runs away.
+//
+// Cores in a batch must be independent — no shared feed, sink, or gate —
+// because a quantum reorders their cycle-level interleaving arbitrarily.
+// For independent cores any interleaving produces bit-identical per-core
+// results (each core owns all of its state), which is what makes batched
+// stepping equivalent to sequential runs; the equivalence is asserted by
+// the batch tests and the sim.RunBatch regression suite.
+type Batch struct {
+	live []*Core // cores still executing, compacted as they finish
+}
+
+// DefaultQuantum is the Pass quantum used when the caller passes 0: long
+// enough that the switch cost (reloading a core's field arrays) is noise,
+// short enough that a batch of campaign-sized jobs interleaves visibly.
+const DefaultQuantum = 2048
+
+// NewBatch builds a batch over the given cores. Cores already done are
+// dropped immediately; the slice is not retained.
+func NewBatch(cores []*Core) *Batch {
+	b := &Batch{live: make([]*Core, 0, len(cores))}
+	for _, c := range cores {
+		if !c.Done() {
+			b.live = append(b.live, c)
+		}
+	}
+	return b
+}
+
+// Live reports how many cores are still executing.
+func (b *Batch) Live() int { return len(b.live) }
+
+// Done reports whether every core has finished its trace.
+func (b *Batch) Done() bool { return len(b.live) == 0 }
+
+// Pass gives every live core up to quantum progressing iterations (Advance
+// calls — each executes one live cycle and skips any dead cycles after
+// it), dropping cores that finish. quantum <= 0 means DefaultQuantum.
+// It returns the number of cores still live, so a driver loops with
+// `for b.Pass(q) > 0 { ... }` and polls cancellation between passes.
+func (b *Batch) Pass(quantum int) (live int) {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	out := b.live[:0]
+	for _, c := range b.live {
+		for i := 0; i < quantum && !c.Done(); i++ {
+			c.Advance()
+		}
+		if !c.Done() {
+			out = append(out, c)
+		}
+	}
+	// Clear the tail so finished cores are not retained by the backing
+	// array for the rest of the batch's lifetime.
+	for i := len(out); i < len(b.live); i++ {
+		b.live[i] = nil
+	}
+	b.live = out
+	return len(out)
+}

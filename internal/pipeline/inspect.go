@@ -5,10 +5,17 @@ package pipeline
 // the checker sees the window, the issue wake lists, and the occupancy
 // counters exactly as the engine maintains them, so it can cross-check them
 // against a naive reconstruction without being able to perturb the run.
+// The accessors reconstruct entry-shaped views from the structure-of-arrays
+// window (see pipeline.go "Data layout"): a ready "queue" view is built by
+// scanning the ready bitmap in window order, and waiter lists by walking
+// the dependence links in the depHead/depNext field arrays.
 
 import "archcontest/internal/trace"
 
-// EntryView is a read-only projection of one in-flight window entry.
+// EntryView is a read-only projection of one in-flight window entry,
+// gathered from the per-field window arrays. CompleteCycle and ValueReady
+// are meaningful only when Completed is set (the arrays are not reset at
+// fetch; completion writes them).
 type EntryView struct {
 	Seq           int64
 	DispatchReady int64
@@ -46,8 +53,10 @@ func (i Inspector) TailSeq() int64 { return i.c.tailSeq }
 // FetchEnd is the trace length.
 func (i Inspector) FetchEnd() int64 { return i.c.fetchEnd }
 
-// RingSize is the structural window capacity.
-func (i Inspector) RingSize() int64 { return i.c.ringSize }
+// RingSize is the structural window capacity: the bound fetch enforces on
+// tailSeq-headSeq. The physical slot ring is the next power of two above
+// it.
+func (i Inspector) RingSize() int64 { return i.c.windowCap }
 
 // IQCount is the engine's issue-queue occupancy counter.
 func (i Inspector) IQCount() int { return i.c.iqCount }
@@ -62,34 +71,55 @@ func (i Inspector) PendingBranch() int64 { return i.c.pendingBranch }
 // no longer holds that sequence (the slot was reused by a younger fetch,
 // which for an in-window seq is an aliasing bug the checker reports).
 func (i Inspector) Entry(seq int64) (EntryView, bool) {
-	e := i.c.at(seq)
-	if e.seq != seq {
+	c := i.c
+	slot := seq & c.ringMask
+	if c.seqs[slot] != seq {
 		return EntryView{}, false
 	}
+	fl := c.flags[slot]
 	return EntryView{
-		Seq:           e.seq,
-		DispatchReady: e.dispatchReady,
-		Prod1:         e.prod1,
-		Prod2:         e.prod2,
-		StoreDep:      e.storeDep,
-		CompleteCycle: e.completeCycle,
-		ValueReady:    e.valueReady,
-		Completed:     e.completed,
-		InIQ:          e.inIQ,
-		Injected:      e.injected,
-		Mispredicted:  e.mispredicted,
+		Seq:           seq,
+		DispatchReady: c.dispatchReady[slot],
+		Prod1:         c.prod1[slot],
+		Prod2:         c.prod2[slot],
+		StoreDep:      c.storeDep[slot],
+		CompleteCycle: c.completeCycle[slot],
+		ValueReady:    c.valueReady[slot],
+		Completed:     fl&flagCompleted != 0,
+		InIQ:          c.validBM.test(slot),
+		Injected:      fl&flagInjected != 0,
+		Mispredicted:  fl&flagMispredicted != 0,
 	}, true
 }
 
-// ReadySeqs appends the sequence numbers currently in the ready queue
-// (including lazily-deleted entries) to buf and returns it.
-func (i Inspector) ReadySeqs(buf []int64) []int64 { return append(buf, i.c.readyQ...) }
+// ReadySeqs appends the sequence numbers currently ready to buf and
+// returns it. Under the bitmap scheduler every reported entry is live (the
+// ready bitmap is maintained eagerly); under LegacySched the heap may also
+// hold lazily-deleted entries, exactly as the checker expects.
+func (i Inspector) ReadySeqs(buf []int64) []int64 {
+	c := i.c
+	if c.legacy {
+		return append(buf, c.readyQ...)
+	}
+	headSlot := c.headSeq & c.ringMask
+	for slot := c.readyBM.next(0); slot >= 0; slot = c.readyBM.next(slot + 1) {
+		buf = append(buf, c.headSeq+((slot-headSlot)&c.ringMask))
+	}
+	return buf
+}
 
-// WakeSeqs appends the sequence numbers currently scheduled in the wake
-// heap to buf and returns it.
+// WakeSeqs appends the sequence numbers currently scheduled for a future
+// wake-up — timing-wheel entries plus the overflow/legacy heap — to buf
+// and returns it.
 func (i Inspector) WakeSeqs(buf []int64) []int64 {
-	for _, w := range i.c.wakeQ {
+	c := i.c
+	for _, w := range c.wakeQ {
 		buf = append(buf, w.seq)
+	}
+	for b := c.wheelBM.next(0); b >= 0; b = c.wheelBM.next(b + 1) {
+		for h := c.bucketHead[b]; h != 0; h = c.wheelNext[h-1] {
+			buf = append(buf, c.seqs[h-1])
+		}
 	}
 	return buf
 }
@@ -97,11 +127,12 @@ func (i Inspector) WakeSeqs(buf []int64) []int64 {
 // Waiters appends the sequence numbers parked on seq's dependent wake list
 // to buf and returns it.
 func (i Inspector) Waiters(seq int64, buf []int64) []int64 {
-	e := i.c.at(seq)
-	if e.seq != seq {
+	c := i.c
+	slot := seq & c.ringMask
+	if c.seqs[slot] != seq {
 		return buf
 	}
-	for s := e.depHead; s != noSeq; s = i.c.at(s).depNext {
+	for s := c.depHead[slot]; s != noSeq; s = c.depNext[s&c.ringMask] {
 		buf = append(buf, s)
 	}
 	return buf
@@ -109,11 +140,11 @@ func (i Inspector) Waiters(seq int64, buf []int64) []int64 {
 
 // Blocker reports seq's first incomplete in-window dependence (NoSeq when
 // every dependence is complete), exactly as the wake lists compute it.
-func (i Inspector) Blocker(seq int64) int64 { return i.c.blockerOf(i.c.at(seq)) }
+func (i Inspector) Blocker(seq int64) int64 { return i.c.blockerOf(seq & i.c.ringMask) }
 
 // ReadyAt reports the earliest cycle seq may issue once unblocked, exactly
 // as the wake lists compute it.
-func (i Inspector) ReadyAt(seq int64) int64 { return i.c.readyAtOf(i.c.at(seq)) }
+func (i Inspector) ReadyAt(seq int64) int64 { return i.c.readyAtOf(seq & i.c.ringMask) }
 
 // RetiredCount is the number of retired instructions.
 func (i Inspector) RetiredCount() int64 { return i.c.stats.Retired }

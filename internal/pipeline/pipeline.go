@@ -32,6 +32,24 @@
 // only provably-dead cycles are skipped, every counter — including
 // Stats.Cycles, which counts skipped cycles exactly as if they had been
 // stepped — is bit-identical to single-cycle stepping.
+//
+// # Data layout
+//
+// The window is a structure-of-arrays ring: each per-entry field lives in
+// its own slice (all carved from one backing allocation), sized to the
+// next power of two above the structural window capacity so slot lookup is
+// a mask instead of a modulo. A scheduler pass touches only the field
+// arrays it needs — completion times during retire, dependence links
+// during wake-up — instead of dragging whole 100-byte entries through the
+// cache. Ready selection is bitmap-based: a valid bitmap tracks occupied
+// issue-queue slots and a ready bitmap the issuable subset, scanned
+// oldest-first from the head slot with TrailingZeros64 (see bitmap.go).
+// The pre-rework heap-based ready queue survives behind Options.
+// LegacySched as the reference scheduler for the equivalence regression
+// suite. Logical behaviour — including Stats bit-identity — is unchanged:
+// the structural window capacity is still the pre-rework ring size, and
+// srcReady reproduces the old ring-reuse cutoff for retired producers
+// exactly even though the physical ring is larger.
 package pipeline
 
 import (
@@ -106,6 +124,13 @@ type Options struct {
 	// are nil-guarded single branches: with no checker attached the
 	// steady-state loop stays allocation-free and effectively unchanged.
 	Checker Checker
+	// LegacySched selects the pre-rework heap-based ready queue instead of
+	// the bitmap scheduler. It is a test-only shim: the scheduler
+	// equivalence suite runs the fuzz corpus under both schedulers and
+	// asserts bit-identical results. It must never appear in a cache key —
+	// both schedulers produce identical results by construction (and by
+	// regression test).
+	LegacySched bool
 }
 
 // Checker observes a core's execution for verification. Implementations
@@ -164,37 +189,29 @@ func (s Stats) MispredictRate() float64 {
 
 const noSeq = int64(-1)
 
-// entry is one in-flight dynamic instruction.
-type entry struct {
-	seq           int64
-	dispatchReady int64 // first cycle the front end can deliver it
-	prod1, prod2  int64 // in-window producer seqs, noSeq if none
-	readyHint     int64 // lower bound on source readiness from retired producers
-	storeDep      int64 // older in-window store to the same address, noSeq if none
-	completeCycle int64
-	valueReady    int64 // completeCycle + wake-up latency
-	depHead       int64 // first issue-queue entry waiting on this producer, noSeq if none
-	depNext       int64 // next entry in our producer's waiter list, noSeq if none
-	completed     bool
-	inIQ          bool // occupies an issue-queue slot (dispatched, not yet issued)
-	injected      bool
-	mispredicted  bool
-}
+// Per-slot state flags (the flags field array).
+const (
+	flagCompleted uint8 = 1 << iota
+	flagInjected
+	flagMispredicted
+	flagInWheel // entry is linked into a timing-wheel bucket
+	flagDiv     // entry is an unpipelined divide (cached from the trace at fetch)
+)
 
 // wakeEntry schedules an issue-queue entry whose sources are all complete
-// to enter the ready queue at a known future cycle.
+// to enter the ready set at a known future cycle.
 type wakeEntry struct {
 	at, seq int64
 }
 
-// stepSig is the progress signature of one cycle: if none of these change,
-// the cycle was dead and left every piece of core state untouched.
-type stepSig struct {
-	retired, early, disp, tail, pend int64
-	iq                               int
-}
-
 // Core is one simulated out-of-order processor executing a trace.
+//
+// The window is a structure-of-arrays ring indexed by seq&ringMask: one
+// slice per per-entry field, so each pipeline stage streams through only
+// the fields it reads. The physical ring (ringSize slots) is the next
+// power of two above the structural window capacity (windowCap); fetch is
+// bounded by windowCap, so slot aliasing of in-flight entries is
+// impossible and the mask lookup needs no wrap handling.
 type Core struct {
 	cfg  config.CoreConfig
 	opts Options
@@ -203,38 +220,99 @@ type Core struct {
 	pred branch.Predictor
 	hier *cache.Hierarchy
 
+	// Hot Options fields mirrored into flat fields at construction, so the
+	// per-cycle paths load them without walking the embedded struct.
+	feed     ResultFeed
+	sink     StoreSink
+	gate     func(idx int64, at ticks.Time) bool
+	onRetire func(idx int64, at ticks.Time)
+	checker  Checker
+	legacy   bool
+	// gshare is the predictor devirtualized when it is the common gshare
+	// implementation; nil otherwise (fetch falls back to the interface).
+	gshare *branch.Gshare
+
 	cycle int64
 
-	ring     []entry
-	ringSize int64
+	// Window field arrays, all length ringSize (one backing allocation).
+	seqs          []int64 // occupying sequence number (slot-reuse detection)
+	dispatchReady []int64 // first cycle the front end can deliver it
+	prod1, prod2  []int64 // in-window producer seqs, noSeq if none
+	readyHint     []int64 // lower bound on source readiness from retired producers
+	storeDep      []int64 // older in-window store to the same address, noSeq if none
+	completeCycle []int64 // meaningful only once flagCompleted is set
+	valueReady    []int64 // completeCycle + wake-up latency
+	depHead       []int64 // first issue-queue entry waiting on this producer, noSeq if none
+	depNext       []int64 // next entry in our producer's waiter list, noSeq if none
+	wheelNext     []int64 // next slot+1 in our timing-wheel bucket, 0 ends the list
+	wakeAt        []int64 // due cycle while flagInWheel is set
+	flags         []uint8
+
+	ringSize  int64 // physical slots, power of two
+	ringMask  int64 // ringSize - 1
+	windowCap int64 // structural window capacity (the pre-rework ring size)
 
 	headSeq  int64 // oldest in-flight instruction (next to retire)
 	dispSeq  int64 // next instruction to dispatch
 	tailSeq  int64 // next instruction to fetch into the window
 	fetchEnd int64 // trace length
 
-	// Issue queue as wake lists: a dispatched entry either waits on the
-	// depHead list of its first incomplete producer, sits in wakeQ until
-	// its known ready cycle, or sits in readyQ (a min-heap by seq, so issue
-	// selection stays oldest-first). iqCount tracks occupied IQ slots;
-	// entries leaving early (resolved branches) are deleted lazily from the
-	// heaps.
+	// Issue queue as wake lists plus a ready set: a dispatched entry
+	// either waits on the depHead list of its first incomplete producer,
+	// waits for its known future ready cycle, or is ready. The ready set
+	// is the readyBM bitmap (validBM tracks all occupied IQ slots),
+	// scanned oldest-first from the head slot; under LegacySched it is
+	// the readyQ seq min-heap with lazy deletion instead. iqCount tracks
+	// occupied IQ slots.
 	iqCount int
-	readyQ  []int64
-	wakeQ   []wakeEntry
-	retry   []int64 // scratch: ready entries deferred by the busy divider
-	lsq     int     // occupied LSQ entries
+	validBM slotBitmap
+	readyBM slotBitmap
+	// readyCount mirrors the number of set bits in readyBM, so the issue
+	// and next-event paths skip the bitmap scan entirely when nothing is
+	// ready (the overwhelmingly common post-issue state).
+	readyCount int
+	readyQ     []int64 // LegacySched only
+	retry      []int64 // scratch: ready entries deferred by the busy divider
+	lsq        int     // occupied LSQ entries
+
+	// Future wake-ups live in a timing wheel: bucketHead[at&wheelMask]
+	// heads a singly-linked list (slot+1 links through wheelNext, 0 ends)
+	// of entries due exactly at cycle `at`, wheelBM marks occupied buckets
+	// so the drain and NextEvent jump straight to the next due bucket, and
+	// wheelPos is the last drained cycle (every live entry lies in
+	// (wheelPos, wheelPos+wheelSize), which keeps bucket indices
+	// unambiguous). Wake-ups beyond the wheel horizon — possible only
+	// under extreme cache-port queueing — spill into the wakeQ min-heap,
+	// which under LegacySched holds every wake-up instead.
+	// wheelDue caches the earliest due cycle of any wheel entry (MaxInt64
+	// when the wheel is empty). It may go stale-low after a wheelRemove —
+	// harmless: the next drain attempt finds nothing due and recomputes —
+	// but never stale-high, so skipping the drain when wheelDue > now is
+	// always sound.
+	wheelSize  int64
+	wheelMask  int64
+	wheelPos   int64
+	wheelDue   int64
+	wheelCount int
+	bucketHead []int64
+	wheelBM    slotBitmap
+	wakeQ      []wakeEntry
 
 	lastWriter [isa.NumRegs]int64 // in-window producer of each register
 	regReadyAt [isa.NumRegs]int64 // readiness cycle once the producer retired
 
-	lastStore map[uint64]int64 // in-window store seq per address
+	lastStore storeTable // in-window store seq per address
 
 	pendingBranch int64 // mispredicted branch gating fetch, noSeq if none
 	divFree       int64 // next cycle the divider is free
 
 	progressed bool // the last Step changed state
 	extStalled bool // the last Step was blocked by the gate or store sink
+
+	// retireObserved caches whether any per-retirement observer is attached
+	// (regions, checker, OnRetire); when none is, the retire loop skips the
+	// absolute-time conversion entirely.
+	retireObserved bool
 
 	stats          Stats
 	regionSize     int
@@ -258,7 +336,11 @@ func NewCore(cfg config.CoreConfig, tr *trace.Trace, opts Options) (*Core, error
 	if err != nil {
 		return nil, err
 	}
-	ringSize := int64(cfg.ROBSize + cfg.Width*cfg.FrontEndDepth + 2*cfg.Width)
+	windowCap := int64(cfg.ROBSize + cfg.Width*cfg.FrontEndDepth + 2*cfg.Width)
+	ringSize := int64(1)
+	for ringSize < windowCap {
+		ringSize <<= 1
+	}
 	c := &Core{
 		cfg:           cfg,
 		opts:          opts,
@@ -266,19 +348,68 @@ func NewCore(cfg config.CoreConfig, tr *trace.Trace, opts Options) (*Core, error
 		tr:            tr,
 		pred:          pred,
 		hier:          hier,
-		ring:          make([]entry, ringSize),
 		ringSize:      ringSize,
+		ringMask:      ringSize - 1,
+		windowCap:     windowCap,
 		fetchEnd:      int64(tr.Len()),
-		readyQ:        make([]int64, 0, cfg.IQSize),
 		wakeQ:         make([]wakeEntry, 0, cfg.IQSize),
-		retry:         make([]int64, 0, cfg.Width),
-		lastStore:     make(map[uint64]int64),
+		retry:         make([]int64, 0, cfg.IQSize),
+		lastStore:     newStoreTable(cfg.LSQSize),
 		pendingBranch: noSeq,
 		regionSize:    opts.RegionSize,
+		feed:          opts.Feed,
+		sink:          opts.StoreSink,
+		gate:          opts.RetireGate,
+		onRetire:      opts.OnRetire,
+		checker:       opts.Checker,
+		legacy:        opts.LegacySched,
+	}
+	if g, ok := pred.(*branch.Gshare); ok {
+		c.gshare = g
+	}
+	// One backing allocation for every int64 field array, plus the flags.
+	backing := make([]int64, 12*ringSize)
+	field := func() []int64 {
+		f := backing[:ringSize:ringSize]
+		backing = backing[ringSize:]
+		return f
+	}
+	c.seqs = field()
+	c.dispatchReady = field()
+	c.prod1 = field()
+	c.prod2 = field()
+	c.readyHint = field()
+	c.storeDep = field()
+	c.completeCycle = field()
+	c.valueReady = field()
+	c.depHead = field()
+	c.depNext = field()
+	c.wheelNext = field()
+	c.wakeAt = field()
+	c.flags = make([]uint8, ringSize)
+	c.validBM, c.readyBM = newSlotBitmapPair(ringSize)
+	if opts.LegacySched {
+		c.readyQ = make([]int64, 0, cfg.IQSize)
+	} else {
+		// Size the wheel to cover the common worst-case wake delay (a
+		// queue-free memory-latency load plus scheduler and wake-up
+		// depth); rarer, longer delays from cache-port queueing overflow
+		// into the wakeQ heap.
+		horizon := int64(cfg.SchedDepth + cfg.WakeupLatency + cfg.MemLatencyCycles +
+			cfg.L1D.LatencyCycles + cfg.L2D.LatencyCycles + 64)
+		c.wheelSize = 256
+		for c.wheelSize < horizon && c.wheelSize < 8192 {
+			c.wheelSize <<= 1
+		}
+		c.wheelMask = c.wheelSize - 1
+		c.wheelDue = math.MaxInt64
+		c.bucketHead = make([]int64, c.wheelSize)
+		c.wheelBM = newSlotBitmap(c.wheelSize)
 	}
 	if opts.RegionSize > 0 {
 		c.regions = make([]ticks.Time, 0, tr.Len()/opts.RegionSize)
 	}
+	c.retireObserved = opts.RegionSize > 0 || opts.Checker != nil || opts.OnRetire != nil
 	for r := range c.lastWriter {
 		c.lastWriter[r] = noSeq
 	}
@@ -322,19 +453,6 @@ func (c *Core) Stats() Stats {
 // state and must not be modified.
 func (c *Core) RegionTimes() []ticks.Time { return c.regions }
 
-func (c *Core) at(seq int64) *entry { return &c.ring[seq%c.ringSize] }
-
-func (c *Core) sig() stepSig {
-	return stepSig{
-		retired: c.stats.Retired,
-		early:   c.stats.EarlyResolved,
-		disp:    c.dispSeq,
-		tail:    c.tailSeq,
-		pend:    c.pendingBranch,
-		iq:      c.iqCount,
-	}
-}
-
 // Step advances the core by one clock cycle.
 func (c *Core) Step() {
 	if c.Done() {
@@ -343,16 +461,15 @@ func (c *Core) Step() {
 		return
 	}
 	c.extStalled = false
-	pre := c.sig()
+	c.progressed = false
 	c.doRetire()
 	c.doIssue()
 	c.doDispatch()
 	c.doFetch()
 	c.cycle++
 	c.stats.Cycles = c.cycle
-	c.progressed = c.sig() != pre
-	if c.opts.Checker != nil {
-		c.opts.Checker.AfterCycle(c)
+	if c.checker != nil {
+		c.checker.AfterCycle(c)
 	}
 }
 
@@ -360,6 +477,10 @@ func (c *Core) Step() {
 // (a retirement, issue, dispatch, fetch, or branch resolution). A Step
 // that did not progress is a dead cycle: re-executing it any number of
 // times changes nothing, which is what makes fast-forwarding sound.
+// Progress is tracked directly at each state-changing site; the sites
+// cover exactly the fields of the old progress-signature comparison
+// (retired, early-resolved, dispatch and tail pointers, pending branch,
+// IQ occupancy).
 func (c *Core) Progressed() bool { return c.progressed }
 
 // SkipTo fast-forwards the cycle counter to the given cycle without
@@ -380,19 +501,53 @@ func (c *Core) SkipTo(cycle int64) {
 }
 
 // Advance is the event-driven replacement for Step: it executes one cycle
-// and, when that cycle made no progress, fast-forwards the cycle counter to
+// and fast-forwards the cycle counter over any dead cycles that follow, to
 // the next cycle at which progress is possible. When the core is blocked on
 // a condition it cannot bound locally (a retire gate or store sink), it
 // degrades to single-cycle stepping; contested runs bound such cores
 // through the system scheduler instead.
+//
+// The fast-forward also runs after a progressing cycle, not only after a
+// dead one, so a stall never costs an extra dead Step to detect: the next
+// cycle is provably live whenever the front end can still move (fetch has
+// window space, or a deliverable instruction can dispatch), and in exactly
+// those cases the skip is refused. Otherwise every potential progress
+// source is an event NextEvent bounds — completions, wake-ups, front-end
+// arrivals, branch redirects — or one NextEvent conservatively refuses to
+// skip over (a committable head, a live ready entry), so the cycles up to
+// the bound are dead no matter whether the current cycle progressed.
 func (c *Core) Advance() {
 	c.Step()
-	if c.progressed || c.Done() {
+	if c.Done() {
 		return
+	}
+	if c.progressed {
+		if c.pendingBranch == noSeq && c.tailSeq < c.fetchEnd && c.tailSeq-c.headSeq < c.windowCap {
+			return // fetch moves next cycle
+		}
+		if c.dispSeq < c.tailSeq && c.dispatchReady[c.dispSeq&c.ringMask] <= c.cycle && !c.dispatchBlocked() {
+			return // dispatch moves next cycle
+		}
 	}
 	if next, ok := c.NextEvent(); ok && next > c.cycle {
 		c.SkipTo(next)
 	}
+}
+
+// dispatchBlocked reports whether the next dispatch is provably blocked on
+// a full ROB, LSQ, or issue queue — conditions that persist until a retire
+// or issue event, all of which NextEvent bounds.
+func (c *Core) dispatchBlocked() bool {
+	if c.dispSeq-c.headSeq >= int64(c.cfg.ROBSize) {
+		return true
+	}
+	// Counter check first: the LSQ is rarely full, and testing it before
+	// the class keeps the trace line out of the common path.
+	if c.lsq >= c.cfg.LSQSize && c.tr.At(c.dispSeq).IsMem() {
+		return true
+	}
+	fl := c.flags[c.dispSeq&c.ringMask]
+	return fl&(flagInjected|flagCompleted) == 0 && c.iqCount >= c.cfg.IQSize
 }
 
 // NextEvent reports a conservative lower bound on the next cycle at which
@@ -411,67 +566,94 @@ func (c *Core) NextEvent() (cycle int64, ok bool) {
 		return now, false
 	}
 	next := int64(math.MaxInt64)
-	upd := func(v int64) {
-		if v < next {
-			next = v
-		}
-	}
 
 	// Retire: the completed head commits at its completion cycle. A head
 	// that was already committable did not retire for a reason the core
 	// cannot see (extStalled covers the known ones); refuse to skip.
 	if c.headSeq < c.dispSeq {
-		if e := c.at(c.headSeq); e.completed {
-			if e.completeCycle < now {
+		slot := c.headSeq & c.ringMask
+		if c.flags[slot]&flagCompleted != 0 {
+			cc := c.completeCycle[slot]
+			if cc < now {
 				return now, false
 			}
-			upd(e.completeCycle)
+			if cc < next {
+				next = cc
+			}
 		}
 	}
 
 	// Issue: the earliest scheduled wake-up, and ready entries deferred by
 	// the busy divider. Entries waiting on an incomplete producer need no
 	// term of their own — the producer's own issue is an event that
-	// reschedules them. A live non-divider entry in the ready queue means
-	// the cycle was not dead after all; refuse to skip.
+	// reschedules them. A live non-divider ready entry means the cycle was
+	// not dead after all; refuse to skip.
 	if len(c.wakeQ) > 0 {
-		upd(c.wakeQ[0].at)
+		if at := c.wakeQ[0].at; at < next {
+			next = at
+		}
 	}
-	for _, seq := range c.readyQ {
-		e := c.at(seq)
-		if !e.inIQ || e.completed {
-			continue // lazily-deleted entry
+	if c.wheelCount > 0 && c.wheelDue < next {
+		next = c.wheelDue
+	}
+	if c.legacy {
+		for _, seq := range c.readyQ {
+			slot := seq & c.ringMask
+			if c.seqs[slot] != seq || !c.validBM.test(slot) || c.flags[slot]&flagCompleted != 0 {
+				continue // lazily-deleted entry
+			}
+			if c.tr.At(seq).Op == isa.OpDiv && c.divFree > now {
+				if c.divFree < next {
+					next = c.divFree
+				}
+				continue
+			}
+			return now, false
 		}
-		if c.tr.At(seq).Op == isa.OpDiv && c.divFree > now {
-			upd(c.divFree)
-			continue
+	} else if c.readyCount > 0 {
+		// With the divider free, any ready entry — divide or not — could
+		// issue, so the cycle is live. Otherwise only a ready set made up
+		// entirely of divides defers, to the cycle the divider frees.
+		if c.divFree <= now {
+			return now, false
 		}
-		return now, false
+		for slot := c.readyBM.next(0); slot >= 0; slot = c.readyBM.next(slot + 1) {
+			if c.flags[slot]&flagDiv == 0 {
+				return now, false
+			}
+		}
+		if c.divFree < next {
+			next = c.divFree
+		}
 	}
 
 	// Dispatch: the head of the front end becomes renameable. Dispatch
 	// blocked on a full ROB/IQ/LSQ resumes on a retire or issue event,
 	// which the terms above already cover.
 	if c.dispSeq < c.tailSeq {
-		if e := c.at(c.dispSeq); e.dispatchReady >= now {
-			upd(e.dispatchReady)
+		if dr := c.dispatchReady[c.dispSeq&c.ringMask]; dr >= now && dr < next {
+			next = dr
 		}
 	}
 
 	// Fetch: a pending mispredicted branch redirects the cycle after it
 	// completes, or resolves early when its result arrives on the feed.
 	if c.pendingBranch != noSeq {
-		be := c.at(c.pendingBranch)
-		if be.completed {
-			upd(be.completeCycle + 1)
+		slot := c.pendingBranch & c.ringMask
+		if c.flags[slot]&flagCompleted != 0 {
+			if cc := c.completeCycle[slot] + 1; cc < next {
+				next = cc
+			}
 		}
-		if c.opts.Feed != nil {
-			if at, hinted := c.opts.Feed.NextArrival(c.pendingBranch); hinted {
+		if c.feed != nil {
+			if at, hinted := c.feed.NextArrival(c.pendingBranch); hinted {
 				cc := c.clk.CycleAt(at)
 				if c.clk.TimeOfCycle(cc) < at {
 					cc++
 				}
-				upd(cc)
+				if cc < next {
+					next = cc
+				}
 			}
 		}
 	}
@@ -489,38 +671,37 @@ func (c *Core) NextEvent() (cycle int64, ok bool) {
 func (c *Core) doRetire() {
 	now := c.cycle
 	for n := 0; n < c.cfg.Width && c.headSeq < c.dispSeq; n++ {
-		e := c.at(c.headSeq)
-		if !e.completed || e.completeCycle > now {
+		seq := c.headSeq
+		slot := seq & c.ringMask
+		if c.flags[slot]&flagCompleted == 0 || c.completeCycle[slot] > now {
 			return
 		}
-		if c.opts.RetireGate != nil && !c.opts.RetireGate(e.seq, c.clk.TimeOfCycle(now)) {
+		if c.gate != nil && !c.gate(seq, c.clk.TimeOfCycle(now)) {
 			c.extStalled = true
 			return // exception rendezvous in progress
 		}
-		in := c.tr.At(e.seq)
+		in := c.tr.At(seq)
 		if in.Op == isa.OpStore {
-			if c.opts.StoreSink != nil && !c.opts.StoreSink.CanAccept() {
+			if c.sink != nil && !c.sink.CanAccept() {
 				c.extStalled = true
 				return // synchronizing store queue is full
 			}
 			// Perform the store in the private hierarchy at commit.
 			c.hier.Store(in.Addr, now)
-			if c.opts.StoreSink != nil {
-				c.opts.StoreSink.Performed(e.seq, in.Addr)
+			if c.sink != nil {
+				c.sink.Performed(seq, in.Addr)
 			}
-			if c.lastStore[in.Addr] == e.seq {
-				delete(c.lastStore, in.Addr)
-			}
+			c.lastStore.del(in.Addr, seq)
 		}
 		if in.Op == isa.OpBranch {
 			c.stats.Branches++
-			if e.mispredicted {
+			if c.flags[slot]&flagMispredicted != 0 {
 				c.stats.Mispredicts++
 			}
 		}
-		if in.HasDst() && c.lastWriter[in.Dst] == e.seq {
+		if in.HasDst() && c.lastWriter[in.Dst] == seq {
 			// The architectural value now lives in the register file.
-			c.regReadyAt[in.Dst] = e.valueReady
+			c.regReadyAt[in.Dst] = c.valueReady[slot]
 			c.lastWriter[in.Dst] = noSeq
 		}
 		if in.IsMem() {
@@ -528,119 +709,300 @@ func (c *Core) doRetire() {
 		}
 		c.headSeq++
 		c.stats.Retired++
-		at := c.clk.TimeOfCycle(now)
-		if c.regionSize > 0 {
-			c.retireInRegion++
-			if c.retireInRegion == c.regionSize {
-				c.retireInRegion = 0
-				c.regions = append(c.regions, at)
+		c.progressed = true
+		if c.retireObserved {
+			at := c.clk.TimeOfCycle(now)
+			if c.regionSize > 0 {
+				c.retireInRegion++
+				if c.retireInRegion == c.regionSize {
+					c.retireInRegion = 0
+					c.regions = append(c.regions, at)
+				}
+			}
+			if c.checker != nil {
+				c.checker.OnRetire(c, seq, at)
+			}
+			if c.onRetire != nil {
+				c.onRetire(seq, at)
 			}
 		}
-		if c.opts.Checker != nil {
-			c.opts.Checker.OnRetire(c, e.seq, at)
-		}
-		if c.opts.OnRetire != nil {
-			c.opts.OnRetire(e.seq, at)
-		}
 		if c.stats.Retired >= c.fetchEnd {
-			c.stats.FinishTime = at
+			c.stats.FinishTime = c.clk.TimeOfCycle(now)
 			return
 		}
 	}
 }
 
 // srcReady reports whether the value produced by in-window producer p is
-// available at cycle `now`, and the cycle it became (or becomes) available.
+// available, and the cycle it became (or becomes) available.
 func (c *Core) srcReady(p int64) (avail bool, readyAt int64) {
 	if p == noSeq {
 		return true, 0
 	}
-	pe := c.at(p)
+	slot := p & c.ringMask
 	if p < c.headSeq {
-		// Producer retired. Its ring slot normally still holds its wake-up
-		// time; if the slot was already reused by a much younger fetch, the
-		// value has long been architectural (the retirement was at least a
-		// full window ago), so it is simply ready.
-		if pe.seq == p {
-			return true, pe.valueReady
+		// Producer retired. Its slot normally still holds its wake-up time.
+		// The pre-rework ring reused the slot once fetch moved a full
+		// structural window past p, after which the value was treated as
+		// long architectural (simply ready); reproduce that cutoff from the
+		// logical window capacity, not the (larger) physical ring, so
+		// timing stays bit-identical.
+		if c.tailSeq <= p+c.windowCap {
+			return true, c.valueReady[slot]
 		}
 		return true, 0
 	}
-	if !pe.completed {
+	if c.flags[slot]&flagCompleted == 0 {
 		return false, 0
 	}
-	return true, pe.valueReady
+	return true, c.valueReady[slot]
 }
 
-// blockerOf reports the first incomplete in-window dependence of e — a
-// source producer, or for loads the store being forwarded from — or noSeq
-// when every dependence is complete. An entry waits on one blocker at a
-// time and is re-evaluated when it completes.
-func (c *Core) blockerOf(e *entry) int64 {
-	if p := e.prod1; p != noSeq && p >= c.headSeq && !c.at(p).completed {
+// blockerOf reports the first incomplete in-window dependence of the entry
+// in slot — a source producer, or for loads the store being forwarded from
+// — or noSeq when every dependence is complete. An entry waits on one
+// blocker at a time and is re-evaluated when it completes.
+func (c *Core) blockerOf(slot int64) int64 {
+	if p := c.prod1[slot]; p != noSeq && p >= c.headSeq && c.flags[p&c.ringMask]&flagCompleted == 0 {
 		return p
 	}
-	if p := e.prod2; p != noSeq && p >= c.headSeq && !c.at(p).completed {
+	if p := c.prod2[slot]; p != noSeq && p >= c.headSeq && c.flags[p&c.ringMask]&flagCompleted == 0 {
 		return p
 	}
-	if d := e.storeDep; d != noSeq && d >= c.headSeq && !c.at(d).completed {
+	if d := c.storeDep[slot]; d != noSeq && d >= c.headSeq && c.flags[d&c.ringMask]&flagCompleted == 0 {
 		return d
 	}
 	return noSeq
 }
 
-// readyAtOf reports the earliest cycle e can issue once every dependence is
-// complete: the latest source wake-up, the retired-producer hint, and for a
-// forwarded load the forwarding store's completion.
-func (c *Core) readyAtOf(e *entry) int64 {
-	_, at := c.srcReady(e.prod1)
-	if _, a2 := c.srcReady(e.prod2); a2 > at {
+// readyAtOf reports the earliest cycle the entry in slot can issue once
+// every dependence is complete: the latest source wake-up, the
+// retired-producer hint, and for a forwarded load the forwarding store's
+// completion.
+func (c *Core) readyAtOf(slot int64) int64 {
+	_, at := c.srcReady(c.prod1[slot])
+	if _, a2 := c.srcReady(c.prod2[slot]); a2 > at {
 		at = a2
 	}
-	if e.readyHint > at {
-		at = e.readyHint
+	if h := c.readyHint[slot]; h > at {
+		at = h
 	}
-	if d := e.storeDep; d != noSeq && d >= c.headSeq {
-		if de := c.at(d); de.completeCycle > at {
-			at = de.completeCycle
+	if d := c.storeDep[slot]; d != noSeq && d >= c.headSeq {
+		if cc := c.completeCycle[d&c.ringMask]; cc > at {
+			at = cc
 		}
 	}
 	return at
 }
 
-// enqueueForIssue places a dispatched entry into the issue wake lists:
-// waiting on its first incomplete producer, scheduled for a future ready
-// cycle, or immediately ready.
-func (c *Core) enqueueForIssue(seq int64) {
-	e := c.at(seq)
-	if !e.inIQ || e.completed {
+// depState reports the entry's first incomplete in-window dependence and,
+// when there is none, the earliest cycle its dependences allow issue. It is
+// the fusion of blockerOf and readyAtOf, walking the producer fields once
+// per wake-up instead of twice; the checker-facing accessors keep the
+// separate definitions, which this must match exactly.
+func (c *Core) depState(slot int64) (blocker int64, at int64) {
+	if p := c.prod1[slot]; p != noSeq {
+		if p >= c.headSeq {
+			ps := p & c.ringMask
+			if c.flags[ps]&flagCompleted == 0 {
+				return p, 0
+			}
+			at = c.valueReady[ps]
+		} else if c.tailSeq <= p+c.windowCap {
+			at = c.valueReady[p&c.ringMask]
+		}
+	}
+	if p := c.prod2[slot]; p != noSeq {
+		if p >= c.headSeq {
+			ps := p & c.ringMask
+			if c.flags[ps]&flagCompleted == 0 {
+				return p, 0
+			}
+			if v := c.valueReady[ps]; v > at {
+				at = v
+			}
+		} else if c.tailSeq <= p+c.windowCap {
+			if v := c.valueReady[p&c.ringMask]; v > at {
+				at = v
+			}
+		}
+	}
+	if h := c.readyHint[slot]; h > at {
+		at = h
+	}
+	if d := c.storeDep[slot]; d != noSeq && d >= c.headSeq {
+		ds := d & c.ringMask
+		if c.flags[ds]&flagCompleted == 0 {
+			return d, 0
+		}
+		if cc := c.completeCycle[ds]; cc > at {
+			at = cc
+		}
+	}
+	return noSeq, at
+}
+
+// enqueueForIssue places a woken entry seq (occupying slot) into the issue
+// wake lists, dropping entries that left the queue while parked (an
+// early-resolved branch). Dispatch, whose entries are live by construction,
+// calls enqueueLive directly.
+func (c *Core) enqueueForIssue(seq, slot int64) {
+	if !c.validBM.test(slot) || c.flags[slot]&flagCompleted != 0 {
 		return // resolved while waiting (an early-resolved branch)
 	}
-	if b := c.blockerOf(e); b != noSeq {
-		be := c.at(b)
-		e.depNext = be.depHead
-		be.depHead = seq
+	c.enqueueLive(seq, slot)
+}
+
+// enqueueLive routes a live issue-queue entry to its wake structure:
+// waiting on its first incomplete producer, scheduled for a future ready
+// cycle, or immediately ready.
+func (c *Core) enqueueLive(seq, slot int64) {
+	b, at := c.depState(slot)
+	if b != noSeq {
+		bs := b & c.ringMask
+		c.depNext[slot] = c.depHead[bs]
+		c.depHead[bs] = seq
 		return
 	}
-	if at := c.readyAtOf(e); at > c.cycle {
-		c.wakeQ = pushWake(c.wakeQ, wakeEntry{at: at, seq: seq})
-	} else {
+	if at > c.cycle {
+		if c.legacy {
+			c.wakeQ = pushWake(c.wakeQ, wakeEntry{at: at, seq: seq})
+		} else {
+			c.scheduleWake(seq, slot, at)
+		}
+	} else if c.legacy {
 		c.readyQ = pushSeq(c.readyQ, seq)
+	} else {
+		c.readyBM.set(slot)
+		c.readyCount++
 	}
 }
 
-// wakeDependents re-evaluates every entry that was waiting on e, which has
-// just completed; each either parks on its next incomplete dependence or is
-// scheduled for issue.
-func (c *Core) wakeDependents(e *entry) {
-	for s := e.depHead; s != noSeq; {
-		de := c.at(s)
-		next := de.depNext
-		de.depNext = noSeq
-		c.enqueueForIssue(s)
+// scheduleWake registers a future wake-up for the entry in slot: into its
+// timing-wheel bucket when the due cycle is within the wheel horizon, into
+// the overflow heap otherwise. Wheel entries are removed eagerly when an
+// early-resolved branch leaves the queue, so every linked slot is live;
+// overflow entries are dropped lazily at pop under the liveness guard.
+func (c *Core) scheduleWake(seq, slot, at int64) {
+	if at-c.wheelPos >= c.wheelSize {
+		c.wakeQ = pushWake(c.wakeQ, wakeEntry{at: at, seq: seq})
+		return
+	}
+	b := at & c.wheelMask
+	c.wheelNext[slot] = c.bucketHead[b]
+	c.bucketHead[b] = slot + 1
+	c.wakeAt[slot] = at
+	c.flags[slot] |= flagInWheel
+	c.wheelBM.set(b)
+	c.wheelCount++
+	if at < c.wheelDue {
+		c.wheelDue = at
+	}
+}
+
+// drainWheel moves every wheel entry due at or before now into the ready
+// bitmap, jumping between occupied buckets, and advances the wheel
+// position to now so newly scheduled wake-ups stay within the horizon.
+func (c *Core) drainWheel(now int64) {
+	if c.wheelDue > now {
+		c.wheelPos = now
+		return
+	}
+	for c.wheelCount > 0 {
+		start := (c.wheelPos + 1) & c.wheelMask
+		b := c.wheelBM.firstFrom(start)
+		t := c.wheelPos + 1 + ((b - start) & c.wheelMask)
+		if t > now {
+			c.wheelPos = now
+			c.wheelDue = t
+			return
+		}
+		for h := c.bucketHead[b]; h != 0; {
+			slot := h - 1
+			h = c.wheelNext[slot]
+			c.flags[slot] &^= flagInWheel
+			c.readyBM.set(slot)
+			c.readyCount++
+			c.wheelCount--
+		}
+		c.bucketHead[b] = 0
+		c.wheelBM.clear(b)
+		c.wheelPos = t
+	}
+	c.wheelPos = now
+	c.wheelDue = math.MaxInt64
+}
+
+// wheelRemove unlinks the entry in slot from its timing-wheel bucket (the
+// early-resolved-branch path; rare, so a list scan is fine).
+func (c *Core) wheelRemove(slot int64) {
+	b := c.wakeAt[slot] & c.wheelMask
+	if c.bucketHead[b] == slot+1 {
+		c.bucketHead[b] = c.wheelNext[slot]
+	} else {
+		p := c.bucketHead[b] - 1
+		for c.wheelNext[p] != slot+1 {
+			p = c.wheelNext[p] - 1
+		}
+		c.wheelNext[p] = c.wheelNext[slot]
+	}
+	if c.bucketHead[b] == 0 {
+		c.wheelBM.clear(b)
+	}
+	c.flags[slot] &^= flagInWheel
+	c.wheelCount--
+}
+
+// wakeDependents re-evaluates every entry that was waiting on the producer
+// in slot, which has just completed; each either parks on its next
+// incomplete dependence or is scheduled for issue.
+func (c *Core) wakeDependents(slot int64) {
+	for s := c.depHead[slot]; s != noSeq; {
+		ss := s & c.ringMask
+		next := c.depNext[ss]
+		c.depNext[ss] = noSeq
+		c.enqueueForIssue(s, ss)
 		s = next
 	}
-	e.depHead = noSeq
+	c.depHead[slot] = noSeq
+}
+
+// issueEntry schedules execution of the ready instruction seq occupying
+// slot. It reports false when the instruction is a divide and the
+// unpipelined divider is busy; the caller re-queues it.
+func (c *Core) issueEntry(seq, slot, now int64) bool {
+	in := c.tr.At(seq)
+	execLat := in.Op.Latency()
+	if in.Op == isa.OpLoad {
+		if c.storeDep[slot] != noSeq {
+			// An older store to the same address forwards its data: from
+			// the LSQ while in-window (its data is ready — the wake lists
+			// admitted us only after its completion cycle), or from the
+			// write buffer after it retires.
+			execLat = 1
+			c.stats.Forwarded++
+		} else {
+			execLat = c.hier.Load(in.Addr, now)
+		}
+	}
+	if in.Op == isa.OpDiv {
+		if c.divFree > now {
+			return false
+		}
+		c.divFree = now + int64(c.cfg.SchedDepth) + int64(execLat)
+	}
+	c.flags[slot] |= flagCompleted
+	c.completeCycle[slot] = now + int64(c.cfg.SchedDepth) + int64(execLat)
+	// Dependents wake through the bypass network: they can issue
+	// execLat + WakeupLatency cycles after the producer issues, with
+	// their own scheduler pipeline overlapping the producer's (wake-up
+	// 0 means back-to-back for single-cycle operations).
+	c.valueReady[slot] = now + int64(execLat) + int64(c.cfg.WakeupLatency)
+	c.validBM.clear(slot)
+	c.iqCount--
+	c.progressed = true
+	c.wakeDependents(slot)
+	return true
 }
 
 // doIssue selects up to Width ready instructions, oldest first, and
@@ -649,54 +1011,80 @@ func (c *Core) wakeDependents(e *entry) {
 // a known future ready cycle sit in the wake heap until it is due.
 func (c *Core) doIssue() {
 	now := c.cycle
+	if c.readyCount == 0 && c.wheelDue > now && len(c.wakeQ) == 0 {
+		// Nothing ready, due, or woken this cycle. Skipping the pass leaves
+		// wheelPos behind the current cycle, which is safe: a lagging
+		// position only makes the scheduleWake horizon check conservative
+		// (spilling to the overflow heap earlier), and bucket positions stay
+		// unambiguous because inserts bound every entry within wheelSize of
+		// it. Never taken under LegacySched, whose wheelDue stays zero.
+		return
+	}
 	for len(c.wakeQ) > 0 && c.wakeQ[0].at <= now {
 		var w wakeEntry
 		c.wakeQ, w = popWake(c.wakeQ)
-		if e := c.at(w.seq); e.inIQ && !e.completed {
+		slot := w.seq & c.ringMask
+		// The seq guard drops wake-ups whose window slot was recycled: an
+		// early-resolved branch can leave a far-future wake-up behind, and
+		// with a small window its slot can be reused by a younger fetch
+		// before the wake-up falls due.
+		if c.seqs[slot] != w.seq || !c.validBM.test(slot) || c.flags[slot]&flagCompleted != 0 {
+			continue
+		}
+		if c.legacy {
 			c.readyQ = pushSeq(c.readyQ, w.seq)
+		} else {
+			c.readyBM.set(slot)
+			c.readyCount++
 		}
 	}
+	if c.legacy {
+		c.issueLegacy(now)
+		return
+	}
+	c.drainWheel(now)
+	issued := 0
+	retry := c.retry[:0]
+	headSlot := c.headSeq & c.ringMask
+	for issued < c.cfg.Width && c.readyCount > 0 {
+		slot := c.readyBM.firstFrom(headSlot)
+		if slot < 0 {
+			break
+		}
+		c.readyBM.clear(slot)
+		c.readyCount--
+		seq := c.headSeq + ((slot - headSlot) & c.ringMask)
+		if !c.issueEntry(seq, slot, now) {
+			retry = append(retry, slot)
+			continue
+		}
+		issued++
+	}
+	for _, slot := range retry {
+		c.readyBM.set(slot)
+	}
+	c.readyCount += len(retry)
+	c.retry = retry[:0]
+}
+
+// issueLegacy is the pre-rework heap-based issue selection (see
+// Options.LegacySched): pop the oldest ready seq, skipping lazily-deleted
+// entries.
+func (c *Core) issueLegacy(now int64) {
 	issued := 0
 	retry := c.retry[:0]
 	for len(c.readyQ) > 0 && issued < c.cfg.Width {
 		var seq int64
 		c.readyQ, seq = popSeq(c.readyQ)
-		e := c.at(seq)
-		if !e.inIQ || e.completed {
+		slot := seq & c.ringMask
+		if c.seqs[slot] != seq || !c.validBM.test(slot) || c.flags[slot]&flagCompleted != 0 {
 			continue // lazily-deleted entry
 		}
-		in := c.tr.At(seq)
-		execLat := in.Op.Latency()
-		if in.Op == isa.OpLoad {
-			if e.storeDep != noSeq {
-				// An older store to the same address forwards its data:
-				// from the LSQ while in-window (its data is ready — the
-				// wake lists admitted us only after its completion cycle),
-				// or from the write buffer after it retires.
-				execLat = 1
-				c.stats.Forwarded++
-			} else {
-				execLat = c.hier.Load(in.Addr, now)
-			}
+		if !c.issueEntry(seq, slot, now) {
+			retry = append(retry, seq)
+			continue
 		}
-		if in.Op == isa.OpDiv {
-			if c.divFree > now {
-				retry = append(retry, seq)
-				continue
-			}
-			c.divFree = now + int64(c.cfg.SchedDepth) + int64(execLat)
-		}
-		e.completed = true
-		e.completeCycle = now + int64(c.cfg.SchedDepth) + int64(execLat)
-		// Dependents wake through the bypass network: they can issue
-		// execLat + WakeupLatency cycles after the producer issues, with
-		// their own scheduler pipeline overlapping the producer's (wake-up
-		// 0 means back-to-back for single-cycle operations).
-		e.valueReady = now + int64(execLat) + int64(c.cfg.WakeupLatency)
-		e.inIQ = false
-		c.iqCount--
 		issued++
-		c.wakeDependents(e)
 	}
 	for _, seq := range retry {
 		c.readyQ = pushSeq(c.readyQ, seq)
@@ -721,68 +1109,75 @@ func (c *Core) producerOf(r isa.RegID) (prod int64, hint int64) {
 func (c *Core) doDispatch() {
 	now := c.cycle
 	for n := 0; n < c.cfg.Width && c.dispSeq < c.tailSeq; n++ {
-		e := c.at(c.dispSeq)
-		if e.dispatchReady > now {
+		seq := c.dispSeq
+		slot := seq & c.ringMask
+		if c.dispatchReady[slot] > now {
 			return
 		}
-		if c.dispSeq-c.headSeq >= int64(c.cfg.ROBSize) {
+		if seq-c.headSeq >= int64(c.cfg.ROBSize) {
 			return // ROB full
 		}
-		in := c.tr.At(e.seq)
-		if in.IsMem() && c.lsq >= c.cfg.LSQSize {
+		in := c.tr.At(seq)
+		isMem := in.IsMem()
+		if isMem && c.lsq >= c.cfg.LSQSize {
 			return // LSQ full
 		}
-		needIQ := !e.injected && !e.completed // early-resolved branches skip the IQ too
+		fl := c.flags[slot]
+		needIQ := fl&(flagInjected|flagCompleted) == 0 // early-resolved branches skip the IQ too
 		if needIQ && c.iqCount >= c.cfg.IQSize {
 			return // issue queue full
 		}
 
-		if in.IsMem() {
+		if isMem {
 			c.lsq++
 		}
 		switch {
-		case e.injected:
+		case fl&flagInjected != 0:
 			// Result injection: complete at rename. Branches were already
 			// completed in fetch; register producers write their value now;
 			// stores become ready immediately and perform at commit.
-			if !e.completed {
-				e.completed = true
-				e.completeCycle = now
-				e.valueReady = now
+			if fl&flagCompleted == 0 {
+				c.flags[slot] = fl | flagCompleted
+				c.completeCycle[slot] = now
+				c.valueReady[slot] = now
 			}
+			c.prod1[slot], c.prod2[slot], c.storeDep[slot] = noSeq, noSeq, noSeq
 			c.stats.Injected++
 			if in.HasDst() {
 				c.lastWriter[in.Dst] = noSeq
 				c.regReadyAt[in.Dst] = now
 			}
-		case e.completed:
+		case fl&flagCompleted != 0:
 			// Branch resolved early by an arrived result before dispatch:
 			// nothing left to execute.
+			c.prod1[slot], c.prod2[slot], c.storeDep[slot] = noSeq, noSeq, noSeq
 		default:
-			e.prod1, e.readyHint = c.producerOf(in.Src1)
-			var h2 int64
-			e.prod2, h2 = c.producerOf(in.Src2)
-			if h2 > e.readyHint {
-				e.readyHint = h2
+			p1, h1 := c.producerOf(in.Src1)
+			p2, h2 := c.producerOf(in.Src2)
+			c.prod1[slot], c.prod2[slot] = p1, p2
+			if h2 > h1 {
+				h1 = h2
 			}
+			c.readyHint[slot] = h1
+			dep := noSeq
 			if in.Op == isa.OpLoad {
-				if dep, ok := c.lastStore[in.Addr]; ok {
-					e.storeDep = dep
-				} else {
-					e.storeDep = noSeq
+				if d, ok := c.lastStore.get(in.Addr); ok {
+					dep = d
 				}
 			}
+			c.storeDep[slot] = dep
 			if in.Op == isa.OpStore {
-				c.lastStore[in.Addr] = e.seq
+				c.lastStore.put(in.Addr, seq)
 			}
 			if in.HasDst() {
-				c.lastWriter[in.Dst] = e.seq
+				c.lastWriter[in.Dst] = seq
 			}
 			c.iqCount++
-			e.inIQ = true
-			c.enqueueForIssue(e.seq)
+			c.validBM.set(slot)
+			c.enqueueLive(seq, slot)
 		}
 		c.dispSeq++
+		c.progressed = true
 	}
 }
 
@@ -791,29 +1186,43 @@ func (c *Core) doDispatch() {
 // resolution.
 func (c *Core) doFetch() {
 	now := c.cycle
-	t := c.clk.TimeOfCycle(now)
+	var t ticks.Time
+	if c.feed != nil {
+		t = c.clk.TimeOfCycle(now)
+	}
 
 	if c.pendingBranch != noSeq {
-		be := c.at(c.pendingBranch)
+		bslot := c.pendingBranch & c.ringMask
+		bfl := c.flags[bslot]
 		switch {
-		case be.completed && be.completeCycle < now:
+		case bfl&flagCompleted != 0 && c.completeCycle[bslot] < now:
 			// Redirect happened last cycle; fetch resumes this cycle.
 			c.pendingBranch = noSeq
-		case c.opts.Feed != nil && c.opts.Feed.ResultAvailable(c.pendingBranch, t):
+			c.progressed = true
+		case c.feed != nil && c.feed.ResultAvailable(c.pendingBranch, t):
 			// Figure 5 corner case: the branch's retired outcome arrived
 			// from another core before this core resolved it. Resolve early;
 			// the core is now trailing and will consume results at fetch.
-			if !be.completed || be.completeCycle > now {
-				if !be.completed && be.inIQ {
-					// The branch leaves the issue queue without issuing;
-					// its wake-list entries are discarded lazily.
-					be.inIQ = false
+			if bfl&flagCompleted == 0 || c.completeCycle[bslot] > now {
+				if bfl&flagCompleted == 0 && c.validBM.test(bslot) {
+					// The branch leaves the issue queue without issuing; its
+					// ready bit and wheel entry are dropped eagerly,
+					// wake-heap entries lazily.
+					c.validBM.clear(bslot)
+					if c.readyBM.test(bslot) {
+						c.readyBM.clear(bslot)
+						c.readyCount--
+					}
+					if bfl&flagInWheel != 0 {
+						c.wheelRemove(bslot)
+					}
 					c.iqCount--
 				}
-				be.completed = true
-				be.completeCycle = now
-				be.valueReady = now
+				c.flags[bslot] |= flagCompleted
+				c.completeCycle[bslot] = now
+				c.valueReady[bslot] = now
 				c.stats.EarlyResolved++
+				c.progressed = true
 			}
 			return // redirect consumes this cycle; fetch resumes next cycle
 		default:
@@ -826,51 +1235,73 @@ func (c *Core) doFetch() {
 		if c.tailSeq >= c.fetchEnd {
 			break
 		}
-		if c.tailSeq-c.headSeq >= c.ringSize {
+		if c.tailSeq-c.headSeq >= c.windowCap {
 			break // window structurally full
 		}
-		in := c.tr.At(c.tailSeq)
-		e := c.at(c.tailSeq)
-		*e = entry{
-			seq:           c.tailSeq,
-			dispatchReady: now + int64(c.cfg.FrontEndDepth),
-			prod1:         noSeq,
-			prod2:         noSeq,
-			storeDep:      noSeq,
-			depHead:       noSeq,
-			depNext:       noSeq,
+		seq := c.tailSeq
+		slot := seq & c.ringMask
+		in := c.tr.At(seq)
+		// Reset only the fields every entry needs; producer links are
+		// written at dispatch, completion times at completion.
+		c.seqs[slot] = seq
+		c.dispatchReady[slot] = now + int64(c.cfg.FrontEndDepth)
+		c.depHead[slot] = noSeq
+		c.depNext[slot] = noSeq
+		c.flags[slot] = 0
+		if in.Op == isa.OpDiv {
+			// Cache the divide class in the flags so the event scan can test
+			// divider deferral without touching the trace. An injected divide
+			// overwrites the flag below, but injected entries complete at
+			// fetch and never reach the ready bitmap.
+			c.flags[slot] = flagDiv
 		}
-		if c.opts.Feed != nil && c.opts.Feed.ResultAvailable(c.tailSeq, t) {
-			e.injected = true
-			if c.opts.Checker != nil {
-				c.opts.Checker.OnInject(c, c.tailSeq, t)
+		mispredicted := false
+		if c.feed != nil && c.feed.ResultAvailable(seq, t) {
+			c.flags[slot] = flagInjected
+			if c.checker != nil {
+				c.checker.OnInject(c, seq, t)
 			}
-			c.opts.Feed.ConsumeThrough(c.tailSeq)
+			c.feed.ConsumeThrough(seq)
 			if in.Op == isa.OpBranch {
 				// Outcome known: complete in the fetch stage. Training keeps
 				// the predictor warm for when this core takes the lead.
-				e.completed = true
-				e.completeCycle = now
-				e.valueReady = now
+				c.flags[slot] |= flagCompleted
+				c.completeCycle[slot] = now
+				c.valueReady[slot] = now
 				if !c.opts.NoTrainOnInject {
-					c.pred.Update(in.PC, in.Taken)
+					if g := c.gshare; g != nil {
+						g.Update(in.PC, in.Taken)
+					} else {
+						c.pred.Update(in.PC, in.Taken)
+					}
 				}
 			}
 		} else if in.Op == isa.OpBranch {
-			predicted := c.pred.Predict(in.PC)
+			var predicted bool
+			if g := c.gshare; g != nil {
+				predicted = g.Predict(in.PC)
+			} else {
+				predicted = c.pred.Predict(in.PC)
+			}
 			if predicted != in.Taken {
-				e.mispredicted = true
-				c.pendingBranch = c.tailSeq
+				c.flags[slot] = flagMispredicted
+				mispredicted = true
+				c.pendingBranch = seq
 			}
 			// Train at fetch: the trace-driven model resolves the direction
 			// immediately, which stands in for speculative history update
 			// plus in-order counter training.
-			c.pred.Update(in.PC, in.Taken)
+			if g := c.gshare; g != nil {
+				g.Update(in.PC, in.Taken)
+			} else {
+				c.pred.Update(in.PC, in.Taken)
+			}
 		}
 		c.tailSeq++
+		c.progressed = true
 		fetched++
 		if in.Op == isa.OpBranch {
-			if e.mispredicted {
+			if mispredicted {
 				break // fetch stalls until resolution
 			}
 			if in.Taken {
@@ -879,7 +1310,7 @@ func (c *Core) doFetch() {
 		}
 	}
 
-	if c.opts.Feed != nil {
+	if c.feed != nil {
 		// Scenario #1: late results are popped and discarded — but never
 		// past the oldest unresolved mispredicted branch, whose outcome may
 		// still resolve it early.
@@ -888,13 +1319,13 @@ func (c *Core) doFetch() {
 			limit = c.pendingBranch - 1
 		}
 		if limit >= 0 {
-			c.opts.Feed.ConsumeThrough(limit)
+			c.feed.ConsumeThrough(limit)
 		}
 	}
 }
 
 // pushSeq and popSeq maintain a binary min-heap of sequence numbers: the
-// ready queue, ordered so issue selection is oldest-first.
+// legacy ready queue, ordered so issue selection is oldest-first.
 func pushSeq(h []int64, v int64) []int64 {
 	h = append(h, v)
 	for i := len(h) - 1; i > 0; {

@@ -1,0 +1,92 @@
+package pipeline
+
+// storeTable maps the effective address of each in-window store to the
+// youngest such store's sequence number — the structure behind
+// store-to-load forwarding at dispatch. It replaces a Go map on the hot
+// path: at most LSQSize stores are in flight at once, so a fixed-size
+// linear-probe table sized at construction never grows, never allocates
+// after NewCore, and resolves a probe in one or two cache lines. Memory
+// operations never carry address zero (trace.Validate enforces it), so
+// zero marks an empty slot.
+type storeTable struct {
+	addrs []uint64
+	seqs  []int64
+	mask  uint64
+	shift uint
+}
+
+func newStoreTable(lsqSize int) storeTable {
+	size, logSize := 16, 4
+	for size < 2*lsqSize {
+		size <<= 1
+		logSize++
+	}
+	return storeTable{
+		addrs: make([]uint64, size),
+		seqs:  make([]int64, size),
+		mask:  uint64(size - 1),
+		shift: uint(64 - logSize),
+	}
+}
+
+func (t *storeTable) home(addr uint64) uint64 {
+	return (addr * 0x9e3779b97f4a7c15) >> t.shift
+}
+
+// get reports the youngest in-window store to addr.
+func (t *storeTable) get(addr uint64) (seq int64, ok bool) {
+	for i := t.home(addr); ; i = (i + 1) & t.mask {
+		switch t.addrs[i] {
+		case addr:
+			return t.seqs[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// put records seq as the youngest store to addr, replacing any older one.
+func (t *storeTable) put(addr uint64, seq int64) {
+	for i := t.home(addr); ; i = (i + 1) & t.mask {
+		if t.addrs[i] == addr || t.addrs[i] == 0 {
+			t.addrs[i] = addr
+			t.seqs[i] = seq
+			return
+		}
+	}
+}
+
+// del removes the entry for addr if it still records seq (a younger store
+// to the same address keeps its own, newer entry).
+func (t *storeTable) del(addr uint64, seq int64) {
+	i := t.home(addr)
+	for t.addrs[i] != addr {
+		if t.addrs[i] == 0 {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	if t.seqs[i] != seq {
+		return
+	}
+	// Backward-shift deletion keeps every probe chain gap-free without
+	// tombstones: repeatedly pull the next chain member whose home position
+	// cannot reach it across the new hole back into the hole.
+	for {
+		t.addrs[i] = 0
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			if t.addrs[j] == 0 {
+				return
+			}
+			h := t.home(t.addrs[j])
+			if (j-h)&t.mask >= (j-i)&t.mask {
+				t.addrs[i] = t.addrs[j]
+				t.seqs[i] = t.seqs[j]
+				i = j
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"archcontest/internal/pipeline"
+	"archcontest/internal/trace"
+
+	"archcontest/internal/config"
+)
+
+// BatchItem is one independent single-core job of a batch run.
+type BatchItem struct {
+	Config config.CoreConfig
+	Trace  *trace.Trace
+	Opts   RunOptions
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers is the number of goroutines executing jobs (0 or 1 means
+	// sequential in the calling goroutine's sense: one worker).
+	Workers int
+	// GroupSize is how many cores one worker interleaves as a
+	// pipeline.Batch (0 means 4). Grouping keeps a worker's working set
+	// bounded while still amortizing scheduling overhead across jobs.
+	GroupSize int
+	// Quantum is the pipeline.Batch pass quantum in progressing
+	// iterations (0 means pipeline.DefaultQuantum).
+	Quantum int
+}
+
+// batchPollPasses is how many batch passes run between context polls. A
+// pass is at least one progressing iteration per live core, so polling
+// every pass already bounds cancellation latency to a quantum's worth of
+// simulated work; no finer check is needed.
+const batchPollPasses = 1
+
+// RunBatch executes a set of independent single-core jobs and returns
+// their results in item order, each bit-identical to what Run would
+// return for the same item (asserted by the batch equivalence suite).
+// Workers split the items into groups; each group's cores advance in a
+// cache-friendly interleave (see pipeline.Batch). The MaxCycles bound of
+// an item is enforced between passes, so a runaway job may overshoot the
+// bound by up to one quantum per core before the batch aborts.
+//
+// The first job error (including a MaxCycles overrun) cancels the
+// remaining work and is returned; ctx cancellation is honored between
+// passes.
+func RunBatch(ctx context.Context, items []BatchItem, opts BatchOptions) ([]Result, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	group := opts.GroupSize
+	if group < 1 {
+		group = 4
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(items))
+	var firstErr atomic.Value // error
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		if firstErr.CompareAndSwap(nil, err) {
+			cancel()
+		}
+	}
+
+	var next atomic.Int64 // next unclaimed item index, claimed group at a time
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(group))) - group
+				if lo >= len(items) {
+					return
+				}
+				hi := lo + group
+				if hi > len(items) {
+					hi = len(items)
+				}
+				if err := runGroup(ctx, items[lo:hi], results[lo:hi], opts.Quantum); err != nil {
+					fail(err)
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runGroup executes one group of items as an interleaved pipeline.Batch,
+// writing each item's Result into the parallel results slice.
+func runGroup(ctx context.Context, items []BatchItem, results []Result, quantum int) error {
+	cores := make([]*pipeline.Core, len(items))
+	for i, it := range items {
+		if it.Opts.SingleStep {
+			// Single-stepping is the reference semantics for debugging;
+			// it gains nothing from interleaving, so run it directly.
+			r, err := RunContext(ctx, it.Config, it.Trace, it.Opts)
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			continue
+		}
+		popts := pipeline.Options{WritePolicy: it.Opts.WritePolicy, Checker: it.Opts.Checker, LegacySched: it.Opts.LegacySched}
+		if it.Opts.LogRegions {
+			popts.RegionSize = RegionSize
+		}
+		core, err := pipeline.NewCore(it.Config, it.Trace, popts)
+		if err != nil {
+			return err
+		}
+		cores[i] = core
+	}
+
+	// Compact out the nil slots left by single-stepped items.
+	live := make([]*pipeline.Core, 0, len(cores))
+	for _, c := range cores {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	b := pipeline.NewBatch(live)
+	done := ctx.Done()
+	passes := 0
+	for b.Pass(quantum) > 0 {
+		for i, c := range cores {
+			if c == nil || c.Done() {
+				continue
+			}
+			if mc := items[i].Opts.MaxCycles; mc > 0 && c.Cycle() > mc {
+				return fmt.Errorf("sim: %s on %s exceeded %d cycles",
+					items[i].Trace.Name(), items[i].Config.Name, mc)
+			}
+		}
+		if done != nil {
+			if passes++; passes >= batchPollPasses {
+				passes = 0
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+		}
+	}
+	for i, c := range cores {
+		if c == nil {
+			continue
+		}
+		st := c.Stats()
+		results[i] = Result{
+			Benchmark: items[i].Trace.Name(),
+			Core:      items[i].Config.Name,
+			Insts:     st.Retired,
+			Time:      st.FinishTime,
+			Stats:     st,
+			Regions:   c.RegionTimes(),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/workload"
+)
+
+// batchSuite builds a mixed set of independent jobs: different benchmarks,
+// configurations, write policies, and region logging.
+func batchSuite(n int) []BatchItem {
+	var items []BatchItem
+	for _, bench := range []string{"mcf", "gcc", "crafty", "twolf", "vpr", "bzip"} {
+		items = append(items, BatchItem{
+			Config: config.MustPaletteCore(bench),
+			Trace:  workload.MustGenerate(bench, n),
+			Opts:   RunOptions{WritePolicy: cache.WriteThrough},
+		})
+	}
+	items[1].Opts.LogRegions = true
+	items[2].Opts.WritePolicy = cache.WriteBack
+	items[4].Opts.SingleStep = true // exercises the sequential fallback
+	return items
+}
+
+// TestRunBatchMatchesSequential is the batch equivalence regression: every
+// worker count, group size, and quantum must reproduce Run's results
+// bit-identically, because independent cores own all of their state.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	items := batchSuite(6000)
+	want := make([]Result, len(items))
+	for i, it := range items {
+		want[i] = MustRun(it.Config, it.Trace, it.Opts)
+	}
+	cases := []BatchOptions{
+		{},
+		{Workers: 1, GroupSize: 1},
+		{Workers: 2, GroupSize: 2, Quantum: 64},
+		{Workers: 4, GroupSize: 3},
+		{Workers: 16, GroupSize: 1, Quantum: 1},
+	}
+	for _, opts := range cases {
+		got, err := RunBatch(context.Background(), items, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%+v: %d results, want %d", opts, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%+v: item %d (%s on %s) diverged:\n got %+v\nwant %+v",
+					opts, i, items[i].Trace.Name(), items[i].Config.Name, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	got, err := RunBatch(context.Background(), nil, BatchOptions{Workers: 4})
+	if err != nil || got != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestRunBatchMaxCycles(t *testing.T) {
+	items := batchSuite(6000)
+	items[3].Opts.MaxCycles = 50
+	if _, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2}); err == nil {
+		t.Error("cycle bound not enforced")
+	} else if !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("error %v", err)
+	}
+}
+
+func TestRunBatchPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunBatch(ctx, batchSuite(6000), BatchOptions{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunBatchInvalidConfig(t *testing.T) {
+	items := batchSuite(2000)
+	items[0].Config.Width = 0
+	if _, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunBatchLegacySched runs the batch under the legacy heap scheduler:
+// results must match the bitmap scheduler's bit-for-bit (the scheduler
+// equivalence property, exercised here through the batch path).
+func TestRunBatchLegacySched(t *testing.T) {
+	items := batchSuite(6000)
+	want, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		items[i].Opts.LegacySched = true
+	}
+	got, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("item %d: legacy scheduler diverged from bitmap scheduler", i)
+		}
+	}
+}
