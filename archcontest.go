@@ -175,6 +175,20 @@ func RunBatch(ctx context.Context, items []BatchItem, opts BatchOptions) ([]RunR
 	return sim.RunBatch(ctx, items, opts)
 }
 
+// ContestBatchItem is one independent contest of a ContestRunBatch call.
+type ContestBatchItem = contest.BatchItem
+
+// ContestBatchOptions configures ContestRunBatch.
+type ContestBatchOptions = contest.BatchOptions
+
+// ContestRunBatch executes independent contests across worker goroutines,
+// each worker advancing its group of contest systems in a quantum
+// round-robin. Results are returned in item order, bit-identical to
+// per-item ContestRun calls.
+func ContestRunBatch(ctx context.Context, items []ContestBatchItem, opts ContestBatchOptions) ([]ContestResult, error) {
+	return contest.RunBatch(ctx, items, opts)
+}
+
 // ContestRun executes a trace on all the given cores in a contesting
 // (leader-follower) arrangement and reports the system result.
 func ContestRun(cfgs []CoreConfig, tr *Trace, opts ContestOptions) (ContestResult, error) {

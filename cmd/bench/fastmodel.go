@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"archcontest/internal/cmdutil"
+	"archcontest/internal/explore"
+	"archcontest/internal/fastmodel"
+	"archcontest/internal/workload"
+)
+
+// filterLeg is one explore run measured with the fast filter off and on:
+// the detailed-simulation cut the filter buys and whether the walk's
+// output survived it.
+type filterLeg struct {
+	Bench       string  `json:"bench"`
+	Seed        uint64  `json:"seed"`
+	Steps       int     `json:"steps"`
+	Lookahead   int     `json:"lookahead"`
+	DetailedOff int     `json:"detailed_off"`
+	DetailedOn  int     `json:"detailed_on"`
+	Filtered    int     `json:"filtered"`
+	Cut         float64 `json:"cut"`
+	BestIPTOff  float64 `json:"best_ipt_off"`
+	BestIPTOn   float64 `json:"best_ipt_on"`
+	// BestUnchanged reports whether the filtered walk produced the same
+	// best configuration and IPT as the unfiltered walk.
+	BestUnchanged bool `json:"best_unchanged"`
+}
+
+type fastmodelReport struct {
+	Generated string `json:"generated"`
+	Insts     int    `json:"insts"`
+	NumCPU    int    `json:"num_cpu"`
+	// Calibration is the fast-vs-detailed divergence over the full
+	// workload suite and palette at Insts instructions.
+	Calibration fastmodel.Calibration `json:"calibration"`
+	// Filter measures the filter on explore walks.
+	Filter []filterLeg `json:"filter"`
+}
+
+// runFastmodelBench calibrates the fast model against the detailed engine
+// and measures the explore filter's detailed-simulation cut.
+func runFastmodelBench(ctx context.Context, n int, out string) {
+	if n <= 0 {
+		log.Fatalf("-fastmodel.n must be positive, got %d", n)
+	}
+	rep := fastmodelReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Insts:     n,
+		NumCPU:    runtime.NumCPU(),
+	}
+	cal, err := fastmodel.Calibrate(ctx, nil, nil, n)
+	if err != nil {
+		log.Fatalf("fastmodel: calibrate: %v", err)
+	}
+	rep.Calibration = cal
+	fmt.Printf("calibration over %d rows: mean |rel| %.3f, max |rel| %.3f, max spread %.3f, rank agreement %.3f\n",
+		len(cal.Rows), cal.MeanAbsRelError, cal.MaxAbsRelError, cal.MaxSpread, cal.RankAgreement)
+
+	const steps, lookahead = 60, 8
+	for _, bench := range []string{"gcc", "mcf", "twolf"} {
+		for _, seed := range []uint64{1, 7} {
+			p, err := workload.ProfileFor(bench)
+			if err != nil {
+				log.Fatalf("fastmodel: %v", err)
+			}
+			tr, err := workload.Generate(p, n)
+			if err != nil {
+				log.Fatalf("fastmodel: %v", err)
+			}
+			opts := explore.Options{Seed: seed, Steps: steps, Lookahead: lookahead}
+			off, err := explore.Customize(ctx, tr, opts)
+			if err != nil {
+				log.Fatalf("fastmodel: explore %s: %v", bench, err)
+			}
+			opts.FastFilter = true
+			on, err := explore.Customize(ctx, tr, opts)
+			if err != nil {
+				log.Fatalf("fastmodel: explore %s: %v", bench, err)
+			}
+			leg := filterLeg{
+				Bench: bench, Seed: seed, Steps: steps, Lookahead: lookahead,
+				DetailedOff: off.Detailed, DetailedOn: on.Detailed, Filtered: on.Filtered,
+				BestIPTOff: off.BestIPT, BestIPTOn: on.BestIPT,
+				BestUnchanged: on.Best.String() == off.Best.String() && on.BestIPT == off.BestIPT,
+			}
+			if on.Detailed > 0 {
+				leg.Cut = float64(off.Detailed) / float64(on.Detailed)
+			}
+			rep.Filter = append(rep.Filter, leg)
+			fmt.Printf("filter %-7s seed=%d  detailed %4d -> %4d (%.2fx cut, %d filtered), best unchanged: %v\n",
+				bench, seed, leg.DetailedOff, leg.DetailedOn, leg.Cut, leg.Filtered, leg.BestUnchanged)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmdutil.WriteFileAtomic(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}

@@ -78,8 +78,11 @@ type report struct {
 	// Scaling holds the multi-worker throughput series (see -workers).
 	// Interpret it against NumCPU: on a single-CPU runner the series
 	// honestly bounds at ~1.0x no matter how well the engine scales.
-	Scaling  []scalingRow     `json:"scaling,omitempty"`
-	Baseline *baselineCompare `json:"baseline,omitempty"`
+	Scaling []scalingRow `json:"scaling,omitempty"`
+	// ContestScaling is the same series over whole contest systems
+	// (ContestRunBatch, see -contest.workers), with the same NumCPU caveat.
+	ContestScaling []scalingRow     `json:"contest_scaling,omitempty"`
+	Baseline       *baselineCompare `json:"baseline,omitempty"`
 }
 
 // baselineCompare reports the checker-off (event-driven) wall-time ratio of
@@ -152,6 +155,11 @@ func mergeReport(fresh *report, prev report) {
 		fresh.Scaling = prev.Scaling
 	} else {
 		fresh.Scaling = mergeScaling(fresh.Scaling, prev.Scaling)
+	}
+	if len(fresh.ContestScaling) == 0 {
+		fresh.ContestScaling = prev.ContestScaling
+	} else {
+		fresh.ContestScaling = mergeScaling(fresh.ContestScaling, prev.ContestScaling)
 	}
 }
 
@@ -309,8 +317,12 @@ func main() {
 	campaignN := flag.Int("campaign.n", 60_000, "campaign trace length in instructions")
 	campaignOut := flag.String("campaign.o", "BENCH_campaign.json", "campaign output JSON path")
 	campaignWorkers := flag.String("campaign.workers", "", "comma-separated worker counts for the campaign cold-cache scaling series (e.g. \"1,2,4\"); empty skips it")
+	fastmodelBench := flag.Bool("fastmodel", false, "calibrate the fast interval model and measure the explore filter instead of the execution engine")
+	fastmodelN := flag.Int("fastmodel.n", 10_000, "fast-model calibration trace length in instructions")
+	fastmodelOut := flag.String("fastmodel.o", "BENCH_fastmodel.json", "fast-model output JSON path")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (source for cmd/bench/default.pgo)")
 	workers := flag.String("workers", "", "comma-separated worker counts for the multi-core scaling leg (e.g. \"1,2,4\"); empty skips it")
+	contestWorkers := flag.String("contest.workers", "", "comma-separated worker counts for the contest-batch scaling leg (ContestRunBatch); empty skips it")
 	flag.Parse()
 	ctx, stop := cmdutil.SignalContext()
 	defer stop()
@@ -331,6 +343,10 @@ func main() {
 	}
 	if *campaign {
 		runCampaignBench(ctx, *campaignN, *campaignWorkers, *campaignOut)
+		return
+	}
+	if *fastmodelBench {
+		runFastmodelBench(ctx, *fastmodelN, *fastmodelOut)
 		return
 	}
 	if *n <= 0 {
@@ -410,6 +426,13 @@ func main() {
 			log.Fatalf("-workers: %v", err)
 		}
 		rep.Scaling = runScalingLeg(ctx, counts, *n, *repeat)
+	}
+	if *contestWorkers != "" {
+		counts, err := parseWorkerList(*contestWorkers)
+		if err != nil {
+			log.Fatalf("-contest.workers: %v", err)
+		}
+		rep.ContestScaling = runContestScalingLeg(ctx, counts, *n, *repeat)
 	}
 	if *merge {
 		if data, err := os.ReadFile(*out); err == nil {

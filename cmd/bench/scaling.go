@@ -104,6 +104,67 @@ func runScalingLeg(ctx context.Context, workerCounts []int, n, repeat int) []sca
 	return rows
 }
 
+// contestScalingJobs builds the fixed contest job set of the contest
+// scaling leg: two copies of each Table-1 contest scenario. Traces are
+// shared between copies (systems only read them).
+func contestScalingJobs(n int) []archcontest.ContestBatchItem {
+	pairs := [][]string{
+		{"twolf", "vpr"},
+		{"mcf", "gcc"},
+		{"gcc", "mcf", "bzip", "crafty"},
+	}
+	items := make([]archcontest.ContestBatchItem, 0, 2*len(pairs))
+	for _, cores := range pairs {
+		tr := archcontest.MustGenerateTrace(cores[0], n)
+		cfgs := make([]archcontest.CoreConfig, len(cores))
+		for i, c := range cores {
+			cfgs[i] = archcontest.MustPaletteCore(c)
+		}
+		for c := 0; c < 2; c++ {
+			items = append(items, archcontest.ContestBatchItem{Configs: cfgs, Trace: tr})
+		}
+	}
+	return items
+}
+
+// runContestScalingLeg times the fixed contest job set once per worker
+// count under ContestRunBatch, best-of-repeat per row. GroupSize 1
+// isolates multi-core scaling of whole contest systems, symmetric with
+// the single-core scaling leg.
+func runContestScalingLeg(ctx context.Context, workerCounts []int, n, repeat int) []scalingRow {
+	items := contestScalingJobs(n)
+	var total int64
+	for _, it := range items {
+		total += int64(it.Trace.Len())
+	}
+	rows := make([]scalingRow, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		best := math.MaxFloat64
+		for i := 0; i < repeat; i++ {
+			start := time.Now()
+			if _, err := archcontest.ContestRunBatch(ctx, items, archcontest.ContestBatchOptions{Workers: w, GroupSize: 1}); err != nil {
+				log.Fatalf("contest scaling workers=%d: %v", w, err)
+			}
+			if sec := time.Since(start).Seconds(); sec < best {
+				best = sec
+			}
+		}
+		rows = append(rows, scalingRow{
+			Workers:     w,
+			Jobs:        len(items),
+			Insts:       total,
+			WallSeconds: best,
+			MIPS:        float64(total) / best / 1e6,
+		})
+	}
+	fillScaling(rows)
+	for _, r := range rows {
+		fmt.Printf("contest scaling %2d workers  %8.3fs  %8.2f MIPS  %5.2fx\n",
+			r.Workers, r.WallSeconds, r.MIPS, r.Scaling)
+	}
+	return rows
+}
+
 // fillScaling recomputes MIPS and the Scaling column from the walls, using
 // the workers=1 row (or the smallest worker count present) as the unit.
 func fillScaling(rows []scalingRow) {

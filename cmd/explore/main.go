@@ -32,6 +32,8 @@ func main() {
 	chains := flag.Int("chains", 4, "tempering chains")
 	exchange := flag.Int("exchange", 10, "tempering rounds between replica exchanges")
 	par := flag.Int("par", 0, "max concurrent evaluations (0 = NumCPU)")
+	fastFilter := flag.Bool("fast.filter", false, "screen candidates with the fast interval model before detailed simulation")
+	fastMargin := flag.Float64("fast.margin", 0, "fast-filter relative margin (0 = calibrated default)")
 	verbose := flag.Bool("v", false, "log accepted moves")
 	openCache := cmdutil.CacheFlags(nil)
 	obsFlags := cmdutil.ObsFlags(nil)
@@ -61,6 +63,7 @@ func main() {
 		Explore: &spec.ExploreSpec{
 			Mode: *mode, Seed: *seed, Steps: *steps,
 			Lookahead: *lookahead, Chains: *chains, ExchangeEvery: *exchange,
+			FastFilter: *fastFilter, FastMargin: *fastMargin,
 		},
 	}, env, hooks)
 	if err != nil {
@@ -68,6 +71,9 @@ func main() {
 	}
 	res := *out.Explore
 	fmt.Printf("evaluated %d design points (%d speculative evaluations discarded)\n", res.Evaluated, res.Wasted)
+	if *fastFilter {
+		fmt.Printf("detailed simulations %d, fast-filtered %d\n", res.Detailed, res.Filtered)
+	}
 	fmt.Printf("best IPT %.3f\n%v\n", res.BestIPT, res.Best)
 
 	// Compare against the paper's customized core for the benchmark, through
@@ -86,9 +92,11 @@ func main() {
 		if err := obsFlags.WriteMetricsJSON(struct {
 			Evaluated int                 `json:"evaluated"`
 			Wasted    int                 `json:"wasted"`
+			Detailed  int                 `json:"detailed"`
+			Filtered  int                 `json:"filtered"`
 			BestIPT   float64             `json:"best_ipt"`
 			Artifacts obs.CampaignSummary `json:"artifacts"`
-		}{res.Evaluated, res.Wasted, res.BestIPT, env.Artifacts.Summary()}); err != nil {
+		}{res.Evaluated, res.Wasted, res.Detailed, res.Filtered, res.BestIPT, env.Artifacts.Summary()}); err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
 	}

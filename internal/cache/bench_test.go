@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchAddrs builds a deterministic address stream with a mix of spatial
+// reuse (loop over a footprint) and conflict pressure, sized so the small
+// configs miss and the large ones mostly hit — the regimes Access sees in
+// real runs.
+func benchAddrs(n int, footprint uint64) []uint64 {
+	addrs := make([]uint64, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range addrs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		addrs[i] = (x % footprint) &^ 7
+	}
+	return addrs
+}
+
+// BenchmarkCacheAccess gates the Access constant work per associativity:
+// the fused hit-scan/victim-scan must stay allocation-free and get cheaper,
+// not costlier, as micro-changes land.
+func BenchmarkCacheAccess(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"l1-64x2", Config{Sets: 64, Assoc: 2, BlockBytes: 64, LatencyCycles: 2}},
+		{"l1-512x4", Config{Sets: 512, Assoc: 4, BlockBytes: 64, LatencyCycles: 2}},
+		{"l2-1024x8", Config{Sets: 1024, Assoc: 8, BlockBytes: 128, LatencyCycles: 10}},
+		{"dm-256x1", Config{Sets: 256, Assoc: 1, BlockBytes: 64, LatencyCycles: 1}},
+	}
+	addrs := benchAddrs(1<<14, 1<<22)
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			c := New(tc.cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Access(addrs[i&(len(addrs)-1)], i&7 == 0)
+			}
+		})
+	}
+}
+
+// BenchmarkHierarchyLoad times the full two-level load path including the
+// occupancy model — the shape the pipeline's memory instructions pay.
+func BenchmarkHierarchyLoad(b *testing.B) {
+	h, err := NewHierarchy(
+		Config{Sets: 64, Assoc: 2, BlockBytes: 64, LatencyCycles: 2},
+		Config{Sets: 1024, Assoc: 8, BlockBytes: 128, LatencyCycles: 10},
+		200, WriteThrough)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := benchAddrs(1<<14, 1<<22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += int64(h.Load(addrs[i&(len(addrs)-1)], now))
+	}
+	_ = fmt.Sprint(now != 0)
+}

@@ -70,6 +70,7 @@ type Cache struct {
 	setMask    uint64
 	blockShift uint
 	setShift   uint // log2(Sets), for the tag extraction in set()
+	assoc      int  // cfg.Assoc hoisted next to the hot fields
 
 	// Stats accumulates access counts.
 	Stats Stats
@@ -102,6 +103,7 @@ func New(cfg Config) *Cache {
 		lines:   make([]line, n),
 		dirty:   make([]bool, n),
 		setMask: uint64(cfg.Sets - 1),
+		assoc:   cfg.Assoc,
 	}
 	for bs := cfg.BlockBytes; bs > 1; bs >>= 1 {
 		c.blockShift++
@@ -125,7 +127,7 @@ func (c *Cache) Reset() {
 
 func (c *Cache) set(addr uint64) (base int, tag uint64) {
 	block := addr >> c.blockShift
-	return int(block&c.setMask) * c.cfg.Assoc, block >> c.setShift
+	return int(block&c.setMask) * c.assoc, block >> c.setShift
 }
 
 func uintLog2(n int) uint {
@@ -146,7 +148,7 @@ func (c *Cache) touch(base, w int) {
 // LRU update). Used by tests and by the hierarchy's inclusive checks.
 func (c *Cache) Probe(addr uint64) bool {
 	base, tag := c.set(addr)
-	set := c.lines[base : base+c.cfg.Assoc]
+	set := c.lines[base : base+c.assoc]
 	for w := range set {
 		if set[w].stamp != 0 && set[w].tag == tag {
 			return true
@@ -161,29 +163,68 @@ func (c *Cache) Probe(addr uint64) bool {
 // traffic if it models it).
 func (c *Cache) Access(addr uint64, write bool) (hit bool, wroteBack bool) {
 	c.Stats.Accesses++
-	base, tag := c.set(addr)
-	set := c.lines[base : base+c.cfg.Assoc]
-	for w := range set {
-		if set[w].stamp != 0 && set[w].tag == tag {
+	block := addr >> c.blockShift
+	base := int(block&c.setMask) * c.assoc
+	tag := block >> c.setShift
+	set := c.lines[base : base+c.assoc]
+	// One fused pass: probe for the tag and track the LRU victim at the
+	// same time, so a miss pays a single walk over the set instead of a
+	// hit-scan followed by a victim-scan. The hit exits at the first
+	// matching way and the victim keeps the first way with the minimal
+	// stamp — exactly what the two separate loops chose, so replacement
+	// decisions (and therefore every downstream number) are unchanged. An
+	// invalid way has stamp 0 and therefore always wins the victim race.
+	if len(set) == 2 {
+		// Unrolled two-way probe: the palette's hottest L1 shape.
+		l0, l1 := &set[0], &set[1]
+		if l0.stamp != 0 && l0.tag == tag {
 			c.tick++
-			set[w].stamp = c.tick
+			l0.stamp = c.tick
+			if write {
+				c.dirty[base] = true
+			}
+			return true, false
+		}
+		if l1.stamp != 0 && l1.tag == tag {
+			c.tick++
+			l1.stamp = c.tick
+			if write {
+				c.dirty[base+1] = true
+			}
+			return true, false
+		}
+		victim := 0
+		if l1.stamp < l0.stamp {
+			victim = 1
+		}
+		c.Stats.Misses++
+		if set[victim].stamp != 0 && c.dirty[base+victim] {
+			wroteBack = true
+			c.Stats.Writebacks++
+		}
+		c.tick++
+		set[victim] = line{tag: tag, stamp: c.tick}
+		c.dirty[base+victim] = write
+		return false, wroteBack
+	}
+	victim, best := 0, ^uint64(0)
+	for w := range set {
+		l := &set[w]
+		s := l.stamp
+		if s != 0 && l.tag == tag {
+			c.tick++
+			l.stamp = c.tick
 			if write {
 				c.dirty[base+w] = true
 			}
 			return true, false
 		}
-	}
-	c.Stats.Misses++
-	// Choose the least-recently-used way; an invalid way has stamp 0 and
-	// therefore always wins.
-	victim := 0
-	best := ^uint64(0)
-	for w := range set {
-		if set[w].stamp < best {
-			best = set[w].stamp
+		if s < best {
+			best = s
 			victim = w
 		}
 	}
+	c.Stats.Misses++
 	if best != 0 && c.dirty[base+victim] {
 		wroteBack = true
 		c.Stats.Writebacks++

@@ -75,11 +75,11 @@ func writeAtomic(path string, perm fs.FileMode, write func(*os.File) error) erro
 	return os.Rename(tmp, path)
 }
 
-// CacheFlags registers -cache.dir and -cache.off on fs (flag.CommandLine
-// when nil) and returns an opener to call after parsing. The opener returns
-// nil (caching disabled) when -cache.off is set or the directory cannot be
-// created; a nil *resultcache.Cache is a valid always-miss cache, so
-// callers pass it through unconditionally.
+// CacheFlags registers -cache.dir, -cache.off and -cache.mem on fs
+// (flag.CommandLine when nil) and returns an opener to call after parsing.
+// The opener returns nil (caching disabled) when -cache.off is set or the
+// directory cannot be created; a nil *resultcache.Cache is a valid
+// always-miss cache, so callers pass it through unconditionally.
 //
 // Taking the FlagSet explicitly is what makes the function reusable: the
 // old form registered on the global default set, so a second call — two
@@ -91,11 +91,12 @@ func CacheFlags(fs *flag.FlagSet) func() *resultcache.Cache {
 	}
 	dir := fs.String("cache.dir", resultcache.DefaultDir, "persistent result cache directory")
 	off := fs.Bool("cache.off", false, "disable the persistent result cache")
+	mem := fs.Int("cache.mem", 0, "in-memory cache tier size in entries (0 = default); campaign-scale runs touch more design points than the default LRU holds")
 	return func() *resultcache.Cache {
 		if *off {
 			return nil
 		}
-		c, err := resultcache.Open(*dir, resultcache.Options{})
+		c, err := resultcache.Open(*dir, resultcache.Options{MemEntries: *mem})
 		if err != nil {
 			log.Printf("result cache disabled: %v", err)
 			return nil

@@ -53,6 +53,34 @@ func TestCacheFlagsOpener(t *testing.T) {
 	}
 }
 
+// -cache.mem must reach the opened cache's in-memory LRU tier: with the
+// tier capped at one entry, looking two stored entries back up cannot be
+// served from memory alone.
+func TestCacheFlagsMemEntries(t *testing.T) {
+	fs := flag.NewFlagSet("driver", flag.ContinueOnError)
+	open := CacheFlags(fs)
+	if err := fs.Parse([]string{"-cache.dir", t.TempDir(), "-cache.mem", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	c := open()
+	if c == nil {
+		t.Fatal("opener returned nil")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	var v int
+	if !c.Get("a", &v) || !c.Get("b", &v) {
+		t.Fatal("stored entries not found")
+	}
+	st := c.Stats()
+	if st.Hits != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MemHits >= 2 {
+		t.Errorf("both hits served from a 1-entry memory tier: %+v", st)
+	}
+}
+
 // CacheFlags(nil) must fall back to the global default FlagSet — the
 // behaviour every cmd/ driver relies on. Registered at most once per
 // process, so this is the only test touching flag.CommandLine.

@@ -1,0 +1,181 @@
+package contest
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"archcontest/internal/config"
+	"archcontest/internal/pipeline"
+	"archcontest/internal/trace"
+)
+
+// BatchItem is one independent contest of a batch run.
+type BatchItem struct {
+	Configs []config.CoreConfig
+	Trace   *trace.Trace
+	Opts    Options
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers is the number of goroutines executing contests (0 or 1 means
+	// one worker).
+	Workers int
+	// GroupSize is how many contest systems one worker interleaves in a
+	// quantum round-robin (0 means 2; a contest system already holds
+	// several cores, so groups stay smaller than the single-core batch
+	// default). Grouping bounds a worker's working set while amortizing
+	// claim overhead across jobs.
+	GroupSize int
+	// Quantum is how many scheduler iterations each live system advances
+	// per round-robin pass (0 means pipeline.DefaultQuantum).
+	Quantum int
+}
+
+// batchPollPasses matches sim.batchPollPasses: round-robin passes between
+// context polls. One pass bounds cancellation latency to a quantum of
+// scheduler iterations per live system.
+const batchPollPasses = 1
+
+// RunBatch executes a set of independent contests and returns their results
+// in item order, each bit-identical to what RunContext would return for the
+// same item (asserted by the contest batch equivalence suite). Workers
+// split the items into groups; each group's systems advance in a quantum
+// round-robin, so a worker's instruction-window and sender-ring working set
+// cycles through a bounded set of systems instead of thrashing one giant
+// one. All cross-core state — sender rings, the GRB broadcast bounds, the
+// store queue, the exception rendezvous — is owned by its System, so any
+// interleaving of whole systems preserves per-system determinism.
+//
+// The first contest error (including a MaxTimeNs overrun) cancels the
+// remaining work and is returned; ctx cancellation is honored between
+// passes.
+func RunBatch(ctx context.Context, items []BatchItem, opts BatchOptions) ([]Result, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	group := opts.GroupSize
+	if group < 1 {
+		group = 2
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(items))
+	var firstErr atomic.Value // error
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		if firstErr.CompareAndSwap(nil, err) {
+			cancel()
+		}
+	}
+
+	var next atomic.Int64 // next unclaimed item index, claimed group at a time
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(group))) - group
+				if lo >= len(items) {
+					return
+				}
+				hi := lo + group
+				if hi > len(items) {
+					hi = len(items)
+				}
+				if err := runContestGroup(ctx, items[lo:hi], results[lo:hi], opts.Quantum); err != nil {
+					fail(err)
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runContestGroup executes one group of contests as interleaved runners,
+// writing each item's Result into the parallel results slice.
+func runContestGroup(ctx context.Context, items []BatchItem, results []Result, quantum int) error {
+	if quantum < 1 {
+		quantum = pipeline.DefaultQuantum
+	}
+	type slot struct {
+		sys *System
+		run *runner
+	}
+	slots := make([]slot, 0, len(items))
+	idx := make([]int, 0, len(items)) // item index of each slot
+	for i, it := range items {
+		if it.Opts.SingleStep {
+			// Single-stepping is the reference semantics for debugging; it
+			// gains nothing from interleaving, so run it directly.
+			r, err := RunContext(ctx, it.Configs, it.Trace, it.Opts)
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			continue
+		}
+		s, err := NewSystem(it.Configs, it.Trace, it.Opts)
+		if err != nil {
+			return err
+		}
+		slots = append(slots, slot{sys: s, run: s.newRunner()})
+		idx = append(idx, i)
+	}
+
+	done := ctx.Done()
+	live := len(slots)
+	passes := 0
+	for live > 0 {
+		for j := range slots {
+			sl := &slots[j]
+			if sl.run == nil {
+				continue
+			}
+			fin, err := sl.run.advance(quantum)
+			if err != nil {
+				return err
+			}
+			if fin {
+				results[idx[j]] = sl.sys.result(sl.run.winner)
+				sl.run = nil
+				live--
+			}
+		}
+		if done != nil {
+			if passes++; passes >= batchPollPasses {
+				passes = 0
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+		}
+	}
+	return nil
+}

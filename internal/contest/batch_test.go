@@ -1,0 +1,151 @@
+package contest
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"archcontest/internal/config"
+	"archcontest/internal/workload"
+)
+
+// contestBatchSuite builds a mixed set of independent contests: different
+// benchmarks, core counts, latencies, exception regimes, a saturating
+// lagger, and one single-step item exercising the sequential fallback.
+func contestBatchSuite(n int) []BatchItem {
+	return []BatchItem{
+		{
+			Configs: []config.CoreConfig{fastCore("a"), slowBigCore("b")},
+			Trace:   workload.MustGenerate("gcc", n),
+		},
+		{
+			Configs: []config.CoreConfig{fastCore("a"), slowBigCore("b")},
+			Trace:   workload.MustGenerate("twolf", n),
+			Opts:    Options{LatencyNs: 4},
+		},
+		{
+			Configs: []config.CoreConfig{fastCore("a"), slowBigCore("b"), tinyCore("c")},
+			Trace:   workload.MustGenerate("mcf", n),
+		},
+		{
+			Configs: []config.CoreConfig{fastCore("a"), slowBigCore("b")},
+			Trace:   workload.MustGenerate("crafty", n),
+			Opts:    Options{ExceptionEvery: int64(n / 5)},
+		},
+		{
+			// A tiny core behind a short ring saturates: the lagger path.
+			Configs: []config.CoreConfig{fastCore("a"), tinyCore("t")},
+			Trace:   workload.MustGenerate("crafty", n),
+			Opts:    Options{MaxLag: 4},
+		},
+		{
+			Configs: []config.CoreConfig{fastCore("a"), slowBigCore("b")},
+			Trace:   workload.MustGenerate("vpr", n),
+			Opts:    Options{SingleStep: true},
+		},
+		{
+			Configs: []config.CoreConfig{fastCore("a"), slowBigCore("b")},
+			Trace:   workload.MustGenerate("bzip", n),
+			Opts:    Options{ExceptionEvery: int64(n / 4), ExceptionKillRefork: true},
+		},
+	}
+}
+
+// TestRunBatchMatchesSequential is the contest batch equivalence
+// regression: every worker count, group size, and quantum must reproduce
+// RunContext's results bit-identically, because each contest system owns
+// all of its cross-core state (sender rings, GRB bounds, store queue,
+// rendezvous).
+func TestRunBatchMatchesSequential(t *testing.T) {
+	items := contestBatchSuite(8000)
+	want := make([]Result, len(items))
+	for i, it := range items {
+		r, err := RunContext(context.Background(), it.Configs, it.Trace, it.Opts)
+		if err != nil {
+			t.Fatalf("sequential item %d: %v", i, err)
+		}
+		want[i] = r
+	}
+	cases := []BatchOptions{
+		{},
+		{Workers: 1, GroupSize: 1},
+		{Workers: 2, GroupSize: 2, Quantum: 64},
+		{Workers: 4, GroupSize: 3},
+		{Workers: 16, GroupSize: 1, Quantum: 1},
+		{Workers: 2, GroupSize: 7, Quantum: 100000},
+	}
+	for _, opts := range cases {
+		got, err := RunBatch(context.Background(), items, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%+v: %d results, want %d", opts, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%+v: item %d (%s) diverged:\n got %+v\nwant %+v",
+					opts, i, items[i].Trace.Name(), got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	got, err := RunBatch(context.Background(), nil, BatchOptions{Workers: 4})
+	if err != nil || got != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestRunBatchMaxTime(t *testing.T) {
+	items := contestBatchSuite(8000)
+	items[2].Opts.MaxTimeNs = 1
+	if _, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2}); err == nil {
+		t.Error("time bound not enforced")
+	} else if !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("error %v", err)
+	}
+}
+
+func TestRunBatchPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunBatch(ctx, contestBatchSuite(8000), BatchOptions{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunBatchInvalidConfig(t *testing.T) {
+	items := contestBatchSuite(2000)
+	items[0].Configs = items[0].Configs[:1] // below the two-core minimum
+	if _, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2}); err == nil {
+		t.Error("invalid contest accepted")
+	}
+}
+
+// TestRunBatchLegacySched interleaves systems running under the legacy
+// single-step-compatible heap scheduler path: LegacySched systems still go
+// through the event-driven runner (LegacySched switches the per-core IQ
+// scheduler, not the contest loop), and must match the default bit-for-bit.
+func TestRunBatchLegacySched(t *testing.T) {
+	items := contestBatchSuite(8000)
+	want, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		items[i].Opts.LegacySched = true
+	}
+	got, err := RunBatch(context.Background(), items, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("item %d: legacy scheduler diverged in batch", i)
+		}
+	}
+}

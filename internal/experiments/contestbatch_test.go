@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"archcontest/internal/config"
+	"archcontest/internal/contest"
+	"archcontest/internal/resultcache"
+)
+
+// contestList builds a small candidate list with a duplicate entry.
+func contestList(l *Lab) [][]config.CoreConfig {
+	cores := l.Cores()
+	return [][]config.CoreConfig{
+		{cores[0], cores[1]},
+		{cores[2], cores[3]},
+		{cores[0], cores[1]}, // duplicate of the first
+		{cores[1], cores[4]},
+		{cores[5], cores[0]},
+	}
+}
+
+// TestContestsConfigsBatchEquivalence: the batched contest leaf path must
+// be bit-identical to per-leaf execution for every batch width, and
+// duplicate configurations must be computed once.
+func TestContestsConfigsBatchEquivalence(t *testing.T) {
+	ctx := context.Background()
+	base := NewLab(Config{N: 8_000, ContestBatch: 1})
+	list := contestList(base)
+	want, err := base.ContestsConfigs(ctx, "gcc", list, contest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.CampaignStats().Contests; got != 4 {
+		t.Errorf("unbatched path executed %d contests, want 4 (duplicate shared)", got)
+	}
+	for _, batch := range []int{0, 2, 3, 16} {
+		l := NewLab(Config{N: 8_000, ContestBatch: batch, Parallelism: 2})
+		got, err := l.ContestsConfigs(ctx, "gcc", contestList(l), contest.Options{})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batch=%d: results diverged from per-leaf execution", batch)
+		}
+		if c := l.CampaignStats().Contests; c != 4 {
+			t.Errorf("batch=%d: executed %d contests, want 4", batch, c)
+		}
+	}
+}
+
+// The batched path must serve the result cache and the singleflight memo:
+// a warm second call executes nothing, and a later per-leaf Contest of the
+// same key gets the memoized value.
+func TestContestsConfigsBatchCacheAndMemo(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cache, err := resultcache.Open(dir, resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLab(Config{N: 8_000, Cache: cache})
+	list := contestList(l)
+	first, err := l.ContestsConfigs(ctx, "gcc", list, contest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := l.CampaignStats().Contests; c != 4 {
+		t.Fatalf("cold call executed %d contests, want 4", c)
+	}
+
+	// A per-leaf Contest of a batched key must hit the singleflight memo.
+	r, err := l.ContestConfigs(ctx, "gcc", list[0], contest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, first[0]) {
+		t.Error("per-leaf Contest diverged from batched result")
+	}
+	if c := l.CampaignStats().Contests; c != 4 {
+		t.Errorf("memoized per-leaf Contest re-executed (contests=%d)", c)
+	}
+
+	// A fresh Lab over the same cache dir must serve everything warm.
+	warm := NewLab(Config{N: 8_000, Cache: cache})
+	second, err := warm.ContestsConfigs(ctx, "gcc", contestList(warm), contest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, first) {
+		t.Error("warm results diverged")
+	}
+	st := warm.CampaignStats()
+	if st.Contests != 0 || st.CacheHits != 4 {
+		t.Errorf("warm call: contests=%d cache hits=%d, want 0 executed / 4 hits", st.Contests, st.CacheHits)
+	}
+}
+
+// BestPair through the batched candidate fan-out must match the per-leaf
+// path bit-for-bit (the batch is pure plumbing).
+func TestBestPairBatchedMatchesPerLeaf(t *testing.T) {
+	ctx := context.Background()
+	perLeaf := NewLab(Config{N: 10_000, CandidatePairs: 3, ContestBatch: 1})
+	want, err := perLeaf.BestPair(ctx, "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := NewLab(Config{N: 10_000, CandidatePairs: 3, ContestBatch: 4, Parallelism: 2})
+	got, err := batched.BestPair(ctx, "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched BestPair diverged:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"archcontest/internal/config"
+	"archcontest/internal/fastmodel"
 	"archcontest/internal/obs"
 	"archcontest/internal/resultcache"
 	"archcontest/internal/sim"
@@ -77,7 +78,40 @@ type Options struct {
 	Log *obs.ArtifactLog
 	// Progress, if non-nil, observes every accepted move.
 	Progress func(step int, cfg config.CoreConfig, ipt float64)
+	// FastFilter enables the fast-model first pass: every proposed
+	// candidate is appraised by the interval model (internal/fastmodel)
+	// before any detailed simulation, and the appraisal is spent two ways.
+	// A candidate whose fast estimate sits below the incumbent's by more
+	// than FastMargin plus the Metropolis acceptance range at the current
+	// temperature is rejected without a detailed run — the filter consumes
+	// the same acceptance draw the detailed walk would have consumed on
+	// its near-certain rejection, so the surviving trajectory stays
+	// stream-aligned with the unfiltered walk. And within a lookahead
+	// window, speculation past the first candidate the fast model predicts
+	// accepted is deferred: those candidates are usually discarded by the
+	// acceptance anyway, and the rare survivor is evaluated on demand,
+	// which never changes a decision. Comparing fast estimates on both
+	// sides cancels the model's systematic bias; the walk diverges from
+	// the unfiltered one only when the fast model rules out a candidate
+	// the detailed engine would have accepted. With the filter off the
+	// run is bit-identical to prior behavior.
+	FastFilter bool
+	// FastMargin is the relative headroom the filter grants a candidate
+	// before ruling it out (default DefaultFastMargin, sized from the
+	// calibration harness's neighbor-config divergence).
+	FastMargin float64
 }
+
+// DefaultFastMargin is the filter's default relative margin. The
+// calibration harness (fastmodel.Calibrate) shows the model's error is
+// strongly correlated between configurations that differ on one menu
+// axis — the only comparisons the annealer's filter makes — so the
+// margin covers the residual neighbor-to-neighbor misranking, not the
+// full cross-palette spread. At 0.10 the filter's rejections agree with
+// the detailed walk on every probed (benchmark, seed) scenario, keeping
+// the filtered walk's output identical; tighter margins cut deeper but
+// begin to rule out candidates the detailed engine would have accepted.
+const DefaultFastMargin = 0.10
 
 func (o *Options) applyDefaults() {
 	if o.Steps == 0 {
@@ -95,6 +129,9 @@ func (o *Options) applyDefaults() {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
 	}
+	if o.FastMargin <= 0 {
+		o.FastMargin = DefaultFastMargin
+	}
 }
 
 // Result is the outcome of an exploration.
@@ -108,9 +145,18 @@ type Result struct {
 	// Lookahead, like the rest of the Result.
 	Evaluated int
 	// Wasted counts speculative evaluations that were discarded because an
-	// earlier candidate in their batch was accepted. Always zero for
-	// Lookahead <= 1; the only Result field that varies with Lookahead.
+	// earlier candidate in their batch was accepted. With the fast filter
+	// off it is always zero for Lookahead <= 1 and the only Result field
+	// that varies with Lookahead.
 	Wasted int
+	// Detailed counts detailed design-point simulations performed (cache
+	// hits included): the initial point plus every candidate that reached
+	// the detailed tier, consumed, deferred-then-consumed, or speculative.
+	// This is the figure the fast filter exists to cut.
+	Detailed int
+	// Filtered counts candidates the fast-model filter rejected without a
+	// detailed evaluation. Always zero unless Options.FastFilter.
+	Filtered int
 }
 
 // state is a point in the free-parameter space.
@@ -249,6 +295,21 @@ func (e *evaluator) eval(ctx context.Context, s state) (config.CoreConfig, float
 	return cfg, res.IPT(), nil
 }
 
+// fastIPTOf appraises the state with the fast model, reporting false when
+// the state cannot be derived or estimated (the detailed tier then decides
+// its fate, exactly as it would without a filter).
+func fastIPTOf(fm *fastmodel.Model, name string, s state) (float64, bool) {
+	cfg, err := config.Derive(s.params(name))
+	if err != nil {
+		return 0, false
+	}
+	est, err := fm.Estimate(cfg)
+	if err != nil {
+		return 0, false
+	}
+	return est.IPT, true
+}
+
 // forEach runs fn(i) for i in [0, n) on at most par concurrent goroutines.
 func forEach(par, n int, fn func(i int)) {
 	if n <= 0 {
@@ -312,7 +373,16 @@ func Customize(ctx context.Context, tr *trace.Trace, opts Options) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Best: curCfg, BestIPT: curIPT, Evaluated: 1}
+	res := Result{Best: curCfg, BestIPT: curIPT, Evaluated: 1, Detailed: 1}
+
+	var fm *fastmodel.Model
+	var curFast float64
+	if opts.FastFilter {
+		fm = fastmodel.New(tr)
+		if f, ok := fastIPTOf(fm, ev.name, cur); ok {
+			curFast = f
+		}
+	}
 
 	cool := math.Pow(opts.EndTemp/opts.StartTemp, 1/math.Max(1, float64(opts.Steps-1)))
 	temp := opts.StartTemp
@@ -322,6 +392,9 @@ func Customize(ctx context.Context, tr *trace.Trace, opts Options) (Result, erro
 		rngAfter xrand.RNG // proposal-stream state after drawing st
 		cfg      config.CoreConfig
 		ipt      float64
+		fast     float64
+		filtered bool // fast model ruled it out; no detailed run
+		deferred bool // speculation gated; evaluated on demand if reached
 		err      error
 	}
 	for step := 0; step < opts.Steps; {
@@ -341,8 +414,52 @@ func Customize(ctx context.Context, tr *trace.Trace, opts Options) (Result, erro
 			cands[j].st = neighbor(cur, &scratch)
 			cands[j].rngAfter = scratch
 		}
+		// Fast-model first pass. A candidate whose fast estimate sits
+		// below the incumbent's by more than the margin plus the current
+		// Metropolis acceptance range is rejected without a detailed
+		// simulation (the temperature term tracks the cooling within the
+		// window, matching the temperature each candidate would face).
+		// And once some earlier surviving candidate is fast-predicted
+		// accepted, the rest of the window's speculation is deferred: an
+		// acceptance there discards the later candidates anyway, so
+		// evaluating them up front is the waste the lookahead trades for
+		// parallelism — a deferred candidate the walk does reach is
+		// evaluated on demand in the consume loop, at the same point in
+		// the decision sequence, so deferral never changes the trajectory.
+		if fm != nil {
+			tj := temp
+			gate := false
+			for j := range cands {
+				c := &cands[j]
+				if f, ok := fastIPTOf(fm, ev.name, c.st); ok {
+					c.fast = f
+					if curFast > 0 {
+						switch {
+						case f < curFast*(1-(opts.FastMargin+tj)):
+							c.filtered = true
+						case gate:
+							c.deferred = true
+						}
+						if !c.filtered && f >= curFast {
+							gate = true
+						}
+					}
+				} else if gate {
+					c.deferred = true
+				}
+				tj *= cool
+			}
+		}
+		for j := range cands {
+			if !cands[j].filtered && !cands[j].deferred {
+				res.Detailed++
+			}
+		}
 		forEach(opts.Parallelism, k, func(j int) {
 			c := &cands[j]
+			if c.filtered || c.deferred {
+				return
+			}
 			c.cfg, c.ipt, c.err = ev.eval(ctx, c.st)
 		})
 		// Consume in sequence order; stop the window at the first
@@ -353,15 +470,31 @@ func Customize(ctx context.Context, tr *trace.Trace, opts Options) (Result, erro
 			c := &cands[j]
 			consumed++
 			accepted := false
-			if c.err == nil {
-				res.Evaluated++
-				rel := (c.ipt - curIPT) / curIPT
-				accepted = rel >= 0 || rAcc.Bool(math.Exp(rel/temp))
+			if c.filtered {
+				// The detailed walk would have computed a deeply negative
+				// rel here and spent one acceptance draw on a near-certain
+				// rejection; consume the same draw so the surviving
+				// trajectory stays stream-aligned with the unfiltered walk.
+				rAcc.Float64()
+				res.Filtered++
+			} else {
+				if c.deferred {
+					res.Detailed++
+					c.cfg, c.ipt, c.err = ev.eval(ctx, c.st)
+				}
+				if c.err == nil {
+					res.Evaluated++
+					rel := (c.ipt - curIPT) / curIPT
+					accepted = rel >= 0 || rAcc.Bool(math.Exp(rel/temp))
+				}
 			}
 			temp *= cool
 			step++
 			if accepted {
 				cur, curIPT = c.st, c.ipt
+				if fm != nil {
+					curFast = c.fast
+				}
 				if opts.Progress != nil {
 					opts.Progress(step-1, c.cfg, c.ipt)
 				}
@@ -372,7 +505,12 @@ func Customize(ctx context.Context, tr *trace.Trace, opts Options) (Result, erro
 			}
 		}
 		*rProp = cands[consumed-1].rngAfter
-		res.Wasted += k - consumed
+		for j := consumed; j < k; j++ {
+			c := &cands[j]
+			if !c.filtered && !c.deferred {
+				res.Wasted++
+			}
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err

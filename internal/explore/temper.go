@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"archcontest/internal/config"
+	"archcontest/internal/fastmodel"
 	"archcontest/internal/obs"
 	"archcontest/internal/resultcache"
 	"archcontest/internal/trace"
@@ -41,6 +42,16 @@ type TemperingOptions struct {
 	Log *obs.ArtifactLog
 	// Progress, if non-nil, observes every accepted move on any chain.
 	Progress func(chain, step int, cfg config.CoreConfig, ipt float64)
+	// FastFilter and FastMargin enable the fast-model first pass, exactly
+	// as in Options: a chain's candidate is rejected without a detailed
+	// simulation when its fast estimate sits below the chain incumbent's
+	// by more than the margin plus the chain temperature's acceptance
+	// range, and the filter consumes the acceptance draw the detailed
+	// walk would have spent on the near-certain rejection, keeping the
+	// chain stream-aligned with the unfiltered run. Off, the run is
+	// bit-identical to prior behavior.
+	FastFilter bool
+	FastMargin float64
 }
 
 func (o *TemperingOptions) applyDefaults() {
@@ -61,6 +72,9 @@ func (o *TemperingOptions) applyDefaults() {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = 0 // resolved by forEach callers below
+	}
+	if o.FastMargin <= 0 {
+		o.FastMargin = DefaultFastMargin
 	}
 }
 
@@ -110,16 +124,29 @@ func Temper(ctx context.Context, tr *trace.Trace, opts TemperingOptions) (Result
 	for i := range curs {
 		curs[i], ipts[i] = start, startIPT
 	}
-	res := Result{Best: startCfg, BestIPT: startIPT, Evaluated: 1}
+	res := Result{Best: startCfg, BestIPT: startIPT, Evaluated: 1, Detailed: 1}
+
+	var fm *fastmodel.Model
+	fasts := make([]float64, m)
+	if opts.FastFilter {
+		fm = fastmodel.New(tr)
+		if f, ok := fastIPTOf(fm, ev.name, start); ok {
+			for i := range fasts {
+				fasts[i] = f
+			}
+		}
+	}
 	// scale normalizes objective differences in the exchange criterion so
 	// the ladder units match the annealer's relative-temperature units.
 	scale := startIPT
 
 	type candidate struct {
-		st  state
-		cfg config.CoreConfig
-		ipt float64
-		err error
+		st       state
+		cfg      config.CoreConfig
+		ipt      float64
+		fast     float64
+		filtered bool
+		err      error
 	}
 	par := opts.Parallelism
 	for round := 0; round < opts.Steps; round++ {
@@ -130,12 +157,38 @@ func Temper(ctx context.Context, tr *trace.Trace, opts TemperingOptions) (Result
 		for i := range cands {
 			cands[i].st = neighbor(curs[i], props[i])
 		}
+		if fm != nil {
+			for i := range cands {
+				c := &cands[i]
+				if f, ok := fastIPTOf(fm, ev.name, c.st); ok {
+					c.fast = f
+					if fasts[i] > 0 && f < fasts[i]*(1-(opts.FastMargin+temps[i])) {
+						c.filtered = true
+					}
+				}
+			}
+		}
+		for i := range cands {
+			if !cands[i].filtered {
+				res.Detailed++
+			}
+		}
 		forEach(par, m, func(i int) {
 			c := &cands[i]
+			if c.filtered {
+				return
+			}
 			c.cfg, c.ipt, c.err = ev.eval(ctx, c.st)
 		})
 		for i := 0; i < m; i++ {
 			c := &cands[i]
+			if c.filtered {
+				// Consume the draw the unfiltered chain would have spent
+				// rejecting this candidate, to stay stream-aligned.
+				accs[i].Float64()
+				res.Filtered++
+				continue
+			}
 			if c.err != nil {
 				continue
 			}
@@ -143,6 +196,9 @@ func Temper(ctx context.Context, tr *trace.Trace, opts TemperingOptions) (Result
 			rel := (c.ipt - ipts[i]) / ipts[i]
 			if rel >= 0 || accs[i].Bool(math.Exp(rel/temps[i])) {
 				curs[i], ipts[i] = c.st, c.ipt
+				if fm != nil {
+					fasts[i] = c.fast
+				}
 				if opts.Progress != nil {
 					opts.Progress(i, round, c.cfg, c.ipt)
 				}
@@ -162,6 +218,7 @@ func Temper(ctx context.Context, tr *trace.Trace, opts TemperingOptions) (Result
 				if p >= 1 || rExch.Bool(p) {
 					curs[i], curs[i+1] = curs[i+1], curs[i]
 					ipts[i], ipts[i+1] = ipts[i+1], ipts[i]
+					fasts[i], fasts[i+1] = fasts[i+1], fasts[i]
 				}
 			}
 		}

@@ -1,0 +1,138 @@
+package fastmodel
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"archcontest/internal/config"
+	"archcontest/internal/sim"
+	"archcontest/internal/workload"
+)
+
+// CalRow is one (benchmark, core) calibration point: the fast model's
+// estimate against the detailed engine's measurement.
+type CalRow struct {
+	Bench       string  `json:"bench"`
+	Core        string  `json:"core"`
+	FastIPT     float64 `json:"fast_ipt"`
+	DetailedIPT float64 `json:"detailed_ipt"`
+	// RelError is (fast - detailed) / detailed: positive when the fast
+	// model is optimistic.
+	RelError float64 `json:"rel_error"`
+}
+
+// BenchSpread summarizes a benchmark's calibration rows. Spread — the
+// range of RelError across cores of one benchmark — is the figure the
+// explore filter cares about: a systematic bias shared by every core
+// cancels out of the fast model's candidate-vs-incumbent comparison,
+// while the spread is the part that can misrank two design points.
+type BenchSpread struct {
+	Bench  string  `json:"bench"`
+	MinRel float64 `json:"min_rel_error"`
+	MaxRel float64 `json:"max_rel_error"`
+	Spread float64 `json:"spread"`
+}
+
+// Calibration is the harness output: per-scenario divergence between the
+// fast model and the detailed engine.
+type Calibration struct {
+	Insts int      `json:"insts"`
+	Rows  []CalRow `json:"rows"`
+	// MeanAbsRelError and MaxAbsRelError aggregate |RelError| over rows.
+	MeanAbsRelError float64 `json:"mean_abs_rel_error"`
+	MaxAbsRelError  float64 `json:"max_abs_rel_error"`
+	// MaxSpread is the largest per-benchmark RelError spread.
+	MaxSpread float64       `json:"max_spread"`
+	Spreads   []BenchSpread `json:"spreads"`
+	// RankAgreement is the fraction of same-benchmark core pairs the fast
+	// model orders the same way the detailed engine does — the quantity a
+	// first-pass filter actually depends on.
+	RankAgreement float64 `json:"rank_agreement"`
+}
+
+// Calibrate measures the fast model against the detailed engine on every
+// (bench, core) pair at n instructions. Both tiers see the identical
+// generated trace. The run is deterministic: same inputs, same output.
+func Calibrate(ctx context.Context, benches []string, cores []config.CoreConfig, n int) (Calibration, error) {
+	if len(benches) == 0 {
+		benches = workload.Benchmarks()
+	}
+	if len(cores) == 0 {
+		for _, name := range config.PaletteNames() {
+			c, err := config.PaletteCore(name)
+			if err != nil {
+				return Calibration{}, err
+			}
+			cores = append(cores, c)
+		}
+	}
+	cal := Calibration{Insts: n}
+	var sumAbs float64
+	var pairs, agree int
+	for _, bench := range benches {
+		if err := ctx.Err(); err != nil {
+			return Calibration{}, err
+		}
+		p, err := workload.ProfileFor(bench)
+		if err != nil {
+			return Calibration{}, err
+		}
+		tr, err := workload.Generate(p, n)
+		if err != nil {
+			return Calibration{}, err
+		}
+		m := New(tr)
+		rows := make([]CalRow, 0, len(cores))
+		for _, cfg := range cores {
+			est, err := m.Estimate(cfg)
+			if err != nil {
+				return Calibration{}, err
+			}
+			det, err := sim.RunContext(ctx, cfg, tr, sim.RunOptions{})
+			if err != nil {
+				return Calibration{}, err
+			}
+			detIPT := det.IPT()
+			if detIPT == 0 {
+				return Calibration{}, fmt.Errorf("fastmodel: zero detailed IPT for %s on %s", bench, cfg.Name)
+			}
+			rows = append(rows, CalRow{
+				Bench:       bench,
+				Core:        cfg.Name,
+				FastIPT:     est.IPT,
+				DetailedIPT: detIPT,
+				RelError:    (est.IPT - detIPT) / detIPT,
+			})
+		}
+		sp := BenchSpread{Bench: bench, MinRel: math.Inf(1), MaxRel: math.Inf(-1)}
+		for _, r := range rows {
+			abs := math.Abs(r.RelError)
+			sumAbs += abs
+			if abs > cal.MaxAbsRelError {
+				cal.MaxAbsRelError = abs
+			}
+			sp.MinRel = math.Min(sp.MinRel, r.RelError)
+			sp.MaxRel = math.Max(sp.MaxRel, r.RelError)
+		}
+		sp.Spread = sp.MaxRel - sp.MinRel
+		cal.MaxSpread = math.Max(cal.MaxSpread, sp.Spread)
+		cal.Spreads = append(cal.Spreads, sp)
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				pairs++
+				if (rows[i].FastIPT > rows[j].FastIPT) == (rows[i].DetailedIPT > rows[j].DetailedIPT) {
+					agree++
+				}
+			}
+		}
+		cal.Rows = append(cal.Rows, rows...)
+	}
+	if len(cal.Rows) > 0 {
+		cal.MeanAbsRelError = sumAbs / float64(len(cal.Rows))
+	}
+	if pairs > 0 {
+		cal.RankAgreement = float64(agree) / float64(pairs)
+	}
+	return cal, nil
+}

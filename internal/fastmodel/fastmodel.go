@@ -1,0 +1,269 @@
+// Package fastmodel is the filter tier of the exploration stack: a
+// trace-driven, IPC-approximate core model that estimates a
+// configuration's performance in one linear pass over the trace, with no
+// per-slot window simulation. It follows the interval-analysis shape:
+// the replayed inputs are exact — branch outcomes through the real
+// predictor, memory accesses through the real cache tag arrays — and
+// only their combination into cycles is approximate: execution time is
+// the maximum of a dependence bound (the dataflow critical path with
+// per-access cache latencies, which serializes dependent miss chains)
+// and a throughput bound (dispatch width plus misprediction-refill and
+// MLP-clustered miss intervals).
+//
+// The model is deliberately coarse — it exists to rank design points,
+// not to time them. The Calibrate harness measures its divergence from
+// the detailed engine over the workload suite, and the explore filter
+// uses that error bound as a margin: only candidates the fast model
+// cannot rule out are simulated in detail.
+package fastmodel
+
+import (
+	"sync"
+
+	"archcontest/internal/cache"
+	"archcontest/internal/config"
+	"archcontest/internal/isa"
+	"archcontest/internal/trace"
+)
+
+// Estimate is the fast model's appraisal of one configuration.
+type Estimate struct {
+	// Cycles is the estimated execution time in core cycles.
+	Cycles float64 `json:"cycles"`
+	// IPT is the estimated instructions per nanosecond, comparable to
+	// sim.Result.IPT.
+	IPT float64 `json:"ipt"`
+	// Mispredicts is the replayed predictor's mispredicted branch count.
+	Mispredicts int64 `json:"mispredicts"`
+	// L1Misses and L2Misses are the replayed tag-array miss counts.
+	L1Misses int64 `json:"l1_misses"`
+	L2Misses int64 `json:"l2_misses"`
+}
+
+// Model evaluates configurations against one trace. The trace-dependent
+// replays — the predictor and the per-geometry cache tag arrays — are
+// computed once and memoized, so estimating a design point that reuses a
+// seen cache geometry costs one latency-weighting pass over the trace
+// instead of a detailed simulation. A Model is safe for concurrent use.
+type Model struct {
+	tr *trace.Trace
+
+	mu    sync.Mutex
+	preds map[predKey]*predReplay
+	geoms map[geomKey]*memReplay
+}
+
+// New builds a fast model over the trace.
+func New(tr *trace.Trace) *Model {
+	return &Model{
+		tr:    tr,
+		preds: make(map[predKey]*predReplay),
+		geoms: make(map[geomKey]*memReplay),
+	}
+}
+
+type predKey struct {
+	kind        string
+	logSize     int
+	historyBits int
+}
+
+type geomKey struct {
+	l1Sets, l1Assoc, l1Block int
+	l2Sets, l2Assoc, l2Block int
+}
+
+type predReplay struct {
+	once        sync.Once
+	err         error
+	mispredicts int64
+}
+
+// Miss levels of a memory access under one cache geometry.
+const (
+	levelL1Hit = iota
+	levelL2Hit
+	levelMem
+)
+
+type memReplay struct {
+	once     sync.Once
+	l1Misses int64
+	l2Misses int64
+	// level classifies every trace index (non-memory entries stay
+	// levelL1Hit, which adds nothing beyond the L1 latency never charged
+	// to them).
+	level []uint8
+	// l1MissIdx and l2MissIdx hold the trace indices of misses, for MLP
+	// clustering against the reorder window.
+	l1MissIdx []int32
+	l2MissIdx []int32
+}
+
+// predFor replays the predictor configuration over the trace's branches,
+// memoized by predictor geometry.
+func (m *Model) predFor(cfg config.CoreConfig) (*predReplay, error) {
+	key := predKey{cfg.Predictor.Kind, cfg.Predictor.LogSize, cfg.Predictor.HistoryBits}
+	m.mu.Lock()
+	pr, ok := m.preds[key]
+	if !ok {
+		pr = &predReplay{}
+		m.preds[key] = pr
+	}
+	m.mu.Unlock()
+	pr.once.Do(func() {
+		pred, err := cfg.Predictor.New()
+		if err != nil {
+			pr.err = err
+			return
+		}
+		tr := m.tr
+		for i, n := int64(0), int64(tr.Len()); i < n; i++ {
+			in := tr.At(i)
+			if in.Op != isa.OpBranch {
+				continue
+			}
+			if pred.Predict(in.PC) != in.Taken {
+				pr.mispredicts++
+			}
+			pred.Update(in.PC, in.Taken)
+		}
+	})
+	if pr.err != nil {
+		return nil, pr.err
+	}
+	return pr, nil
+}
+
+// memFor replays the memory accesses through tag-only L1/L2 arrays,
+// memoized by cache geometry. Latency fields are excluded from the key:
+// they do not change which accesses miss.
+func (m *Model) memFor(cfg config.CoreConfig) *memReplay {
+	key := geomKey{
+		cfg.L1D.Sets, cfg.L1D.Assoc, cfg.L1D.BlockBytes,
+		cfg.L2D.Sets, cfg.L2D.Assoc, cfg.L2D.BlockBytes,
+	}
+	m.mu.Lock()
+	mr, ok := m.geoms[key]
+	if !ok {
+		mr = &memReplay{}
+		m.geoms[key] = mr
+	}
+	m.mu.Unlock()
+	mr.once.Do(func() {
+		l1 := cache.New(cfg.L1D)
+		l2 := cache.New(cfg.L2D)
+		tr := m.tr
+		mr.level = make([]uint8, tr.Len())
+		for i, n := int64(0), int64(tr.Len()); i < n; i++ {
+			in := tr.At(i)
+			if !in.IsMem() {
+				continue
+			}
+			write := in.Op == isa.OpStore
+			if hit, _ := l1.Access(in.Addr, write); hit {
+				continue
+			}
+			mr.l1Misses++
+			mr.l1MissIdx = append(mr.l1MissIdx, int32(i))
+			if hit, _ := l2.Access(in.Addr, write); hit {
+				mr.level[i] = levelL2Hit
+			} else {
+				mr.level[i] = levelMem
+				mr.l2Misses++
+				mr.l2MissIdx = append(mr.l2MissIdx, int32(i))
+			}
+		}
+	})
+	return mr
+}
+
+// clusters counts miss clusters under a reorder window of w instructions:
+// a miss within w instructions of its cluster's leader overlaps the
+// leader's latency (memory-level parallelism) and is not charged.
+func clusters(idx []int32, w int64) int64 {
+	if w < 1 {
+		w = 1
+	}
+	var count int64
+	leader := int64(-1) - w
+	for _, i := range idx {
+		if int64(i)-leader >= w {
+			count++
+			leader = int64(i)
+		}
+	}
+	return count
+}
+
+// Estimate appraises the configuration on the model's trace:
+//
+//	dependence bound: dataflow critical path with each load charged its
+//	    replayed level's latency — dependent miss chains serialize here;
+//	throughput bound: N/Width dispatch slots, plus a front-end refill
+//	    interval per mispredict, plus one full latency per miss cluster
+//	    (misses within a reorder window of the cluster leader overlap);
+//	cycles = max(dependence, throughput).
+func (m *Model) Estimate(cfg config.CoreConfig) (Estimate, error) {
+	pr, err := m.predFor(cfg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	mr := m.memFor(cfg)
+	tr := m.tr
+	n := int64(tr.Len())
+
+	l1Lat := int64(cfg.L1D.LatencyCycles)
+	l2Lat := l1Lat + int64(cfg.L2D.LatencyCycles)
+	memLat := l2Lat + int64(cfg.MemLatencyCycles)
+
+	// Dependence bound: dataflow height over the architectural registers.
+	var depth [isa.NumRegs]int64
+	var height int64
+	level := mr.level
+	for i := int64(0); i < n; i++ {
+		in := tr.At(i)
+		d := depth[in.Src1]
+		if d2 := depth[in.Src2]; d2 > d {
+			d = d2
+		}
+		lat := int64(in.Op.Latency())
+		if in.Op == isa.OpLoad {
+			switch level[i] {
+			case levelL2Hit:
+				lat += l2Lat
+			case levelMem:
+				lat += memLat
+			default:
+				lat += l1Lat
+			}
+		}
+		d += lat
+		if in.Dst != isa.NoReg {
+			depth[in.Dst] = d
+		}
+		if d > height {
+			height = d
+		}
+	}
+
+	refill := int64(cfg.FrontEndDepth + cfg.SchedDepth + 1)
+	base := n / int64(cfg.Width)
+	if height > base {
+		base = height
+	}
+	cycles := float64(base +
+		pr.mispredicts*refill +
+		clusters(mr.l2MissIdx, int64(cfg.ROBSize))*int64(cfg.MemLatencyCycles) +
+		clusters(mr.l1MissIdx, int64(cfg.IQSize))*int64(cfg.L2D.LatencyCycles))
+	est := Estimate{
+		Cycles:      cycles,
+		Mispredicts: pr.mispredicts,
+		L1Misses:    mr.l1Misses,
+		L2Misses:    mr.l2Misses,
+	}
+	if ns := cycles * cfg.ClockPeriodNs; ns > 0 {
+		est.IPT = float64(n) / ns
+	}
+	return est, nil
+}

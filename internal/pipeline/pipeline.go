@@ -231,6 +231,12 @@ type Core struct {
 	// gshare is the predictor devirtualized when it is the common gshare
 	// implementation; nil otherwise (fetch falls back to the interface).
 	gshare *branch.Gshare
+	// Hot CoreConfig limits mirrored the same way: fetch, dispatch, issue
+	// and the next-event scan all test them every cycle.
+	width   int
+	robSize int64
+	iqSize  int
+	lsqSize int
 
 	cycle int64
 
@@ -363,6 +369,10 @@ func NewCore(cfg config.CoreConfig, tr *trace.Trace, opts Options) (*Core, error
 		onRetire:      opts.OnRetire,
 		checker:       opts.Checker,
 		legacy:        opts.LegacySched,
+		width:         cfg.Width,
+		robSize:       int64(cfg.ROBSize),
+		iqSize:        cfg.IQSize,
+		lsqSize:       cfg.LSQSize,
 	}
 	if g, ok := pred.(*branch.Gshare); ok {
 		c.gshare = g
@@ -538,16 +548,16 @@ func (c *Core) Advance() {
 // a full ROB, LSQ, or issue queue — conditions that persist until a retire
 // or issue event, all of which NextEvent bounds.
 func (c *Core) dispatchBlocked() bool {
-	if c.dispSeq-c.headSeq >= int64(c.cfg.ROBSize) {
+	if c.dispSeq-c.headSeq >= c.robSize {
 		return true
 	}
 	// Counter check first: the LSQ is rarely full, and testing it before
 	// the class keeps the trace line out of the common path.
-	if c.lsq >= c.cfg.LSQSize && c.tr.At(c.dispSeq).IsMem() {
+	if c.lsq >= c.lsqSize && c.tr.At(c.dispSeq).IsMem() {
 		return true
 	}
 	fl := c.flags[c.dispSeq&c.ringMask]
-	return fl&(flagInjected|flagCompleted) == 0 && c.iqCount >= c.cfg.IQSize
+	return fl&(flagInjected|flagCompleted) == 0 && c.iqCount >= c.iqSize
 }
 
 // NextEvent reports a conservative lower bound on the next cycle at which
@@ -670,7 +680,7 @@ func (c *Core) NextEvent() (cycle int64, ok bool) {
 // doRetire commits up to Width completed instructions in order.
 func (c *Core) doRetire() {
 	now := c.cycle
-	for n := 0; n < c.cfg.Width && c.headSeq < c.dispSeq; n++ {
+	for n := 0; n < c.width && c.headSeq < c.dispSeq; n++ {
 		seq := c.headSeq
 		slot := seq & c.ringMask
 		if c.flags[slot]&flagCompleted == 0 || c.completeCycle[slot] > now {
@@ -1046,7 +1056,7 @@ func (c *Core) doIssue() {
 	issued := 0
 	retry := c.retry[:0]
 	headSlot := c.headSeq & c.ringMask
-	for issued < c.cfg.Width && c.readyCount > 0 {
+	for issued < c.width && c.readyCount > 0 {
 		slot := c.readyBM.firstFrom(headSlot)
 		if slot < 0 {
 			break
@@ -1073,7 +1083,7 @@ func (c *Core) doIssue() {
 func (c *Core) issueLegacy(now int64) {
 	issued := 0
 	retry := c.retry[:0]
-	for len(c.readyQ) > 0 && issued < c.cfg.Width {
+	for len(c.readyQ) > 0 && issued < c.width {
 		var seq int64
 		c.readyQ, seq = popSeq(c.readyQ)
 		slot := seq & c.ringMask
@@ -1108,23 +1118,23 @@ func (c *Core) producerOf(r isa.RegID) (prod int64, hint int64) {
 // into the register file, stealing write ports within the core's width).
 func (c *Core) doDispatch() {
 	now := c.cycle
-	for n := 0; n < c.cfg.Width && c.dispSeq < c.tailSeq; n++ {
+	for n := 0; n < c.width && c.dispSeq < c.tailSeq; n++ {
 		seq := c.dispSeq
 		slot := seq & c.ringMask
 		if c.dispatchReady[slot] > now {
 			return
 		}
-		if seq-c.headSeq >= int64(c.cfg.ROBSize) {
+		if seq-c.headSeq >= c.robSize {
 			return // ROB full
 		}
 		in := c.tr.At(seq)
 		isMem := in.IsMem()
-		if isMem && c.lsq >= c.cfg.LSQSize {
+		if isMem && c.lsq >= c.lsqSize {
 			return // LSQ full
 		}
 		fl := c.flags[slot]
 		needIQ := fl&(flagInjected|flagCompleted) == 0 // early-resolved branches skip the IQ too
-		if needIQ && c.iqCount >= c.cfg.IQSize {
+		if needIQ && c.iqCount >= c.iqSize {
 			return // issue queue full
 		}
 
@@ -1231,7 +1241,7 @@ func (c *Core) doFetch() {
 	}
 
 	fetched := 0
-	for fetched < c.cfg.Width {
+	for fetched < c.width {
 		if c.tailSeq >= c.fetchEnd {
 			break
 		}

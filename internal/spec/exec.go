@@ -446,6 +446,8 @@ func executeExplore(ctx context.Context, sp Spec, env *Env, hooks Hooks) (*Outco
 			Parallelism: sp.Parallelism,
 			Cache:       cache,
 			Log:         env.Artifacts,
+			FastFilter:  e.FastFilter,
+			FastMargin:  e.FastMargin,
 		}
 		if hooks.Progress != nil {
 			steps := opts.Steps
@@ -473,6 +475,8 @@ func executeExplore(ctx context.Context, sp Spec, env *Env, hooks Hooks) (*Outco
 			Parallelism:   sp.Parallelism,
 			Cache:         cache,
 			Log:           env.Artifacts,
+			FastFilter:    e.FastFilter,
+			FastMargin:    e.FastMargin,
 		}
 		if hooks.Progress != nil {
 			steps := opts.Steps

@@ -98,6 +98,13 @@ type ExploreSpec struct {
 	// Chains and ExchangeEvery configure tempering.
 	Chains        int `json:"chains,omitempty"`
 	ExchangeEvery int `json:"exchange_every,omitempty"`
+	// FastFilter enables the fast-model first pass: candidates the
+	// interval model rules out are rejected without a detailed
+	// simulation, and lookahead speculation past a predicted acceptance
+	// is deferred. FastMargin overrides the filter's relative margin
+	// (default explore.DefaultFastMargin).
+	FastFilter bool    `json:"fast_filter,omitempty"`
+	FastMargin float64 `json:"fast_margin,omitempty"`
 }
 
 // Parse decodes a Spec from JSON strictly: unknown fields are errors, so a
@@ -253,6 +260,12 @@ func (sp *Spec) Validate() error {
 		}
 		if e.Steps < 0 || e.Lookahead < 0 || e.Chains < 0 || e.ExchangeEvery < 0 {
 			return fmt.Errorf("spec: negative explore parameter")
+		}
+		if e.FastMargin < 0 {
+			return fmt.Errorf("spec: negative explore fast margin")
+		}
+		if e.FastMargin > 0 && !e.FastFilter {
+			return fmt.Errorf("spec: fast_margin set without fast_filter")
 		}
 	}
 
