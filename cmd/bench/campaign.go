@@ -49,10 +49,10 @@ type campaignReport struct {
 	// the two series isolates what interleaved contest leaves contribute
 	// beyond plain worker parallelism. Same NumCPU caveat.
 	ColdWorkersNoBatch []campaignLeg `json:"cold_workers_nobatch,omitempty"`
-	ColdParallel    campaignLeg   `json:"cold_parallel"`
-	WarmParallel    campaignLeg   `json:"warm_parallel"`
-	ParallelSpeedup float64       `json:"parallel_speedup"`
-	WarmSpeedup     float64       `json:"warm_speedup"`
+	ColdParallel       campaignLeg   `json:"cold_parallel"`
+	WarmParallel       campaignLeg   `json:"warm_parallel"`
+	ParallelSpeedup    float64       `json:"parallel_speedup"`
+	WarmSpeedup        float64       `json:"warm_speedup"`
 }
 
 // campaignLegRun executes the full figures experiment sweep once on a lab

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"archcontest/internal/cluster"
+	"archcontest/internal/cmdutil"
+)
+
+// clusterReport is the BENCH_cluster.json schema: the cache-aware-routing
+// fleet against the round-robin baseline, each measured over a cold pass
+// (caches empty) and a warm pass (same job set resubmitted).
+type clusterReport struct {
+	Generated string                     `json:"generated"`
+	NumCPU    int                        `json:"num_cpu"`
+	Affinity  *cluster.LoadTestResult    `json:"affinity"`
+	Baseline  *cluster.LoadTestResult    `json:"round_robin_baseline"`
+	Summary   map[string]json.RawMessage `json:"summary,omitempty"`
+}
+
+// runClusterBench drives the in-process fleet load harness
+// (internal/cluster.RunLoadTest) with both routers and writes the
+// comparison to out.
+func runClusterBench(ctx context.Context, nodes, streams, jobs, n int, out string) {
+	opts := cluster.LoadTestOptions{
+		Nodes:   nodes,
+		Streams: streams,
+		Jobs:    jobs,
+		N:       int64(n),
+	}
+	log.Printf("cluster bench: %d nodes, %d streams, %d jobs/pass, n=%d", nodes, streams, jobs, n)
+
+	affinity, err := runLeg(ctx, "cache-aware", opts)
+	if err != nil {
+		log.Fatalf("cache-aware leg: %v", err)
+	}
+	opts.RoundRobin = true
+	baseline, err := runLeg(ctx, "round-robin", opts)
+	if err != nil {
+		log.Fatalf("round-robin leg: %v", err)
+	}
+
+	if affinity.Warm.HitRate < baseline.Warm.HitRate {
+		log.Printf("WARNING: cache-aware warm hit rate %.3f fell below the round-robin baseline %.3f",
+			affinity.Warm.HitRate, baseline.Warm.HitRate)
+	}
+
+	rep := clusterReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		NumCPU:    runtime.NumCPU(),
+		Affinity:  affinity,
+		Baseline:  baseline,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmdutil.WriteFileAtomic(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
+func runLeg(ctx context.Context, name string, opts cluster.LoadTestOptions) (*cluster.LoadTestResult, error) {
+	start := time.Now()
+	res, err := cluster.RunLoadTest(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%-12s cold: p50 %8.1fms  p99 %8.1fms  hit %5.3f | warm: p50 %8.1fms  p99 %8.1fms  hit %5.3f  (%.1fs)\n",
+		name,
+		res.Cold.P50Ms, res.Cold.P99Ms, res.Cold.HitRate,
+		res.Warm.P50Ms, res.Warm.P99Ms, res.Warm.HitRate,
+		time.Since(start).Seconds())
+	return res, nil
+}

@@ -317,6 +317,12 @@ func main() {
 	campaignN := flag.Int("campaign.n", 60_000, "campaign trace length in instructions")
 	campaignOut := flag.String("campaign.o", "BENCH_campaign.json", "campaign output JSON path")
 	campaignWorkers := flag.String("campaign.workers", "", "comma-separated worker counts for the campaign cold-cache scaling series (e.g. \"1,2,4\"); empty skips it")
+	clusterBench := flag.Bool("cluster", false, "benchmark the sharded fleet (coordinator + in-process nodes) instead of the execution engine")
+	clusterNodes := flag.Int("cluster.nodes", 3, "fleet size for -cluster")
+	clusterStreams := flag.Int("cluster.streams", 64, "concurrent job streams for -cluster")
+	clusterJobs := flag.Int("cluster.jobs", 128, "jobs per pass for -cluster")
+	clusterN := flag.Int("cluster.n", 60_000, "per-job trace length for -cluster")
+	clusterOut := flag.String("cluster.o", "BENCH_cluster.json", "cluster output JSON path")
 	fastmodelBench := flag.Bool("fastmodel", false, "calibrate the fast interval model and measure the explore filter instead of the execution engine")
 	fastmodelN := flag.Int("fastmodel.n", 10_000, "fast-model calibration trace length in instructions")
 	fastmodelOut := flag.String("fastmodel.o", "BENCH_fastmodel.json", "fast-model output JSON path")
@@ -343,6 +349,10 @@ func main() {
 	}
 	if *campaign {
 		runCampaignBench(ctx, *campaignN, *campaignWorkers, *campaignOut)
+		return
+	}
+	if *clusterBench {
+		runClusterBench(ctx, *clusterNodes, *clusterStreams, *clusterJobs, *clusterN, *clusterOut)
 		return
 	}
 	if *fastmodelBench {

@@ -1,0 +1,72 @@
+// Command cachesrv is a standalone result-cache blob store: the remote
+// tier behind `-cache.remote`. It serves the resultcache blob API over a
+// disk-backed store:
+//
+//	GET    /v1/blobs/{key}  fetch a blob (404 when absent)
+//	PUT    /v1/blobs/{key}  store a blob
+//	DELETE /v1/blobs/{key}  drop a blob (idempotent)
+//	GET    /healthz         liveness
+//
+// Fleet nodes pointed at one cachesrv share their simulation results:
+// whichever node computes an artifact first persists it here, and every
+// other node's next lookup hits. A serve node with -cache.serve exposes
+// the same API embedded; cachesrv is the dedicated-process deployment.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"archcontest/internal/resultcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cachesrv: ")
+	addr := flag.String("addr", "localhost:8081", "listen address")
+	dir := flag.String("dir", resultcache.DefaultDir, "blob store directory")
+	flag.Parse()
+
+	store, err := resultcache.NewDiskStore(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/blobs/", resultcache.BlobHandler(store))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving blobs from %s on http://%s", *dir, ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: shutting down", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("exiting")
+}

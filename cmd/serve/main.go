@@ -1,12 +1,22 @@
-// Command serve is the contest-as-a-service daemon: a long-running HTTP
-// server that accepts declarative scenario specs (internal/spec) as jobs,
-// executes them on a bounded worker pool (internal/jobs), and exposes
-// progress snapshots, final results with archcontest-obs-v1 metrics, and
-// Chrome/Perfetto timelines.
+// Command serve is the contest-as-a-service daemon. It runs in two modes:
 //
-// API (JSON throughout):
+// Node mode (default): a long-running HTTP server that accepts declarative
+// scenario specs (internal/spec) as jobs, executes them on a bounded
+// worker pool (internal/jobs), and exposes progress snapshots, final
+// results with archcontest-obs-v1 metrics, and Chrome/Perfetto timelines.
+// With -queue the accept queue is bounded and overload is shed with
+// 429/503 + Retry-After; with -cache.serve the node also exports its
+// result-cache blob store at /v1/blobs/ for the rest of a fleet.
 //
-//	POST   /v1/jobs            submit a spec; 202 {"id": "job-0001", ...}
+// Coordinator mode (-coord, with -nodes): the cluster facade. Incoming
+// specs are sharded across the node set with cache-aware rendezvous
+// routing, saturated or dead nodes are routed around, and jobs whose node
+// dies mid-run are retried on survivors — every accepted job ends in
+// exactly one terminal state.
+//
+// Both modes serve the same API (JSON throughout):
+//
+//	POST   /v1/jobs            submit a spec; 202 {"id": ..., ...}
 //	GET    /v1/jobs            list all job snapshots
 //	GET    /v1/jobs/{id}       one snapshot; ?watch=1 streams NDJSON
 //	                           snapshots until the job is terminal, ending
@@ -14,7 +24,7 @@
 //	GET    /v1/jobs/{id}/result the terminal outcome (409 while running)
 //	GET    /v1/jobs/{id}/trace  the recorded Chrome/Perfetto timeline
 //	DELETE /v1/jobs/{id}       cancel the job
-//	GET    /healthz            liveness
+//	GET    /healthz            liveness, load, and (coordinator) fleet view
 //
 // On SIGTERM/SIGINT the daemon stops accepting submissions, drains
 // in-flight jobs, and exits 0; a second signal hard-cancels everything.
@@ -22,18 +32,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"archcontest/internal/cluster"
 	"archcontest/internal/cmdutil"
 	"archcontest/internal/jobs"
 	"archcontest/internal/spec"
@@ -43,24 +52,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
 	addr := flag.String("addr", "localhost:8080", "listen address")
-	workers := flag.Int("workers", 2, "concurrently executing jobs")
+	workers := flag.Int("workers", 2, "concurrently executing jobs (node mode)")
 	par := flag.Int("par", 0, "per-campaign simulation parallelism (0 = NumCPU)")
+	queue := flag.Int("queue", 0, "max queued jobs before submissions are shed with 429 (0 = unbounded)")
+	serveCache := flag.Bool("cache.serve", false, "export this node's result-cache blob store at /v1/blobs/")
+	coord := flag.Bool("coord", false, "run as the cluster coordinator instead of a node")
+	nodesFlag := flag.String("nodes", "", "comma-separated node base URLs (coordinator mode)")
+	probe := flag.Duration("probe", 500*time.Millisecond, "node health-probe interval (coordinator mode)")
 	drainTimeout := flag.Duration("drain", 10*time.Minute, "max time to drain in-flight jobs on shutdown")
 	openCache := cmdutil.CacheFlags(nil)
 	obsFlags := cmdutil.ObsFlags(nil)
 	flag.Parse()
 	obsFlags.StartPprof()
 
-	env := spec.NewEnv(openCache())
+	if *coord {
+		runCoordinator(*addr, *nodesFlag, *probe, *drainTimeout)
+		return
+	}
+
+	cache := openCache()
+	env := spec.NewEnv(cache)
 	env.Parallelism = *par
 	runner := jobs.NewRunner(env, *workers)
-	srv := &http.Server{Addr: *addr, Handler: newAPI(runner)}
+	opts := cluster.NodeOptions{MaxQueue: *queue, Cache: cache}
+	if *serveCache {
+		if store := cache.Store(); store != nil {
+			opts.Blobs = store
+		} else {
+			log.Fatal("-cache.serve needs a backed cache (unset -cache.off, or point -cache.dir/-cache.remote somewhere)")
+		}
+	}
+	srv := &http.Server{Addr: *addr, Handler: cluster.NewNode(runner, opts)}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on http://%s (workers=%d)", ln.Addr(), *workers)
+	log.Printf("listening on http://%s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -100,188 +128,57 @@ func main() {
 	log.Printf("drained, exiting")
 }
 
-// api serves the /v1 job interface.
-type api struct {
-	runner *jobs.Runner
-}
-
-func newAPI(r *jobs.Runner) http.Handler {
-	a := &api{runner: r}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("POST /v1/jobs", a.submit)
-	mux.HandleFunc("GET /v1/jobs", a.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", a.get)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", a.result)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", a.trace)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
-	return mux
-}
-
-// jobView is a snapshot plus, once terminal, the outcome payload.
-type jobView struct {
-	jobs.Snapshot
-	Result *spec.Outcome `json:"result,omitempty"`
-}
-
-func view(j *jobs.Job, withResult bool) jobView {
-	v := jobView{Snapshot: j.Snapshot()}
-	if withResult && v.State.Terminal() {
-		if out, err := j.Outcome(); err == nil {
-			v.Result = out
+// runCoordinator serves the cluster facade over the configured node set
+// until a signal, then drains: no new submissions, and the process exits
+// only once every accepted job has reached its terminal state (or the
+// drain timeout forces the issue).
+func runCoordinator(addr, nodesFlag string, probe, drainTimeout time.Duration) {
+	var nodes []string
+	for _, n := range strings.Split(nodesFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, strings.TrimRight(n, "/"))
 		}
 	}
-	return v
-}
+	if len(nodes) == 0 {
+		log.Fatal("-coord needs -nodes with at least one node URL")
+	}
+	c := cluster.NewCoordinator(cluster.CoordOptions{Nodes: nodes, ProbeInterval: probe})
+	defer c.Close()
+	srv := &http.Server{Addr: addr, Handler: c.Handler()}
 
-func (a *api) submit(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
-	defer body.Close()
-	raw, err := io.ReadAll(body)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
-		return
+		log.Fatal(err)
 	}
-	sp, err := spec.Parse(raw)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	j, err := a.runner.Submit(sp)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, view(j, false))
-}
+	log.Printf("coordinating %d nodes on http://%s", len(nodes), ln.Addr())
 
-func (a *api) list(w http.ResponseWriter, _ *http.Request) {
-	all := a.runner.Jobs()
-	views := make([]jobView, 0, len(all))
-	for _, j := range all {
-		views = append(views, view(j, false))
-	}
-	writeJSON(w, http.StatusOK, views)
-}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
 
-func (a *api) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
-	j, ok := a.runner.Get(r.PathValue("id"))
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining (second signal abandons in-flight jobs)", sig)
+	case err := <-errc:
+		log.Fatal(err)
 	}
-	return j, ok
-}
 
-func (a *api) get(w http.ResponseWriter, r *http.Request) {
-	j, ok := a.job(w, r)
-	if !ok {
-		return
-	}
-	if r.URL.Query().Get("watch") == "" {
-		writeJSON(w, http.StatusOK, view(j, true))
-		return
-	}
-	a.watch(w, r, j)
-}
-
-// watch streams NDJSON snapshots whenever the job's sequence counter
-// advances, ending with a final snapshot embedding the result (including
-// the archcontest-obs-v1 metrics for recorded jobs).
-func (a *api) watch(w http.ResponseWriter, r *http.Request, j *jobs.Job) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(v jobView) bool {
-		if err := enc.Encode(v); err != nil {
-			return false
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return true
-	}
-	lastSeq := int64(-1)
-	tick := time.NewTicker(100 * time.Millisecond)
-	defer tick.Stop()
-	for {
-		snap := j.Snapshot()
-		if snap.Seq != lastSeq {
-			lastSeq = snap.Seq
-			if snap.State.Terminal() {
-				emit(view(j, true))
-				return
-			}
-			if !emit(jobView{Snapshot: snap}) {
-				return
-			}
-		} else if snap.State.Terminal() {
-			emit(view(j, true))
-			return
-		}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	go func() {
 		select {
-		case <-j.Done():
-			// Loop once more to emit the terminal snapshot.
-		case <-tick.C:
-		case <-r.Context().Done():
-			return
+		case sig := <-sigc:
+			log.Printf("%v: abandoning in-flight jobs", sig)
+			cancelDrain()
+		case <-drainCtx.Done():
 		}
+	}()
+	go srv.Shutdown(drainCtx)
+	if err := c.Drain(drainCtx); err != nil {
+		log.Fatalf("drain incomplete: %v", err)
 	}
-}
-
-func (a *api) result(w http.ResponseWriter, r *http.Request) {
-	j, ok := a.job(w, r)
-	if !ok {
-		return
-	}
-	snap := j.Snapshot()
-	if !snap.State.Terminal() {
-		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", snap.ID, snap.State))
-		return
-	}
-	writeJSON(w, http.StatusOK, view(j, true))
-}
-
-func (a *api) trace(w http.ResponseWriter, r *http.Request) {
-	j, ok := a.job(w, r)
-	if !ok {
-		return
-	}
-	snap := j.Snapshot()
-	if !snap.State.Terminal() {
-		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", snap.ID, snap.State))
-		return
-	}
-	out, err := j.Outcome()
-	if err != nil || out == nil {
-		writeErr(w, http.StatusConflict, fmt.Errorf("job %s has no result", snap.ID))
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := out.WriteChromeTrace(w); err != nil {
-		writeErr(w, http.StatusNotFound, err)
-	}
-}
-
-func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := a.job(w, r)
-	if !ok {
-		return
-	}
-	j.Cancel()
-	writeJSON(w, http.StatusAccepted, view(j, false))
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	st := c.Stats()
+	log.Printf("drained, exiting (submits=%d affinity=%d reroutes=%d lost=%d)",
+		st.Submits, st.AffinityHits, st.Reroutes, st.Lost)
 }

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestClusterFault is the node-death drill. It saturates one node with an
+// in-flight job plus queued jobs, hard-kills that node (listener and all
+// connections closed, runner cancelled — a crash, not a drain), and then
+// asserts the coordinator's loss guarantees:
+//
+//   - every job reaches exactly one terminal state (retried elsewhere and
+//     completed, or failed with a cause) — never silently lost;
+//   - queued jobs are rerouted to surviving nodes;
+//   - a facade watch opened before the kill keeps streaming across the
+//     reroute and ends with a terminal event;
+//   - submissions after the kill avoid the dead node.
+func TestClusterFault(t *testing.T) {
+	f := startTestFleet(t, 3, FleetOptions{Workers: 1, MaxQueue: 8})
+	// Identical specs rendezvous-route to the same node, so every job in
+	// this batch lands on one victim: the first runs (Workers=1), the rest
+	// queue behind it.
+	spec := `{"kind":"run","bench":"mcf","cores":["mcf"],"n":2000000}`
+	const njobs = 3
+	ids := make([]string, njobs)
+	victim := ""
+	for i := range ids {
+		code, v := post(t, f.CoordURL+"/v1/jobs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %v", i, code, v)
+		}
+		ids[i] = v["id"].(string)
+		if victim == "" {
+			victim = v["node"].(string)
+		} else if v["node"] != victim {
+			t.Fatalf("job %d routed to %v, not the affinity node %s", i, v["node"], victim)
+		}
+	}
+	var victimNode *FleetNode
+	for _, n := range f.Nodes {
+		if n.URL == victim {
+			victimNode = n
+		}
+	}
+	if victimNode == nil {
+		t.Fatalf("victim %s is not a fleet node", victim)
+	}
+
+	// Open a facade watch on the in-flight job before the crash; collect
+	// its stream concurrently.
+	watchResp, err := http.Get(f.CoordURL + "/v1/jobs/" + ids[0] + "?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watchResp.Body.Close()
+	watchDone := make(chan map[string]any, 1)
+	go func() {
+		sc := bufio.NewScanner(watchResp.Body)
+		sc.Buffer(make([]byte, 1<<20), 16<<20)
+		var final map[string]any
+		for sc.Scan() {
+			var snap map[string]any
+			if json.Unmarshal(sc.Bytes(), &snap) != nil {
+				break
+			}
+			final = snap
+		}
+		watchDone <- final
+	}()
+
+	// Wait until the first job is demonstrably executing on the victim,
+	// then pull the plug.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, v := get(t, f.CoordURL+"/v1/jobs/"+ids[0])
+		if v["state"] == "running" {
+			break
+		}
+		if s, _ := v["state"].(string); s == "done" || s == "failed" || s == "cancelled" {
+			t.Fatalf("job %s reached %s before the kill; raise n", ids[0], s)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	victimNode.Kill()
+
+	// Every job must reach exactly one terminal state on a surviving node.
+	for i, id := range ids {
+		snap := waitTerminal(t, f.CoordURL, id)
+		state := snap["state"].(string)
+		switch state {
+		case "done":
+			if snap["result"] == nil {
+				// waitTerminal's plain GET embeds results for terminal jobs.
+				t.Errorf("job %d done without a result", i)
+			}
+		case "failed":
+			if snap["error"] == nil || snap["error"] == "" {
+				t.Errorf("job %d failed without a cause: %v", i, snap)
+			}
+		default:
+			t.Fatalf("job %d ended %q, want done or failed-with-cause", i, state)
+		}
+		if snap["node"] == victim {
+			t.Errorf("job %d still attributed to the dead node", i)
+		}
+		if r, _ := snap["retries"].(float64); r < 1 {
+			t.Errorf("job %d reports %v retries after a node death", i, snap["retries"])
+		}
+	}
+
+	// The pre-kill watch stream must have ended with a terminal event.
+	select {
+	case final := <-watchDone:
+		if final == nil {
+			t.Fatal("pre-kill facade watch delivered no snapshots")
+		}
+		switch final["state"] {
+		case "done", "failed", "cancelled":
+		default:
+			t.Fatalf("pre-kill facade watch ended on non-terminal state %v", final["state"])
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pre-kill facade watch never terminated")
+	}
+
+	// Fresh submissions route around the corpse.
+	code, v := post(t, f.CoordURL+"/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-kill submit: %d %v", code, v)
+	}
+	if v["node"] == victim {
+		t.Fatalf("post-kill submission placed on the dead node %s", victim)
+	}
+	waitTerminal(t, f.CoordURL, v["id"].(string))
+
+	st := f.Coord.Stats()
+	if st.Reroutes < 1 {
+		t.Errorf("coordinator counted %d reroutes, want >=1 (stats %+v)", st.Reroutes, st)
+	}
+	if st.Lost != 0 {
+		t.Errorf("coordinator lost %d jobs (stats %+v)", st.Lost, st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f.Nodes = liveNodes(f.Nodes, victimNode)
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("drain after fault: %v", err)
+	}
+}
+
+func liveNodes(all []*FleetNode, dead *FleetNode) []*FleetNode {
+	out := all[:0:0]
+	for _, n := range all {
+		if n != dead {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TestClusterFaultTotalLoss: when every node dies, accepted jobs still end
+// in exactly one terminal state — failed with a cause naming the loss —
+// and watchers are released rather than hung.
+func TestClusterFaultTotalLoss(t *testing.T) {
+	f := startTestFleet(t, 2, FleetOptions{Workers: 1, MaxQueue: 4})
+	code, v := post(t, f.CoordURL+"/v1/jobs", `{"kind":"run","bench":"mcf","cores":["mcf"],"n":2000000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	id := v["id"].(string)
+	for _, n := range f.Nodes {
+		n.Kill()
+	}
+	snap := waitTerminal(t, f.CoordURL, id)
+	if snap["state"] != "failed" {
+		t.Fatalf("state %v after total node loss, want failed", snap["state"])
+	}
+	if msg, _ := snap["error"].(string); msg == "" {
+		t.Fatalf("total-loss failure carries no cause: %v", snap)
+	}
+	// The result endpoint agrees (terminal), rather than 409ing forever.
+	if code, _ := get(t, f.CoordURL+"/v1/jobs/"+id+"/result"); code != http.StatusOK {
+		t.Errorf("result of failed job: %d, want 200", code)
+	}
+}

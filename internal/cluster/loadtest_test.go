@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestClusterLoad drives the full load harness: a 3-node fleet under 64
+// concurrent job streams (16 under -short), cold and warm passes, against
+// both routers. It asserts the load completes losslessly and that
+// cache-aware routing's warm pass beats (or at worst matches) the
+// round-robin baseline's cache hit rate — the property the router exists
+// to deliver.
+func TestClusterLoad(t *testing.T) {
+	opts := LoadTestOptions{Nodes: 3, Streams: 64, Jobs: 128, Specs: 24, N: 60_000}
+	if testing.Short() {
+		opts.Streams, opts.Jobs, opts.Specs = 16, 32, 12
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	affinity, err := RunLoadTest(ctx, opts)
+	if err != nil {
+		t.Fatalf("affinity run: %v", err)
+	}
+	base := opts
+	base.RoundRobin = true
+	baseline, err := RunLoadTest(ctx, base)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	for name, r := range map[string]*LoadTestResult{"affinity": affinity, "baseline": baseline} {
+		for pass, ps := range map[string]PassStats{"cold": r.Cold, "warm": r.Warm} {
+			if ps.Failed != 0 {
+				t.Errorf("%s %s pass: %d/%d jobs failed", name, pass, ps.Failed, ps.Jobs)
+			}
+			if ps.P50Ms <= 0 || ps.P99Ms < ps.P50Ms {
+				t.Errorf("%s %s pass: implausible latency percentiles p50=%.2fms p99=%.2fms",
+					name, pass, ps.P50Ms, ps.P99Ms)
+			}
+		}
+		if r.Coord.Lost != 0 {
+			t.Errorf("%s run lost %d jobs", name, r.Coord.Lost)
+		}
+	}
+
+	// Cache-aware routing must turn the warm pass into cache hits at least
+	// as well as blind round-robin placement does.
+	if affinity.Warm.HitRate < baseline.Warm.HitRate {
+		t.Errorf("cache-aware warm hit rate %.3f below round-robin baseline %.3f",
+			affinity.Warm.HitRate, baseline.Warm.HitRate)
+	}
+	// And in absolute terms the warm pass should mostly hit: every shape
+	// was cached somewhere during the cold pass, and affinity routing
+	// sends repeats back to that node.
+	if affinity.Warm.HitRate < 0.9 {
+		t.Errorf("cache-aware warm hit rate %.3f, want >=0.9", affinity.Warm.HitRate)
+	}
+	t.Logf("affinity: cold p50=%.1fms p99=%.1fms hit=%.3f | warm p50=%.1fms p99=%.1fms hit=%.3f",
+		affinity.Cold.P50Ms, affinity.Cold.P99Ms, affinity.Cold.HitRate,
+		affinity.Warm.P50Ms, affinity.Warm.P99Ms, affinity.Warm.HitRate)
+	t.Logf("baseline: warm p50=%.1fms p99=%.1fms hit=%.3f",
+		baseline.Warm.P50Ms, baseline.Warm.P99Ms, baseline.Warm.HitRate)
+}

@@ -1,7 +1,8 @@
-package main
+package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,10 +17,10 @@ import (
 	"archcontest/internal/spec"
 )
 
-func newTestServer(t *testing.T, workers int) (*httptest.Server, *jobs.Runner) {
+func newTestNode(t *testing.T, workers int, opts NodeOptions) (*httptest.Server, *jobs.Runner) {
 	t.Helper()
 	runner := jobs.NewRunner(spec.NewEnv(nil), workers)
-	srv := httptest.NewServer(newAPI(runner))
+	srv := httptest.NewServer(NewNode(runner, opts))
 	t.Cleanup(srv.Close)
 	return srv, runner
 }
@@ -52,11 +53,37 @@ func get(t *testing.T, url string) (int, map[string]any) {
 	return resp.StatusCode, v
 }
 
-// TestServeConcurrentJobs submits 8 concurrent jobs and, for each, streams
+func del(t *testing.T, url string) int {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func waitTerminal(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		_, v := get(t, base+"/v1/jobs/"+id)
+		switch v["state"] {
+		case "done", "failed", "cancelled":
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became terminal", id)
+	return nil
+}
+
+// TestNodeConcurrentJobs submits 8 concurrent jobs and, for each, streams
 // the watch endpoint asserting snapshots are monotonic (seq and done never
 // decrease) and terminate in a done state with an embedded result.
-func TestServeConcurrentJobs(t *testing.T) {
-	srv, _ := newTestServer(t, 4)
+func TestNodeConcurrentJobs(t *testing.T) {
+	srv, _ := newTestNode(t, 4, NodeOptions{})
 	const njobs = 8
 	ids := make([]string, njobs)
 	for i := range ids {
@@ -117,10 +144,10 @@ func TestServeConcurrentJobs(t *testing.T) {
 	wg.Wait()
 }
 
-// TestServeRecordedContest: a recorded contest job returns
-// archcontest-obs-v1 metrics in the result and a loadable Chrome trace.
-func TestServeRecordedContest(t *testing.T) {
-	srv, _ := newTestServer(t, 2)
+// TestNodeRecordedContest: a recorded contest job returns archcontest-obs-v1
+// metrics in the result and a loadable Chrome trace.
+func TestNodeRecordedContest(t *testing.T) {
+	srv, _ := newTestNode(t, 2, NodeOptions{})
 	code, v := post(t, srv.URL+"/v1/jobs",
 		`{"kind":"contest","bench":"twolf","cores":["twolf","vpr"],"n":20000,"record":true}`)
 	if code != http.StatusAccepted {
@@ -162,36 +189,15 @@ func TestServeRecordedContest(t *testing.T) {
 	}
 }
 
-func waitTerminal(t *testing.T, base, id string) map[string]any {
-	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		_, v := get(t, base+"/v1/jobs/"+id)
-		switch v["state"] {
-		case "done", "failed", "cancelled":
-			return v
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("job %s never became terminal", id)
-	return nil
-}
-
-func TestServeCancel(t *testing.T) {
-	srv, _ := newTestServer(t, 1)
+func TestNodeCancel(t *testing.T) {
+	srv, _ := newTestNode(t, 1, NodeOptions{})
 	code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"mcf","cores":["mcf"],"n":5000000}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: status %d: %v", code, v)
 	}
 	id := v["id"].(string)
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("cancel: status %d", resp.StatusCode)
+	if code := del(t, srv.URL+"/v1/jobs/"+id); code != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", code)
 	}
 	snap := waitTerminal(t, srv.URL, id)
 	if snap["state"] != "cancelled" {
@@ -199,8 +205,8 @@ func TestServeCancel(t *testing.T) {
 	}
 }
 
-func TestServeRejectsBadSpecs(t *testing.T) {
-	srv, _ := newTestServer(t, 1)
+func TestNodeRejectsBadSpecs(t *testing.T) {
+	srv, _ := newTestNode(t, 1, NodeOptions{})
 	code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"gcc","frobnicate":1}`)
 	if code != http.StatusBadRequest {
 		t.Errorf("unknown field: status %d, want 400 (%v)", code, v)
@@ -214,11 +220,10 @@ func TestServeRejectsBadSpecs(t *testing.T) {
 	}
 }
 
-// TestServeResultConflict: asking for a result before the job is terminal
-// is a 409, not a hang or a partial payload.
-func TestServeResultConflict(t *testing.T) {
-	srv, _ := newTestServer(t, 1)
-	// Occupy the only worker so the second job stays queued.
+// TestNodeResultConflict: asking for a result before the job is terminal is
+// a 409, not a hang or a partial payload.
+func TestNodeResultConflict(t *testing.T) {
+	srv, _ := newTestNode(t, 1, NodeOptions{})
 	code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"mcf","cores":["mcf"],"n":5000000}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d %v", code, v)
@@ -232,18 +237,14 @@ func TestServeResultConflict(t *testing.T) {
 	if code, _ := get(t, srv.URL+"/v1/jobs/"+queued+"/result"); code != http.StatusConflict {
 		t.Errorf("result of a queued job: status %d, want 409", code)
 	}
-	// Clean up: cancel both so the runner is idle at test exit.
 	for _, id := range []string{blocker, queued} {
-		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
-		if resp, err := http.DefaultClient.Do(req); err == nil {
-			resp.Body.Close()
-		}
+		del(t, srv.URL+"/v1/jobs/"+id)
 	}
 }
 
-// TestServeList: the listing returns every submitted job in order.
-func TestServeList(t *testing.T) {
-	srv, _ := newTestServer(t, 2)
+// TestNodeList: the listing returns every submitted job in order.
+func TestNodeList(t *testing.T) {
+	srv, _ := newTestNode(t, 2, NodeOptions{})
 	for i := 0; i < 3; i++ {
 		code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"gcc","cores":["gcc"],"n":20000}`)
 		if code != http.StatusAccepted {
@@ -267,4 +268,103 @@ func TestServeList(t *testing.T) {
 			t.Errorf("job %d listed as %v, want %s", i, v["id"], want)
 		}
 	}
+}
+
+// TestNodeBackpressure: with one worker and a one-slot queue, the third
+// submission is shed with 429 + Retry-After instead of buffering, and a
+// freed slot accepts again.
+func TestNodeBackpressure(t *testing.T) {
+	srv, _ := newTestNode(t, 1, NodeOptions{MaxQueue: 1})
+	long := `{"kind":"run","bench":"mcf","cores":["mcf"],"n":5000000}`
+	code, v := post(t, srv.URL+"/v1/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d %v", code, v)
+	}
+	blocker := v["id"].(string)
+	code, v = post(t, srv.URL+"/v1/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 2: %d %v", code, v)
+	}
+	queued := v["id"].(string)
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit over full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response lacks Retry-After")
+	}
+
+	// Queue health is visible.
+	code, h := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if h["pending"] != 1.0 || h["running"] != 1.0 {
+		t.Errorf("healthz load %v/%v, want pending=1 running=1", h["pending"], h["running"])
+	}
+
+	// Freeing the queue slot re-opens the node.
+	del(t, srv.URL+"/v1/jobs/"+queued)
+	waitTerminal(t, srv.URL, queued)
+	code, v = post(t, srv.URL+"/v1/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after free: %d %v", code, v)
+	}
+	del(t, srv.URL+"/v1/jobs/"+v["id"].(string))
+	del(t, srv.URL+"/v1/jobs/"+blocker)
+}
+
+// TestNodeWatchDisconnectReleases is the regression test for the watch
+// leak: a ?watch=1 stream whose client disconnects mid-job must notice the
+// closed connection and release its watcher subscription — it must not
+// stay parked until the job ends.
+func TestNodeWatchDisconnectReleases(t *testing.T) {
+	srv, runner := newTestNode(t, 1, NodeOptions{})
+	code, v := post(t, srv.URL+"/v1/jobs", `{"kind":"run","bench":"mcf","cores":["mcf"],"n":8000000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	id := v["id"].(string)
+	j, ok := runner.Get(id)
+	if !ok {
+		t.Fatalf("runner lost job %s", id)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/jobs/"+id+"?watch=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one snapshot so the stream is demonstrably established, then
+	// drop the connection while the job is still running.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first snapshot before disconnect")
+	}
+	if got := j.Watchers(); got != 1 {
+		t.Fatalf("watchers after connect = %d, want 1", got)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Watchers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher not released %v after client disconnect (still %d registered)",
+				5*time.Second, j.Watchers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The job itself must be unaffected by the abandoned watch.
+	if s := j.Snapshot(); s.State.Terminal() {
+		t.Fatalf("job reached %s during the watch; raise n so disconnect happens mid-run", s.State)
+	}
+	j.Cancel()
+	<-j.Done()
 }

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rank orders node URLs for a route key by rendezvous (highest-random-
+// weight) hashing: every (key, node) pair gets an independent pseudo-random
+// weight and nodes are ranked by descending weight. The properties the
+// coordinator relies on:
+//
+//   - Affinity: one key always produces the same ranking over the same
+//     node set, so repeated submissions of the same artifacts land on the
+//     same node — whose result cache is therefore warm.
+//
+//   - Minimal disruption: removing a node only re-homes the keys that
+//     ranked it first (they fall through to their second choice, which is
+//     exactly the retry-with-reroute path); every other key keeps its node.
+//     A consistent-hash ring would need virtual nodes for balance; HRW
+//     gets balance for free at fleet sizes this coordinator targets.
+//
+//   - Spread: distinct keys distribute uniformly across nodes.
+//
+// Ties (possible only with duplicate URLs) break by URL so the order is
+// total and deterministic.
+func Rank(key string, nodes []string) []string {
+	type weighted struct {
+		node   string
+		weight uint64
+	}
+	ws := make([]weighted, 0, len(nodes))
+	for _, n := range nodes {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(n))
+		ws = append(ws, weighted{node: n, weight: h.Sum64()})
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].weight != ws[j].weight {
+			return ws[i].weight > ws[j].weight
+		}
+		return ws[i].node < ws[j].node
+	})
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.node
+	}
+	return out
+}

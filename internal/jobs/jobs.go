@@ -78,6 +78,14 @@ type Snapshot struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 }
 
+// ErrBusy is returned by Submit when the runner's bounded queue is full:
+// the caller should shed load (HTTP nodes answer 429 with Retry-After)
+// rather than buffer unboundedly.
+var ErrBusy = errors.New("jobs: queue full")
+
+// ErrDraining is returned by Submit once Drain has begun.
+var ErrDraining = errors.New("jobs: runner is draining, not accepting new jobs")
+
 // Job is one submitted scenario.
 type Job struct {
 	id   string
@@ -90,6 +98,10 @@ type Job struct {
 	seq   atomic.Int64
 	prog  atomic.Int64 // done units
 	total atomic.Int64
+
+	subMu   sync.Mutex
+	subs    map[int]chan struct{}
+	nextSub int
 
 	mu         sync.Mutex
 	statsFn    func() experiments.CampaignStats
@@ -157,7 +169,48 @@ func (j *Job) Snapshot() Snapshot {
 	return s
 }
 
-func (j *Job) bump() { j.seq.Add(1) }
+// Subscribe registers a watcher: the returned channel receives a (coalesced)
+// notification whenever the job's sequence counter advances, including the
+// advance into a terminal state. The release function MUST be called when
+// the watcher goes away (client disconnect, handler return) — it is what
+// keeps an abandoned watch from holding job resources forever. Release is
+// idempotent.
+func (j *Job) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.subMu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[int]chan struct{})
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.subMu.Unlock()
+	return ch, func() {
+		j.subMu.Lock()
+		delete(j.subs, id)
+		j.subMu.Unlock()
+	}
+}
+
+// Watchers reports the number of live subscriptions — the regression probe
+// for "a disconnected watch client must release its watcher".
+func (j *Job) Watchers() int {
+	j.subMu.Lock()
+	defer j.subMu.Unlock()
+	return len(j.subs)
+}
+
+func (j *Job) bump() {
+	j.seq.Add(1)
+	j.subMu.Lock()
+	for _, ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending notification
+		}
+	}
+	j.subMu.Unlock()
+}
 
 func (j *Job) setState(s State) {
 	j.state.Store(int32(s))
@@ -174,6 +227,9 @@ type Runner struct {
 	order    []string
 	nextID   int64
 	draining bool
+	maxQueue int
+	pending  int // accepted, waiting for a worker slot
+	running  int // holding a worker slot
 	wg       sync.WaitGroup
 }
 
@@ -194,9 +250,30 @@ func NewRunner(env *spec.Env, workers int) *Runner {
 	}
 }
 
+// SetMaxQueue bounds the number of accepted-but-not-yet-running jobs
+// (0 = unbounded, the default). Once the bound is reached Submit returns
+// ErrBusy — the backpressure signal a fleet node converts into a 429.
+func (r *Runner) SetMaxQueue(n int) {
+	r.mu.Lock()
+	r.maxQueue = n
+	r.mu.Unlock()
+}
+
+// Load reports the runner's instantaneous occupancy: jobs waiting for a
+// worker slot and jobs holding one.
+func (r *Runner) Load() (pending, running int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending, r.running
+}
+
+// Workers reports the size of the worker pool.
+func (r *Runner) Workers() int { return cap(r.sem) }
+
 // Submit validates the spec and enqueues it. The returned job is queued
 // until a worker slot frees, then runs to a terminal state. Submission
-// fails once Drain has begun, and on an invalid spec.
+// fails once Drain has begun (ErrDraining), when the bounded queue is full
+// (ErrBusy), and on an invalid spec.
 func (r *Runner) Submit(sp spec.Spec) (*Job, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
@@ -214,8 +291,14 @@ func (r *Runner) Submit(sp spec.Spec) (*Job, error) {
 	if r.draining {
 		r.mu.Unlock()
 		cancel()
-		return nil, fmt.Errorf("jobs: runner is draining, not accepting new jobs")
+		return nil, ErrDraining
 	}
+	if r.maxQueue > 0 && r.pending >= r.maxQueue {
+		r.mu.Unlock()
+		cancel()
+		return nil, ErrBusy
+	}
+	r.pending++
 	r.nextID++
 	j.id = fmt.Sprintf("job-%04d", r.nextID)
 	r.jobs[j.id] = j
@@ -231,8 +314,20 @@ func (r *Runner) run(ctx context.Context, j *Job) {
 	defer r.wg.Done()
 	select {
 	case r.sem <- struct{}{}:
-		defer func() { <-r.sem }()
+		r.mu.Lock()
+		r.pending--
+		r.running++
+		r.mu.Unlock()
+		defer func() {
+			r.mu.Lock()
+			r.running--
+			r.mu.Unlock()
+			<-r.sem
+		}()
 	case <-ctx.Done():
+		r.mu.Lock()
+		r.pending--
+		r.mu.Unlock()
 		r.finish(j, nil, ctx.Err())
 		return
 	}

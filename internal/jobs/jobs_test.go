@@ -157,3 +157,77 @@ func TestSubmitInvalidSpec(t *testing.T) {
 		t.Error("invalid spec accepted")
 	}
 }
+
+// TestRunnerQueueBound: with one worker and a queue bound of 1, the third
+// submission is shed with ErrBusy, and capacity frees again once the
+// queued job leaves the queue.
+func TestRunnerQueueBound(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 1)
+	r.SetMaxQueue(1)
+	blocker, err := r.Submit(runSpec(5_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the blocker to take the worker slot so the next submit is
+	// pending, not running.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if pending, running := r.Load(); pending == 0 && running == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := r.Submit(runSpec(5_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(runSpec(20000)); err != ErrBusy {
+		t.Fatalf("overfull queue: err %v, want ErrBusy", err)
+	}
+	if pending, running := r.Load(); pending != 1 || running != 1 {
+		t.Errorf("Load = (%d, %d), want (1, 1)", pending, running)
+	}
+	queued.Cancel()
+	waitDone(t, queued)
+	if _, err := r.Submit(runSpec(20000)); err != nil {
+		t.Fatalf("submit after queue freed: %v", err)
+	}
+	blocker.Cancel()
+	waitDone(t, blocker)
+}
+
+// TestJobSubscribe: a subscription is notified on progress and on the
+// terminal transition, and release drops the watcher count.
+func TestJobSubscribe(t *testing.T) {
+	r := NewRunner(spec.NewEnv(nil), 1)
+	j, err := r.Submit(runSpec(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, release := j.Subscribe()
+	if j.Watchers() != 1 {
+		t.Fatalf("watchers %d, want 1", j.Watchers())
+	}
+	notified := 0
+	deadline := time.After(30 * time.Second)
+	for !State(j.Snapshot().State).Terminal() {
+		select {
+		case <-ch:
+			notified++
+		case <-deadline:
+			t.Fatal("no terminal notification")
+		}
+	}
+	if notified == 0 {
+		t.Error("no notifications before terminal state")
+	}
+	release()
+	release() // idempotent
+	if j.Watchers() != 0 {
+		t.Fatalf("watchers %d after release, want 0", j.Watchers())
+	}
+	waitDone(t, j)
+}

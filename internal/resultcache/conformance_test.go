@@ -1,0 +1,241 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// backends enumerates every Store implementation under one conformance
+// table. A future backend (SQL, minio-style object store) plugs in by
+// adding one row: the suite is the contract.
+func backends(t *testing.T) []struct {
+	name string
+	open func(t *testing.T) Store
+} {
+	t.Helper()
+	return []struct {
+		name string
+		open func(t *testing.T) Store
+	}{
+		{"disk", func(t *testing.T) Store {
+			s, err := NewDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"mem", func(t *testing.T) Store {
+			return NewMemStore()
+		}},
+		{"http-disk", func(t *testing.T) Store {
+			disk, err := NewDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(BlobHandler(disk))
+			t.Cleanup(srv.Close)
+			return NewHTTPStore(srv.URL, srv.Client())
+		}},
+		{"http-mem", func(t *testing.T) Store {
+			srv := httptest.NewServer(BlobHandler(NewMemStore()))
+			t.Cleanup(srv.Close)
+			return NewHTTPStore(srv.URL, srv.Client())
+		}},
+	}
+}
+
+// TestStoreConformance runs the blob-level contract against every backend:
+// round trips, overwrite, not-found, and delete-absent semantics.
+func TestStoreConformance(t *testing.T) {
+	for _, b := range backends(t) {
+		t.Run(b.name, func(t *testing.T) {
+			s := b.open(t)
+			k1 := Key("conf", "one")
+			k2 := Key("conf", "two")
+
+			if _, err := s.Get(k1); err != ErrNotFound {
+				t.Fatalf("Get of absent key: err %v, want ErrNotFound", err)
+			}
+			if err := s.Delete(k1); err != nil {
+				t.Fatalf("Delete of absent key: %v", err)
+			}
+
+			blob := []byte("payload-one")
+			if err := s.Put(k1, blob); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			got, err := s.Get(k1)
+			if err != nil || !bytes.Equal(got, blob) {
+				t.Fatalf("Get after Put: %q, %v; want %q", got, err, blob)
+			}
+			if _, err := s.Get(k2); err != ErrNotFound {
+				t.Fatalf("Get of other key: err %v, want ErrNotFound", err)
+			}
+
+			// Overwrite replaces, never appends or tears.
+			blob2 := []byte("payload-one-v2-longer")
+			if err := s.Put(k1, blob2); err != nil {
+				t.Fatalf("overwrite Put: %v", err)
+			}
+			if got, err := s.Get(k1); err != nil || !bytes.Equal(got, blob2) {
+				t.Fatalf("Get after overwrite: %q, %v; want %q", got, err, blob2)
+			}
+
+			// A returned blob must be safe to mutate without corrupting
+			// later reads (the Cache decodes blobs it may share).
+			got, _ = s.Get(k1)
+			for i := range got {
+				got[i] = 0
+			}
+			if again, err := s.Get(k1); err != nil || !bytes.Equal(again, blob2) {
+				t.Fatalf("Get after caller mutation: %q, %v; want %q", again, err, blob2)
+			}
+
+			if err := s.Delete(k1); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Get(k1); err != ErrNotFound {
+				t.Fatalf("Get after Delete: err %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+type confValue struct {
+	Name string
+	Vals []int
+}
+
+// TestCacheConformance runs the Cache (gob tier + LRU + corruption
+// recovery) over every backend: the behaviours any fleet node relies on
+// regardless of where its blobs live.
+func TestCacheConformance(t *testing.T) {
+	for _, b := range backends(t) {
+		t.Run(b.name, func(t *testing.T) {
+			store := b.open(t)
+
+			t.Run("roundtrip", func(t *testing.T) {
+				c := New(store, Options{})
+				in := confValue{Name: "rt", Vals: []int{1, 2, 3}}
+				key := Key("conform-rt", in)
+				var out confValue
+				if c.Get(key, &out) {
+					t.Fatal("hit before Put")
+				}
+				c.Put(key, in)
+				if !c.Get(key, &out) || out.Name != in.Name || len(out.Vals) != 3 {
+					t.Fatalf("round trip: got %+v ok=%v", out, true)
+				}
+				// A second Cache over the same backend shares the entry:
+				// the backend, not the LRU, is the persistence tier.
+				c2 := New(store, Options{})
+				var out2 confValue
+				if !c2.Get(key, &out2) || out2.Name != in.Name {
+					t.Fatalf("fresh cache over same store missed: %+v", out2)
+				}
+				// Decoded hits must not alias each other.
+				out2.Vals[0] = 99
+				var out3 confValue
+				if !c2.Get(key, &out3) || out3.Vals[0] != 1 {
+					t.Fatalf("cached value aliased a caller's mutation: %+v", out3)
+				}
+			})
+
+			t.Run("lru-eviction", func(t *testing.T) {
+				c := New(store, Options{MemEntries: 2})
+				keys := make([]string, 3)
+				for i := range keys {
+					keys[i] = Key("conform-lru", b.name, i)
+					c.Put(keys[i], confValue{Name: fmt.Sprint(i)})
+				}
+				// keys[0] fell off the 2-entry LRU; it must still be
+				// served from the backend (a hit, not a mem hit).
+				pre := c.Stats()
+				var out confValue
+				if !c.Get(keys[0], &out) || out.Name != "0" {
+					t.Fatalf("evicted entry lost: %+v", out)
+				}
+				post := c.Stats()
+				if post.Hits != pre.Hits+1 || post.MemHits != pre.MemHits {
+					t.Fatalf("eviction refill came from the wrong tier: %+v -> %+v", pre, post)
+				}
+				// And the refill re-promoted it into the LRU.
+				if !c.Get(keys[0], &out) || c.Stats().MemHits != pre.MemHits+1 {
+					t.Fatalf("refilled entry not promoted to the mem tier: %+v", c.Stats())
+				}
+			})
+
+			t.Run("corrupt-deleted", func(t *testing.T) {
+				c := New(store, Options{})
+				key := Key("conform-corrupt", b.name)
+				if err := store.Put(key, []byte("not gob at all")); err != nil {
+					t.Fatal(err)
+				}
+				var out confValue
+				if c.Get(key, &out) {
+					t.Fatal("corrupt blob decoded")
+				}
+				if st := c.Stats(); st.Corrupt != 1 {
+					t.Fatalf("corrupt count %d, want 1", st.Corrupt)
+				}
+				// The corrupt entry was deleted from the backend, so the
+				// next writer repairs the key for every tier.
+				if _, err := store.Get(key); err != ErrNotFound {
+					t.Fatalf("corrupt blob still in backend: err %v", err)
+				}
+				c.Put(key, confValue{Name: "repaired"})
+				if !c.Get(key, &out) || out.Name != "repaired" {
+					t.Fatalf("repair after corruption failed: %+v", out)
+				}
+			})
+
+			t.Run("concurrent", func(t *testing.T) {
+				// Singleflight-style access: many goroutines race Get-then-Put
+				// on a small key set; every eventual Get must decode a
+				// complete value (torn blobs would fail the decode).
+				c := New(store, Options{MemEntries: 4})
+				const workers, rounds, keys = 8, 20, 3
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for r := 0; r < rounds; r++ {
+							key := Key("conform-conc", b.name, r%keys)
+							var out confValue
+							if !c.Get(key, &out) {
+								c.Put(key, confValue{Name: "conc", Vals: []int{r % keys}})
+							} else if out.Name != "conc" || len(out.Vals) != 1 || out.Vals[0] != r%keys {
+								t.Errorf("worker %d round %d: torn value %+v", w, r, out)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		})
+	}
+}
+
+// TestBlobHandlerRejectsBadKeys: the HTTP blob API must refuse keys that
+// are not content addresses before they reach the backend (path traversal,
+// uppercase, short junk).
+func TestBlobHandlerRejectsBadKeys(t *testing.T) {
+	srv := httptest.NewServer(BlobHandler(NewMemStore()))
+	defer srv.Close()
+	for _, bad := range []string{"ab", "..%2F..%2Fetc", "ABCDEF012345", "zzzz9999"} {
+		resp, err := http.Get(srv.URL + "/v1/blobs/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("key %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

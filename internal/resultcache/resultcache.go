@@ -3,19 +3,22 @@
 // everything that determines them (engine version, trace fingerprint, core
 // configuration, run options). A re-run of cmd/figures after editing one
 // core configuration re-simulates only the runs whose keys changed;
-// everything else is served from disk.
+// everything else is served from the backend.
 //
 // The cache has two tiers. An in-memory LRU of recently used encoded
-// entries absorbs repeated lookups within a process; a content-addressed
-// on-disk tier (dir/ab/abcdef….gob, written atomically via rename)
-// persists across processes. Both tiers store the gob encoding of the
-// value, so a hit always decodes a fresh copy — cached results can never
-// alias a caller's mutation.
+// entries absorbs repeated lookups within a process; a pluggable Store
+// backend persists across processes. Two backends ship with the package:
+// DiskStore, the content-addressed on-disk tier (dir/ab/abcdef….gob,
+// written atomically via rename), and HTTPStore, a remote object-store
+// client for the /v1/blobs API served by BlobHandler — the shared result
+// tier of a serve fleet. Both tiers store the gob encoding of the value,
+// so a hit always decodes a fresh copy — cached results can never alias a
+// caller's mutation.
 //
 // Corruption is never fatal: an entry that fails to read or decode is
-// deleted and reported as a miss, so the worst case of a damaged cache
-// directory is recomputation. A nil *Cache is a valid, always-miss cache,
-// which is how the -cache.off flag is implemented.
+// deleted from every tier and reported as a miss, so the worst case of a
+// damaged cache backend is recomputation. A nil *Cache is a valid,
+// always-miss cache, which is how the -cache.off flag is implemented.
 package resultcache
 
 import (
@@ -27,8 +30,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -45,29 +46,30 @@ type Options struct {
 // Stats counts cache traffic since Open.
 type Stats struct {
 	// Hits counts lookups served from either tier; MemHits is the subset
-	// served without touching disk.
+	// served without touching the backend.
 	Hits, MemHits int64
 	// Misses counts lookups that found no usable entry.
 	Misses int64
 	// Stores counts successful Put calls.
 	Stores int64
-	// Corrupt counts entries that existed on disk but failed to read or
+	// Corrupt counts entries that existed in the backend but failed to
 	// decode (each is deleted and counted as a miss too).
 	Corrupt int64
-	// Errors counts disk write failures (the cache keeps working; the
+	// Errors counts backend write failures (the cache keeps working; the
 	// entry is simply not persisted).
 	Errors int64
 }
 
-// Cache is a two-tier content-addressed result store. It is safe for
-// concurrent use. The nil *Cache is a valid disabled cache: every Get
-// misses and every Put is a no-op.
+// Cache is a two-tier content-addressed result store: an in-memory LRU in
+// front of a pluggable Store backend. It is safe for concurrent use. The
+// nil *Cache is a valid disabled cache: every Get misses and every Put is
+// a no-op.
 type Cache struct {
-	dir  string // "" = memory-only
-	mu   sync.Mutex
-	lru  *list.List               // of *memEntry, front = most recent
-	byID map[string]*list.Element // key -> element
-	max  int
+	store Store // nil = memory-only
+	mu    sync.Mutex
+	lru   *list.List               // of *memEntry, front = most recent
+	byID  map[string]*list.Element // key -> element
+	max   int
 
 	hits, memHits, misses, stores, corrupt, errors atomic.Int64
 }
@@ -77,23 +79,32 @@ type memEntry struct {
 	blob []byte
 }
 
-// Open returns a cache rooted at dir, creating it if needed. An empty dir
-// yields a memory-only cache (useful for tests and one-shot processes).
+// Open returns a cache over the conventional disk backend rooted at dir,
+// creating it if needed. An empty dir yields a memory-only cache (useful
+// for tests and one-shot processes).
 func Open(dir string, opts Options) (*Cache, error) {
+	if dir == "" {
+		return New(nil, opts), nil
+	}
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return New(store, opts), nil
+}
+
+// New returns a cache over an explicit backend. A nil store yields a
+// memory-only cache: the LRU tier is the only tier.
+func New(store Store, opts Options) *Cache {
 	if opts.MemEntries <= 0 {
 		opts.MemEntries = 1024
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("resultcache: %w", err)
-		}
-	}
 	return &Cache{
-		dir:  dir,
-		lru:  list.New(),
-		byID: make(map[string]*list.Element),
-		max:  opts.MemEntries,
-	}, nil
+		store: store,
+		lru:   list.New(),
+		byID:  make(map[string]*list.Element),
+		max:   opts.MemEntries,
+	}
 }
 
 // Key derives the content address for an artifact: a SHA-256 over the kind
@@ -130,12 +141,15 @@ func (c *Cache) Get(key string, out any) bool {
 		c.misses.Add(1)
 		return false
 	}
-	if c.dir == "" {
+	if c.store == nil {
 		c.misses.Add(1)
 		return false
 	}
-	blob, err := os.ReadFile(c.path(key))
+	blob, err := c.store.Get(key)
 	if err != nil {
+		if err != ErrNotFound {
+			c.errors.Add(1)
+		}
 		c.misses.Add(1)
 		return false
 	}
@@ -160,8 +174,8 @@ func (c *Cache) Put(key string, val any) {
 	}
 	blob := buf.Bytes()
 	c.memPut(key, blob)
-	if c.dir != "" {
-		if err := c.writeFile(key, blob); err != nil {
+	if c.store != nil {
+		if err := c.store.Put(key, blob); err != nil {
 			c.errors.Add(1)
 			return
 		}
@@ -184,12 +198,22 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// Dir reports the on-disk root ("" for memory-only caches).
-func (c *Cache) Dir() string {
+// Store reports the backend ("" tier excluded; nil for memory-only caches).
+func (c *Cache) Store() Store {
 	if c == nil {
+		return nil
+	}
+	return c.store
+}
+
+// Dir reports the backend location ("" for memory-only caches). The name
+// is historical: for disk backends it is the on-disk root, for remote
+// backends the base URL.
+func (c *Cache) Dir() string {
+	if c == nil || c.store == nil {
 		return ""
 	}
-	return c.dir
+	return c.store.Location()
 }
 
 // decode unpacks a blob, dropping the entry from both tiers on corruption.
@@ -199,43 +223,10 @@ func (c *Cache) decode(key string, blob []byte, out any) bool {
 	}
 	c.corrupt.Add(1)
 	c.memDrop(key)
-	if c.dir != "" {
-		os.Remove(c.path(key))
+	if c.store != nil {
+		c.store.Delete(key)
 	}
 	return false
-}
-
-// path shards entries over 256 subdirectories so huge campaigns don't
-// degenerate into one enormous directory.
-func (c *Cache) path(key string) string {
-	shard := "xx"
-	if len(key) >= 2 {
-		shard = key[:2]
-	}
-	return filepath.Join(c.dir, shard, key+".gob")
-}
-
-// writeFile persists atomically: temp file in the final directory, then
-// rename, so readers never observe a partial entry.
-func (c *Cache) writeFile(key string, blob []byte) error {
-	p := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), p)
 }
 
 func (c *Cache) memGet(key string) ([]byte, bool) {

@@ -1,0 +1,161 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrNotFound is the sentinel a Store returns for an absent key. Any other
+// error is an infrastructure failure (I/O, network) and is counted against
+// the backend, not treated as a plain miss semantics change: the Cache
+// degrades either way, but Stats tells them apart.
+var ErrNotFound = errors.New("resultcache: not found")
+
+// Store is the pluggable blob tier under the Cache: a flat, content-addressed
+// map from hex keys to opaque byte blobs. Implementations must be safe for
+// concurrent use and must tolerate Delete of absent keys (the corrupt-entry
+// recovery path deletes optimistically). The Cache front tier owns the gob
+// encoding, the in-memory LRU, and corruption handling; a backend only needs
+// durable (or shared) byte storage. Conformance for new backends is locked by
+// resultcache/conformance_test.go — run any future backend (SQL, minio-style
+// object store) through the same table.
+type Store interface {
+	// Get returns the blob stored under key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Put stores blob under key, overwriting any previous value. Readers
+	// racing a Put must observe either the old or the new blob, never a
+	// torn mixture.
+	Put(key string, blob []byte) error
+	// Delete removes key. Deleting an absent key is a no-op, not an error.
+	Delete(key string) error
+	// Location describes the backend for log lines ("dir", "http://…").
+	Location() string
+}
+
+// DiskStore is the content-addressed local-disk backend: entries live at
+// dir/ab/abcdef….gob, sharded over 256 subdirectories so huge campaigns
+// don't degenerate into one enormous directory, and writes go through a
+// temp-file-plus-rename so readers never observe a partial entry.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore returns a disk backend rooted at dir, creating it if needed.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: disk store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Location reports the store's root directory.
+func (s *DiskStore) Location() string { return s.dir }
+
+// path shards entries over 256 subdirectories.
+func (s *DiskStore) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".gob")
+}
+
+// Get reads the blob for key from disk.
+func (s *DiskStore) Get(key string) ([]byte, error) {
+	blob, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	return blob, err
+}
+
+// Put persists atomically: temp file in the final directory, then rename.
+func (s *DiskStore) Put(key string, blob []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// Delete removes the entry; an absent entry is a no-op.
+func (s *DiskStore) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// MemStore is a map-backed Store for tests and ephemeral single-process
+// fleets: shared, durable for the process lifetime, and trivially fast.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory backend.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Location identifies the backend in log lines.
+func (s *MemStore) Location() string { return "mem" }
+
+// Get returns the stored blob. The blob is copied so a caller can never
+// alias the store's internal buffer.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	blob, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(blob))
+	copy(out, blob)
+	return out, nil
+}
+
+// Put stores a private copy of blob under key.
+func (s *MemStore) Put(key string, blob []byte) error {
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.mu.Lock()
+	s.m[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes the entry; absent keys are a no-op.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of stored blobs (test helper).
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -1,0 +1,32 @@
+package spec
+
+import (
+	"archcontest/internal/resultcache"
+	"archcontest/internal/sim"
+)
+
+// RouteKey derives the content-address identity of the artifacts this spec
+// will compute or reuse — the routing input for a cache-aware cluster
+// coordinator: two specs with the same RouteKey touch the same cached leaf
+// results, so sending them to the same node maximizes that node's
+// result-cache hit rate.
+//
+// The key hashes exactly what the leaf cache keys hash, minus the trace
+// fingerprint (the trace is itself a deterministic function of bench and
+// N, which are included): engine version, kind, benchmark, trace length,
+// the resolved core configurations, and the execution options that change
+// results. Observation-only fields (Verify, Record, SampleNs, Parallelism)
+// are deliberately excluded: they change how a scenario is watched, not
+// which artifacts it produces, so a recorded re-run of a cached scenario
+// still routes to the node that holds its artifacts.
+//
+// RouteKey normalizes a copy of the spec; an invalid spec still yields a
+// deterministic key (resolution errors fold in as an empty core list), so
+// routing never fails before validation does.
+func (sp Spec) RouteKey() string {
+	sp.Normalize()
+	cfgs, _ := sp.ResolveCores()
+	return resultcache.Key("route",
+		sim.EngineVersion, sp.Kind, sp.Bench, sp.N, cfgs,
+		sp.LatencyNs, sp.Run, sp.Contest, sp.Experiment, sp.Pairs, sp.Explore)
+}

@@ -174,3 +174,47 @@ func TestSpecValidateDefaults(t *testing.T) {
 		t.Errorf("normalized spec %+v", sp)
 	}
 }
+
+// TestRouteKey: the cluster routing identity must follow artifact
+// identity — observation toggles leave it fixed, artifact-changing fields
+// move it, and it is deterministic across normalized/unnormalized copies.
+func TestRouteKey(t *testing.T) {
+	base := Spec{Kind: KindContest, Bench: "twolf", N: 20000, Cores: []string{"twolf", "vpr"}}
+	k := base.RouteKey()
+	if k == "" || k != base.RouteKey() {
+		t.Fatal("RouteKey not deterministic")
+	}
+
+	// Normalization-invariant: an empty kind that infers to contest and an
+	// explicit one route identically.
+	inferred := Spec{Bench: "twolf", N: 20000, Cores: []string{"twolf", "vpr"}}
+	if inferred.RouteKey() != k {
+		t.Error("inferred-kind spec routes differently from its explicit twin")
+	}
+
+	// Observation-only fields keep the key: a recorded or verified re-run
+	// of a scenario still lands on the node holding its artifacts.
+	obs := base
+	obs.Record = true
+	obs.Verify = true
+	obs.SampleNs = 50
+	obs.Parallelism = 4
+	if obs.RouteKey() != k {
+		t.Error("observation-only fields changed the route key")
+	}
+
+	// Artifact-changing fields must move the key.
+	for name, mut := range map[string]func(*Spec){
+		"bench": func(s *Spec) { s.Bench = "vpr" },
+		"n":     func(s *Spec) { s.N = 40000 },
+		"cores": func(s *Spec) { s.Cores = []string{"twolf", "gcc"} },
+		"lat":   func(s *Spec) { s.LatencyNs = 9 },
+		"opts":  func(s *Spec) { s.Contest = &contest.Options{MaxLag: 7} },
+	} {
+		mutated := base
+		mut(&mutated)
+		if mutated.RouteKey() == k {
+			t.Errorf("%s change did not change the route key", name)
+		}
+	}
+}
