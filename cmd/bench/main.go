@@ -21,6 +21,7 @@
 //	bench -cpuprofile p.prof   # CPU profile (source for cmd/bench/default.pgo)
 //	bench -campaign            # campaign benchmark -> BENCH_campaign.json
 //	bench -campaign -campaign.n 100000
+//	bench -statecost           # kill-refork warm-up sweep -> BENCH_statecost.json
 //	bench -campaign -campaign.workers "1,2,4"  # cold-cache worker scaling rows
 package main
 
@@ -326,6 +327,9 @@ func main() {
 	fastmodelBench := flag.Bool("fastmodel", false, "calibrate the fast interval model and measure the explore filter instead of the execution engine")
 	fastmodelN := flag.Int("fastmodel.n", 10_000, "fast-model calibration trace length in instructions")
 	fastmodelOut := flag.String("fastmodel.o", "BENCH_fastmodel.json", "fast-model output JSON path")
+	statecostBench := flag.Bool("statecost", false, "sweep the kill-refork state-transfer warm-up cost instead of benchmarking the execution engine")
+	statecostN := flag.Int("statecost.n", 200_000, "state-transfer sweep trace length in instructions")
+	statecostOut := flag.String("statecost.o", "BENCH_statecost.json", "state-transfer sweep output JSON path")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (source for cmd/bench/default.pgo)")
 	workers := flag.String("workers", "", "comma-separated worker counts for the multi-core scaling leg (e.g. \"1,2,4\"); empty skips it")
 	contestWorkers := flag.String("contest.workers", "", "comma-separated worker counts for the contest-batch scaling leg (ContestRunBatch); empty skips it")
@@ -357,6 +361,10 @@ func main() {
 	}
 	if *fastmodelBench {
 		runFastmodelBench(ctx, *fastmodelN, *fastmodelOut)
+		return
+	}
+	if *statecostBench {
+		runStatecostBench(ctx, *statecostN, *statecostOut)
 		return
 	}
 	if *n <= 0 {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"archcontest"
+	"archcontest/internal/cmdutil"
+)
+
+// statecostRow is one sweep point of the state-transfer benchmark: a
+// kill-refork contest at one warm-up cost, compared against the own core.
+type statecostRow struct {
+	Benchmark string `json:"benchmark"`
+	// WarmupNs is the swept per-refork state-transfer interval; -1 marks
+	// the exception-free reference contest.
+	WarmupNs float64 `json:"warmup_ns"`
+	// Cold reports whether reforked cores also restarted with reset
+	// predictors and invalidated caches on top of the warm-up charge.
+	Cold bool `json:"cold"`
+	// ContestIPT and OwnIPT are simulated instructions per nanosecond.
+	ContestIPT float64 `json:"contest_ipt"`
+	OwnIPT     float64 `json:"own_ipt"`
+	// Speedup is ContestIPT/OwnIPT - 1: negative means the state-transfer
+	// cost has pushed contesting below just running the own core.
+	Speedup float64 `json:"speedup"`
+	// StateTransferNs is the total warm-up time the run charged.
+	StateTransferNs float64 `json:"state_transfer_ns"`
+	WallSeconds     float64 `json:"wall_seconds"`
+}
+
+type statecostReport struct {
+	Generated string         `json:"generated"`
+	Insts     int            `json:"insts"`
+	NumCPU    int            `json:"num_cpu"`
+	Rows      []statecostRow `json:"rows"`
+	// Crossovers maps each benchmark/state pair ("gcc/warm", "gcc/cold")
+	// to the smallest swept warm-up at which contesting stopped beating
+	// the own core (absent: none did).
+	Crossovers map[string]float64 `json:"crossovers,omitempty"`
+}
+
+// statecostPairs are the contested pairs of the sweep: each benchmark's own
+// core against the complementary core its phases alternate toward (the
+// best-pair choices of the full campaign, pinned here so the benchmark
+// needs no campaign pass).
+var statecostPairs = map[string][]string{
+	"gcc":   {"gcc", "mcf"},
+	"twolf": {"twolf", "vpr"},
+}
+
+// runStatecostBench sweeps the kill-refork state-transfer warm-up from free
+// to OS-migration scale and emits one BENCH row per sweep point, tracking
+// where the contesting-wins crossover moves as the cost grows.
+func runStatecostBench(ctx context.Context, n int, out string) {
+	if n <= 0 {
+		log.Fatalf("-statecost.n must be positive, got %d", n)
+	}
+	warmups := []float64{0, 500, 2000, 5000, 10000, 20000}
+	rep := statecostReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Insts:      n,
+		NumCPU:     runtime.NumCPU(),
+		Crossovers: map[string]float64{},
+	}
+	fmt.Printf("%-8s %-5s %12s %12s %12s %9s\n", "bench", "state", "warmup ns", "contest IPT", "own IPT", "speedup")
+	for _, bench := range []string{"gcc", "twolf"} {
+		tr := archcontest.MustGenerateTrace(bench, n)
+		own := archcontest.MustRun(archcontest.MustPaletteCore(bench), tr)
+		pair := statecostPairs[bench]
+		cfgs := []archcontest.CoreConfig{
+			archcontest.MustPaletteCore(pair[0]),
+			archcontest.MustPaletteCore(pair[1]),
+		}
+		for _, cold := range []bool{false, true} {
+			state := "warm"
+			if cold {
+				state = "cold"
+			}
+			points := warmups
+			if !cold {
+				// One exception-free reference contest per benchmark.
+				points = append([]float64{-1}, warmups...)
+			}
+			for _, w := range points {
+				opts := archcontest.ContestOptions{}
+				if w >= 0 {
+					opts = archcontest.ContestOptions{
+						ExceptionEvery:      50000,
+						ExceptionKillRefork: true,
+						ReforkWarmupNs:      w,
+						ReforkColdPredictor: cold,
+						ReforkColdCaches:    cold,
+					}
+				}
+				start := time.Now()
+				r, err := archcontest.ContestRunContext(ctx, cfgs, tr, opts)
+				if err != nil {
+					log.Fatalf("statecost %s warmup=%g: %v", bench, w, err)
+				}
+				row := statecostRow{
+					Benchmark:       bench,
+					WarmupNs:        w,
+					Cold:            cold,
+					ContestIPT:      r.IPT(),
+					OwnIPT:          own.IPT(),
+					Speedup:         r.IPT()/own.IPT() - 1,
+					StateTransferNs: r.StateTransfer.Nanoseconds(),
+					WallSeconds:     time.Since(start).Seconds(),
+				}
+				rep.Rows = append(rep.Rows, row)
+				key := bench + "/" + state
+				if _, seen := rep.Crossovers[key]; w >= 0 && row.Speedup <= 0 && !seen {
+					rep.Crossovers[key] = w
+				}
+				fmt.Printf("%-8s %-5s %12g %12.3f %12.3f %8.1f%%\n", bench, state, w, row.ContestIPT, row.OwnIPT, 100*row.Speedup)
+			}
+		}
+	}
+	for _, bench := range []string{"gcc", "twolf"} {
+		for _, state := range []string{"warm", "cold"} {
+			if w, ok := rep.Crossovers[bench+"/"+state]; ok {
+				fmt.Printf("%-8s %-5s crossover at warmup %gns\n", bench, state, w)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmdutil.WriteFileAtomic(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}

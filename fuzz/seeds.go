@@ -3,7 +3,8 @@ package fuzz
 // The seed corpus, by construction rather than by capture: each seed decodes
 // into one of the regimes the verification subsystem most needs to see —
 // engine defaults, exception rendezvous (both handler styles), a saturated
-// lagger, store-queue backpressure, and a 3-way contest. `go run ./fuzz/gen`
+// lagger, store-queue backpressure, a 3-way contest, predictor diversity
+// (TAGE vs bimodal), and cold-state kill-refork warm-up. `go run ./fuzz/gen`
 // writes these into testdata/fuzz/<target>/ for every fuzz target; the
 // targets also f.Add them, so `go test` exercises each regime even without
 // -fuzz.
@@ -22,19 +23,28 @@ func buildSeed(bench byte, n uint16, mut []byte, cores [][]byte, opts []byte) []
 	b = append(b, pad(mut, 22)...)
 	b = append(b, byte(len(cores)-2)) // decodeContest: 2 + byte%2 cores
 	for _, c := range cores {
-		b = append(b, pad(c, 10)...)
+		b = append(b, pad(c, configBytes)...)
 	}
-	return append(b, pad(opts, 5)...)
+	return append(b, pad(opts, optionBytes)...)
 }
 
-// Core mutation bytes: [base, width, rob, iq, lsq, wake, sched, fe, mem, clock].
+// Core mutation bytes: [base, width, rob, iq, lsq, wake, sched, fe, mem,
+// clock, predKind, predGeomA, predGeomB] — predKind 0 keeps the palette
+// gshare, 1/2/3 decode bimodal/gshare/TAGE geometries.
 var (
 	fastCore = []byte{0, 3, 3, 0, 3, 0, 1, 0, 30, 0}  // 4-wide, ROB 128, 0.25ns
 	midCore  = []byte{4, 1, 2, 1, 2, 1, 0, 4, 80, 2}  // 2-wide, ROB 64, 0.5ns
 	slowCore = []byte{1, 0, 1, 1, 1, 2, 3, 8, 250, 4} // scalar, ROB 32, 1ns, slow memory
+	// Predictor-diverse cores: fastCore's structure with a decoded TAGE,
+	// midCore's with a decoded bimodal — the interface fallback and the
+	// TAGE fast path in one contest.
+	tageCore    = []byte{0, 3, 3, 0, 3, 0, 1, 0, 30, 0, 3, 2, 1}
+	bimodalCore = []byte{4, 1, 2, 1, 2, 1, 0, 4, 80, 2, 1, 4, 0}
 )
 
-// Option bytes: [latencyIdx, maxLagIdx, sqCapIdx, excIdx, flags].
+// Option bytes: [latencyIdx, maxLagIdx, sqCapIdx, excIdx, flags, warmByte];
+// warmByte packs the warm-up ladder index (bits 0-1), cold-predictor (bit
+// 2), cold-caches (bit 3), and the lead-change ladder index (bits 4+).
 
 // SeedCorpus returns the checked-in seed inputs, in a fixed order. Index 0
 // is the engine-defaults seed.
@@ -54,6 +64,11 @@ func SeedCorpus() [][]byte {
 		buildSeed(7, 1500, storeHeavy, [][]byte{fastCore, midCore}, []byte{0, 0, 1, 0, 0}),
 		// 3-way contest at high latency with training on inject disabled.
 		buildSeed(9, 1200, nil, [][]byte{fastCore, midCore, slowCore}, []byte{3, 3, 4, 0, 2}),
+		// Predictor diversity: TAGE vs bimodal under exception rendezvous.
+		buildSeed(2, 1500, nil, [][]byte{tageCore, bimodalCore}, []byte{0, 0, 0, 2, 0}),
+		// Kill-refork with the full state-transfer model: 1000ns warm-up,
+		// cold predictor and caches, 50ns lead-change charge (0x1e).
+		buildSeed(3, 1800, nil, [][]byte{tageCore, midCore}, []byte{0, 0, 0, 3, 1, 0x1e}),
 		// Empty input: everything decodes to its ladder's first rung.
 		{},
 	}

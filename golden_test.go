@@ -11,6 +11,8 @@ package archcontest
 import (
 	"reflect"
 	"testing"
+
+	"archcontest/internal/branch"
 )
 
 const goldenInsts = 20_000
@@ -72,6 +74,82 @@ func TestGoldenEquivalenceContested(t *testing.T) {
 			}
 			if !reflect.DeepEqual(slow, fast) {
 				t.Errorf("%s vs %s on %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", p.a, p.b, b, slow, fast)
+			}
+		}
+	}
+}
+
+// goldenPredictors are the non-default predictor variants of the golden
+// grid: the palette is all-gshare, so without these legs the bimodal
+// interface fallback and the TAGE fast path in doFetch had no golden
+// coverage at all.
+var goldenPredictors = []struct {
+	name string
+	cfg  branch.Config
+}{
+	{"bimodal", branch.Config{Kind: "bimodal", LogSize: 12}},
+	{"tage", branch.DefaultTAGEConfig()},
+}
+
+func TestGoldenEquivalencePredictorPalette(t *testing.T) {
+	for _, b := range []string{"gcc", "twolf", "crafty"} {
+		tr := MustGenerateTrace(b, goldenInsts)
+		for _, p := range goldenPredictors {
+			cfg := MustPaletteCore(b)
+			cfg.Name = b + "-" + p.name
+			cfg.Predictor = p.cfg
+			slow, err := Run(cfg, tr, RunOptions{LogRegions: true, SingleStep: true})
+			if err != nil {
+				t.Fatalf("%s on %s (single-step): %v", b, cfg.Name, err)
+			}
+			fast, err := Run(cfg, tr, RunOptions{LogRegions: true})
+			if err != nil {
+				t.Fatalf("%s on %s (event-driven): %v", b, cfg.Name, err)
+			}
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s on %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", b, cfg.Name, slow, fast)
+			}
+		}
+	}
+}
+
+// TestGoldenEquivalenceWarmupContested covers the state-transfer model in
+// the contested golden grid: gshare vs TAGE on the same structural core
+// under kill-refork with warm-up charges, cold-state reforks, and the
+// lead-change accounting — the paths the base contested grid never takes.
+func TestGoldenEquivalenceWarmupContested(t *testing.T) {
+	variants := []struct {
+		name string
+		opts ContestOptions
+	}{
+		{"warmup", ContestOptions{ExceptionEvery: 640, ExceptionKillRefork: true, ReforkWarmupNs: 250}},
+		{"cold", ContestOptions{ExceptionEvery: 640, ExceptionKillRefork: true,
+			ReforkWarmupNs: 250, ReforkColdPredictor: true, ReforkColdCaches: true,
+			LeadChangeWarmupNs: 25}},
+	}
+	for _, b := range []string{"gcc", "twolf"} {
+		tr := MustGenerateTrace(b, goldenInsts)
+		cfgG := MustPaletteCore(b)
+		cfgT := cfgG
+		cfgT.Name = b + "-tage"
+		cfgT.Predictor = branch.DefaultTAGEConfig()
+		cfgs := []CoreConfig{cfgG, cfgT}
+		for _, v := range variants {
+			slowOpts := v.opts
+			slowOpts.RegionSize = 20
+			slowOpts.SingleStep = true
+			fastOpts := v.opts
+			fastOpts.RegionSize = 20
+			slow, err := ContestRun(cfgs, tr, slowOpts)
+			if err != nil {
+				t.Fatalf("%s %s (single-step): %v", b, v.name, err)
+			}
+			fast, err := ContestRun(cfgs, tr, fastOpts)
+			if err != nil {
+				t.Fatalf("%s %s (event-driven): %v", b, v.name, err)
+			}
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", b, v.name, slow, fast)
 			}
 		}
 	}

@@ -1,11 +1,16 @@
 // Package branch implements the dynamic branch direction predictors used by
-// the core model: a bimodal table of two-bit counters and a gshare predictor
-// (global history XORed into the counter index).
+// the core model: a bimodal table of two-bit counters, a gshare predictor
+// (global history XORed into the counter index), and a TAGE predictor
+// (tagged tables with geometric history lengths; see tage.go).
 //
 // The Appendix-A core configurations of the paper do not vary the predictor,
 // so every core uses the same predictor geometry by default; the package
-// still exposes the parameters because the exploration tool and the ablation
-// benches exercise them.
+// still exposes the parameters because the exploration tool, the predictor
+// experiment family, and the ablation benches exercise them.
+//
+// All constructors validate geometry and return errors (never panic), so
+// configurations decoded from untrusted JSON specs can be rejected without
+// taking down a serve node.
 package branch
 
 import "fmt"
@@ -49,17 +54,17 @@ type Bimodal struct {
 }
 
 // NewBimodal returns a bimodal predictor with 2^logSize counters,
-// initialized to weakly taken.
-func NewBimodal(logSize int) *Bimodal {
+// initialized to weakly taken. It returns an error on invalid geometry.
+func NewBimodal(logSize int) (*Bimodal, error) {
 	if logSize < 1 || logSize > 24 {
-		panic(fmt.Sprintf("branch: bimodal logSize %d out of range", logSize))
+		return nil, fmt.Errorf("branch: bimodal logSize %d out of range [1,24]", logSize)
 	}
 	b := &Bimodal{
 		table: make([]counter, 1<<logSize),
 		mask:  1<<logSize - 1,
 	}
 	b.Reset()
-	return b
+	return b, nil
 }
 
 func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
@@ -90,13 +95,14 @@ type Gshare struct {
 }
 
 // NewGshare returns a gshare predictor with 2^logSize counters and the given
-// global history length. historyBits must not exceed logSize.
-func NewGshare(logSize, historyBits int) *Gshare {
+// global history length. historyBits must not exceed logSize. It returns an
+// error on invalid geometry.
+func NewGshare(logSize, historyBits int) (*Gshare, error) {
 	if logSize < 1 || logSize > 24 {
-		panic(fmt.Sprintf("branch: gshare logSize %d out of range", logSize))
+		return nil, fmt.Errorf("branch: gshare logSize %d out of range [1,24]", logSize)
 	}
 	if historyBits < 0 || historyBits > logSize {
-		panic(fmt.Sprintf("branch: gshare historyBits %d out of range for logSize %d", historyBits, logSize))
+		return nil, fmt.Errorf("branch: gshare historyBits %d out of range for logSize %d", historyBits, logSize)
 	}
 	g := &Gshare{
 		table:       make([]counter, 1<<logSize),
@@ -104,7 +110,7 @@ func NewGshare(logSize, historyBits int) *Gshare {
 		historyBits: historyBits,
 	}
 	g.Reset()
-	return g
+	return g, nil
 }
 
 func (g *Gshare) index(pc uint64) uint64 {
@@ -136,12 +142,26 @@ func (g *Gshare) Reset() {
 
 // Config selects and sizes a predictor.
 type Config struct {
-	// Kind is "gshare" or "bimodal".
+	// Kind is "gshare", "bimodal", or "tage".
 	Kind string
-	// LogSize is the log2 of the counter table size.
+	// LogSize is the log2 of the counter table size (for TAGE: the base
+	// bimodal table).
 	LogSize int
 	// HistoryBits is the global history length (gshare only).
 	HistoryBits int
+
+	// TAGE geometry (Kind "tage" only; must be zero otherwise).
+
+	// TageTables is the number of tagged components.
+	TageTables int
+	// TageLogSize is the log2 of each tagged component's entry count.
+	TageLogSize int
+	// TageTagBits is the partial-tag width of the tagged entries.
+	TageTagBits int
+	// TageMinHist and TageMaxHist bound the geometric history-length
+	// series (TageMaxHist <= 64).
+	TageMinHist int
+	TageMaxHist int
 }
 
 // DefaultConfig is the predictor used by every Appendix-A core: a 4K-entry
@@ -150,20 +170,44 @@ func DefaultConfig() Config {
 	return Config{Kind: "gshare", LogSize: 12, HistoryBits: 10}
 }
 
-// New builds the predictor described by the config.
+// DefaultTAGEConfig is the reference TAGE geometry used by the predictor
+// experiments and the explore menu: a 4K-entry bimodal base plus six
+// 512-entry tagged tables with 9-bit tags and history lengths spanning
+// 4..64 — long enough to separate interleaved loop patterns that outrun a
+// gshare history register.
+func DefaultTAGEConfig() Config {
+	return Config{
+		Kind: "tage", LogSize: 12,
+		TageTables: 6, TageLogSize: 9, TageTagBits: 9,
+		TageMinHist: 4, TageMaxHist: 64,
+	}
+}
+
+// New builds the predictor described by the config. All geometry problems
+// surface as errors.
 func (c Config) New() (Predictor, error) {
 	switch c.Kind {
 	case "gshare":
-		if c.LogSize < 1 || c.LogSize > 24 || c.HistoryBits < 0 || c.HistoryBits > c.LogSize {
-			return nil, fmt.Errorf("branch: invalid gshare config %+v", c)
+		if c.hasTageGeometry() {
+			return nil, fmt.Errorf("branch: gshare config with TAGE geometry %+v", c)
 		}
-		return NewGshare(c.LogSize, c.HistoryBits), nil
+		return NewGshare(c.LogSize, c.HistoryBits)
 	case "bimodal":
-		if c.LogSize < 1 || c.LogSize > 24 {
-			return nil, fmt.Errorf("branch: invalid bimodal config %+v", c)
+		if c.HistoryBits != 0 || c.hasTageGeometry() {
+			return nil, fmt.Errorf("branch: bimodal config with extraneous geometry %+v", c)
 		}
-		return NewBimodal(c.LogSize), nil
+		return NewBimodal(c.LogSize)
+	case "tage":
+		if c.HistoryBits != 0 {
+			return nil, fmt.Errorf("branch: tage config sets gshare HistoryBits %d", c.HistoryBits)
+		}
+		return NewTAGE(c.LogSize, c.TageTables, c.TageLogSize, c.TageTagBits, c.TageMinHist, c.TageMaxHist)
 	default:
 		return nil, fmt.Errorf("branch: unknown predictor kind %q", c.Kind)
 	}
+}
+
+func (c Config) hasTageGeometry() bool {
+	return c.TageTables != 0 || c.TageLogSize != 0 || c.TageTagBits != 0 ||
+		c.TageMinHist != 0 || c.TageMaxHist != 0
 }

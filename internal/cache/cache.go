@@ -125,6 +125,18 @@ func (c *Cache) Reset() {
 	c.Stats = Stats{}
 }
 
+// Invalidate drops every line but keeps the accumulated statistics and the
+// LRU clock: it models the cold tag arrays of a killed-and-restarted thread
+// in the middle of a run. Dirty lines vanish without a writeback charge —
+// acceptable for the write-through configurations the contest layer uses,
+// where dirty is never set.
+func (c *Cache) Invalidate() {
+	for i := range c.lines {
+		c.dirty[i] = false
+		c.lines[i] = line{}
+	}
+}
+
 func (c *Cache) set(addr uint64) (base int, tag uint64) {
 	block := addr >> c.blockShift
 	return int(block&c.setMask) * c.assoc, block >> c.setShift
@@ -324,6 +336,14 @@ func (h *Hierarchy) Reset() {
 	h.L2.Reset()
 	h.l2Free = 0
 	h.memFree = 0
+}
+
+// Invalidate drops every line in both levels while keeping statistics and
+// port state, modelling a cold cache handed to a freshly reforked core
+// mid-run without corrupting the run's accumulated counters.
+func (h *Hierarchy) Invalidate() {
+	h.L1.Invalidate()
+	h.L2.Invalidate()
 }
 
 // l2Access runs one access through the L2 port starting no earlier than

@@ -36,6 +36,9 @@ type FreeParams struct {
 	L2Sets        int
 	L2Assoc       int
 	L2Block       int
+	// Predictor selects the branch predictor; the zero value means the
+	// Appendix-A default, so pre-existing callers are unchanged.
+	Predictor branch.Config
 }
 
 // Derive completes a core configuration from free parameters using the
@@ -55,6 +58,11 @@ func Derive(p FreeParams) (CoreConfig, error) {
 	bypassWork := 0.35 + 0.035*float64(p.Width)
 	const memNs = 57.0
 
+	pred := p.Predictor
+	if pred == (branch.Config{}) {
+		pred = branch.DefaultConfig()
+	}
+
 	c := CoreConfig{
 		Name:             p.Name,
 		ClockPeriodNs:    p.ClockPeriodNs,
@@ -68,7 +76,7 @@ func Derive(p FreeParams) (CoreConfig, error) {
 		MemLatencyCycles: clampInt(roundDiv(memNs, p.ClockPeriodNs), 10, 2000),
 		L1D:              l1,
 		L2D:              l2,
-		Predictor:        branch.DefaultConfig(),
+		Predictor:        pred,
 	}
 	if err := c.Validate(); err != nil {
 		return CoreConfig{}, err

@@ -62,6 +62,27 @@ type Options struct {
 	// ExceptionReforkNs is the per-core refork penalty under
 	// ExceptionKillRefork.
 	ExceptionReforkNs float64
+	// ReforkWarmupNs charges an additional state-transfer interval per
+	// reforked (non-designated) core under ExceptionKillRefork, on top of
+	// ExceptionReforkNs: the time to re-establish the architectural and TLB
+	// state the kill destroyed. Zero charges nothing, preserving existing
+	// results bit-for-bit.
+	ReforkWarmupNs float64
+	// ReforkColdPredictor, under ExceptionKillRefork, resets the branch
+	// predictor tables of every non-designated core when a kill-refork
+	// barrier forms: the reforked thread re-trains from cold state, and the
+	// warm-up mispredicts that follow are paid inside the simulation.
+	ReforkColdPredictor bool
+	// ReforkColdCaches, under ExceptionKillRefork, likewise invalidates the
+	// non-designated cores' private cache hierarchies at each kill-refork
+	// (statistics and port state are preserved).
+	ReforkColdCaches bool
+	// LeadChangeWarmupNs charges a post-hoc state-transfer interval per
+	// lead change, modelling contesting variants where handing leadership
+	// to another core is not free (e.g. migrating privileged state). It is
+	// pure accounting: the charge is added to Result.Time after the run and
+	// never alters the contest's dynamics. Zero charges nothing.
+	LeadChangeWarmupNs float64
 	// MaxTimeNs aborts runs exceeding the bound (0 = a generous default
 	// derived from the trace length).
 	MaxTimeNs float64
@@ -142,6 +163,12 @@ type Result struct {
 	PerCore []pipeline.Stats
 	// Regions is the winning core's per-region retirement log, if enabled.
 	Regions []ticks.Time
+	// StateTransfer is the total warm-up time charged for state transfer:
+	// the kill-refork warm-up intervals (ReforkWarmupNs, already inside
+	// Time via the rendezvous release) plus the post-hoc lead-change
+	// charges (LeadChangeWarmupNs, added to Time after the run). Zero when
+	// neither knob is set.
+	StateTransfer ticks.Duration
 }
 
 // IPT reports the system's instructions per nanosecond.

@@ -25,10 +25,21 @@ type exceptionCoordinator struct {
 	// refork, when set, models terminate-and-refork: the non-designated
 	// cores pay an additional refork penalty each.
 	refork ticks.Duration
+	// warmup is the per-reforked-core state-transfer interval charged on
+	// top of refork (Options.ReforkWarmupNs).
+	warmup ticks.Duration
+	// coldPred and coldCaches, when set, destroy the microarchitectural
+	// state of the non-designated cores at each kill-refork barrier: the
+	// reforked threads restart with untrained predictors / empty caches.
+	coldPred   bool
+	coldCaches bool
 
 	barrier   int64 // instruction index of the exception being coordinated
 	releaseAt ticks.Time
 	pending   bool
+	// transfer accumulates the warm-up time charged across barriers, for
+	// Result.StateTransfer.
+	transfer ticks.Duration
 }
 
 // isException reports whether instruction idx raises a synchronous
@@ -67,13 +78,41 @@ func (x *exceptionCoordinator) gate(core int, idx int64, at ticks.Time) bool {
 	x.barrier = idx
 	x.pending = true
 	cost := x.handler
-	if x.refork > 0 {
+	if x.refork > 0 || x.warmup > 0 {
 		// Terminate-and-refork instead: the designated core services the
-		// exception while every other core's thread is killed and reforked.
-		cost += x.refork * ticks.Duration(x.activeCores()-1)
+		// exception while every other core's thread is killed and reforked,
+		// each paying the refork penalty plus the state-transfer warm-up.
+		reforked := ticks.Duration(x.activeCores() - 1)
+		cost += (x.refork + x.warmup) * reforked
+		x.transfer += x.warmup * reforked
+	}
+	if x.coldPred || x.coldCaches {
+		x.coldRefork()
 	}
 	x.releaseAt = at.Add(cost)
 	return at >= x.releaseAt
+}
+
+// coldRefork destroys the microarchitectural state of every active core
+// except the designated one — the current leader — at barrier formation.
+// Barrier formation happens at the same global point in both schedulers
+// (every progressing core cycle runs at the same cycle, in the same order,
+// with the same inputs in either), and the leader identity is maintained
+// identically, so the resets land on the same cores at the same point of
+// the execution and the two schedulers stay bit-identical.
+func (x *exceptionCoordinator) coldRefork() {
+	designated := x.sys.leader
+	for i, c := range x.sys.cores {
+		if i == designated || x.sys.saturated[i] {
+			continue
+		}
+		if x.coldPred {
+			c.ResetPredictor()
+		}
+		if x.coldCaches {
+			c.InvalidateCaches()
+		}
+	}
 }
 
 // allReached reports whether every active (non-saturated) core has retired

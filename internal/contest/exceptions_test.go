@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"archcontest/internal/config"
+	"archcontest/internal/ticks"
 	"archcontest/internal/workload"
 )
 
@@ -61,6 +62,146 @@ func TestExceptionsPreserveCompletion(t *testing.T) {
 	loser := 1 - r.Winner
 	if r.PerCore[loser].Retired < r.Insts-500-1 {
 		t.Errorf("loser retired only %d of %d despite 500-instruction rendezvous", r.PerCore[loser].Retired, r.Insts)
+	}
+}
+
+func TestReforkWarmupChargesStateTransfer(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	base, err := Run(cfgs, tr, Options{ExceptionEvery: 2000, ExceptionKillRefork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.StateTransfer != 0 {
+		t.Errorf("state transfer charged without a warm-up knob: %v", base.StateTransfer)
+	}
+	warm, err := Run(cfgs, tr, Options{
+		ExceptionEvery: 2000, ExceptionKillRefork: true, ReforkWarmupNs: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 kill-refork barriers, each reforking one non-designated core.
+	want := ticks.FromNanoseconds(1000) * 10
+	if warm.StateTransfer != want {
+		t.Errorf("state transfer %v, want %v", warm.StateTransfer, want)
+	}
+	if warm.Time <= base.Time {
+		t.Errorf("warm-up at no cost: %v vs %v", warm.Time, base.Time)
+	}
+}
+
+func TestReforkColdPredictorRetrainsFromScratch(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	opts := Options{ExceptionEvery: 2000, ExceptionKillRefork: true}
+	base, err := Run(cfgs, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ReforkColdPredictor = true
+	cold, err := Run(cfgs, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMiss := base.PerCore[0].Mispredicts + base.PerCore[1].Mispredicts
+	coldMiss := cold.PerCore[0].Mispredicts + cold.PerCore[1].Mispredicts
+	if coldMiss <= baseMiss {
+		t.Errorf("cold-predictor reforks mispredicted %d times, want more than warm %d",
+			coldMiss, baseMiss)
+	}
+}
+
+func TestReforkColdCachesMissMore(t *testing.T) {
+	tr := workload.MustGenerate("mcf", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	opts := Options{ExceptionEvery: 2000, ExceptionKillRefork: true}
+	base, err := Run(cfgs, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ReforkColdCaches = true
+	cold, err := Run(cfgs, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMiss := base.PerCore[0].L1D.Misses + base.PerCore[1].L1D.Misses
+	coldMiss := cold.PerCore[0].L1D.Misses + cold.PerCore[1].L1D.Misses
+	if coldMiss <= baseMiss {
+		t.Errorf("cold-cache reforks missed %d times, want more than warm %d", coldMiss, baseMiss)
+	}
+}
+
+func TestLeadChangeWarmupIsPostHocAccounting(t *testing.T) {
+	tr := workload.MustGenerate("bzip", 60000)
+	cfgs := []config.CoreConfig{fastCore("fast"), slowBigCore("big")}
+	base, err := Run(cfgs, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LeadChanges == 0 {
+		t.Fatal("phase-diverse trace produced no lead changes")
+	}
+	warm, err := Run(cfgs, tr, Options{LeadChangeWarmupNs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure accounting: the dynamics — and so the lead-change count — must
+	// be untouched, and the charge must be exactly per-change.
+	if warm.LeadChanges != base.LeadChanges {
+		t.Fatalf("lead-change warm-up altered the dynamics: %d vs %d changes",
+			warm.LeadChanges, base.LeadChanges)
+	}
+	charge := ticks.FromNanoseconds(100) * ticks.Duration(base.LeadChanges)
+	if warm.StateTransfer != charge {
+		t.Errorf("state transfer %v, want %v", warm.StateTransfer, charge)
+	}
+	if warm.Time != base.Time.Add(charge) {
+		t.Errorf("time %v, want %v + %v", warm.Time, base.Time, charge)
+	}
+}
+
+func TestNegativeWarmupRejected(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 1000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	if _, err := NewSystem(cfgs, tr, Options{ReforkWarmupNs: -1}); err == nil {
+		t.Error("negative refork warm-up accepted")
+	}
+	if _, err := NewSystem(cfgs, tr, Options{LeadChangeWarmupNs: -1}); err == nil {
+		t.Error("negative lead-change warm-up accepted")
+	}
+}
+
+// TestVerifiedWarmupSchedulerEquivalence locks the bit-identity of the two
+// schedulers under the full warm-up model: cold-state reforks land at
+// barrier formation, which happens at the same global point of the
+// execution in either scheduler.
+func TestVerifiedWarmupSchedulerEquivalence(t *testing.T) {
+	tr := workload.MustGenerate("gcc", 20000)
+	cfgs := []config.CoreConfig{fastCore("a"), slowBigCore("b")}
+	opts := Options{
+		ExceptionEvery: 2000, ExceptionKillRefork: true,
+		ReforkWarmupNs: 750, ReforkColdPredictor: true, ReforkColdCaches: true,
+		LeadChangeWarmupNs: 50,
+	}
+	ref := opts
+	ref.SingleStep = true
+	a, err := Run(cfgs, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfgs, tr, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Winner != b.Winner || a.LeadChanges != b.LeadChanges ||
+		a.StateTransfer != b.StateTransfer {
+		t.Fatalf("schedulers diverge under warm-up: %+v vs %+v", a, b)
+	}
+	for i := range a.PerCore {
+		if a.PerCore[i] != b.PerCore[i] {
+			t.Errorf("core %d stats diverge: %+v vs %+v", i, a.PerCore[i], b.PerCore[i])
+		}
 	}
 }
 

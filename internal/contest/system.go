@@ -51,6 +51,12 @@ func NewSystem(cfgs []config.CoreConfig, tr *trace.Trace, opts Options) (*System
 	if lat < 1 {
 		return nil, fmt.Errorf("contest: core-to-core latency %gns below one time-unit", opts.LatencyNs)
 	}
+	if opts.ReforkWarmupNs < 0 {
+		return nil, fmt.Errorf("contest: negative refork warm-up %gns", opts.ReforkWarmupNs)
+	}
+	if opts.LeadChangeWarmupNs < 0 {
+		return nil, fmt.Errorf("contest: negative lead-change warm-up %gns", opts.LeadChangeWarmupNs)
+	}
 
 	n := len(cfgs)
 	s := &System{
@@ -78,6 +84,9 @@ func NewSystem(cfgs []config.CoreConfig, tr *trace.Trace, opts Options) (*System
 		}
 		if opts.ExceptionKillRefork {
 			s.exc.refork = ticks.FromNanoseconds(opts.ExceptionReforkNs)
+			s.exc.warmup = ticks.FromNanoseconds(opts.ReforkWarmupNs)
+			s.exc.coldPred = opts.ReforkColdPredictor
+			s.exc.coldCaches = opts.ReforkColdCaches
 		}
 	}
 	for i, cfg := range cfgs {
@@ -425,6 +434,16 @@ func (s *System) result(winner int) Result {
 		LeadChanges: s.leadChanges,
 		Saturated:   append([]bool(nil), s.saturated...),
 		Regions:     s.cores[winner].RegionTimes(),
+	}
+	if s.exc != nil {
+		res.StateTransfer = s.exc.transfer
+	}
+	if s.opts.LeadChangeWarmupNs > 0 && s.leadChanges > 0 {
+		// Post-hoc accounting: leadership hand-offs are charged against the
+		// final time without having altered the contest's dynamics.
+		st := ticks.FromNanoseconds(s.opts.LeadChangeWarmupNs) * ticks.Duration(s.leadChanges)
+		res.StateTransfer += st
+		res.Time = res.Time.Add(st)
 	}
 	for _, c := range s.cores {
 		res.Cores = append(res.Cores, c.Config().Name)

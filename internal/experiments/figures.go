@@ -35,6 +35,8 @@ var Registry = map[string]Experiment{
 	"power":            Power,
 	"nway":             NWay,
 	"exceptions":       Exceptions,
+	"predictors":       Predictors,
+	"statecost":        StateCost,
 }
 
 // RegistryOrder lists the experiments in presentation order.
@@ -43,6 +45,7 @@ var RegistryOrder = []string{
 	"fig10", "fig11", "fig12", "fig13", "appendixA", "appendixAConfigs",
 	"ablationQueue", "ablationLag", "ablationTrain",
 	"migration", "power", "nway", "exceptions",
+	"predictors", "statecost",
 }
 
 // Figure1 reproduces the Section 2 motivation study: the oracle speedup of

@@ -690,7 +690,10 @@ func (l *Lab) BestPair(ctx context.Context, bench string) (contest.Result, error
 		if err != nil {
 			return nil, err
 		}
-		pairs := study.TopPairs(l.cfg.CandidatePairs)
+		pairs, err := study.TopPairs(l.cfg.CandidatePairs)
+		if err != nil {
+			return nil, err
+		}
 		// Always consider the best pair that includes the benchmark's own core.
 		own := -1
 		for i, c := range l.cores {
@@ -698,7 +701,11 @@ func (l *Lab) BestPair(ctx context.Context, bench string) (contest.Result, error
 				own = i
 			}
 		}
-		for _, pr := range study.TopPairs(len(l.cores) * len(l.cores)) {
+		allPairs, err := study.TopPairs(len(l.cores) * len(l.cores))
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range allPairs {
 			if pr.A == own || pr.B == own {
 				pairs = append(pairs, pr)
 				break

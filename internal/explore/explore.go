@@ -2,9 +2,10 @@
 // design-space exploration that customizes a core configuration for a
 // workload. It varies the same free axes the paper's tool varies —
 // superscalar width, register-file/ROB size, issue-queue size, load/store
-// queue size, L1 and L2 cache geometry, and clock frequency — with the
-// dependent parameters (pipeline depths, wake-up latency, memory and cache
-// latencies) derived by the technology model in internal/config.
+// queue size, L1 and L2 cache geometry, and clock frequency — plus a
+// predictor axis the paper never had (bimodal/gshare/TAGE geometry), with
+// the dependent parameters (pipeline depths, wake-up latency, memory and
+// cache latencies) derived by the technology model in internal/config.
 //
 // The annealer is parallel without giving up determinism. Proposals and
 // acceptance tests consume two independent RNG streams split from the
@@ -28,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 
+	"archcontest/internal/branch"
 	"archcontest/internal/config"
 	"archcontest/internal/fastmodel"
 	"archcontest/internal/obs"
@@ -51,6 +53,19 @@ var (
 	l1SizeMin = 4 << 10
 	l2SizeMax = 4 << 20
 	l2SizeMin = 64 << 10
+	// predMenu orders the predictor palette from cheapest to richest, so a
+	// one-step bump is a meaningful hardware increment like on every other
+	// axis. Index 2 is the Appendix-A default.
+	predMenu = []branch.Config{
+		{Kind: "bimodal", LogSize: 12},
+		{Kind: "gshare", LogSize: 12, HistoryBits: 8},
+		branch.DefaultConfig(), // gshare 12/10
+		{Kind: "gshare", LogSize: 14, HistoryBits: 12},
+		{Kind: "gshare", LogSize: 16, HistoryBits: 14},
+		{Kind: "tage", LogSize: 11, TageTables: 4, TageLogSize: 8, TageTagBits: 8, TageMinHist: 2, TageMaxHist: 32},
+		branch.DefaultTAGEConfig(), // 6 tables, hist 4..64
+		{Kind: "tage", LogSize: 12, TageTables: 8, TageLogSize: 10, TageTagBits: 10, TageMinHist: 2, TageMaxHist: 64},
+	}
 )
 
 // Options configures an annealing run.
@@ -166,6 +181,7 @@ type state struct {
 	rob, iq, lsq           int
 	l1Sets, l1Assoc, l1Blk int
 	l2Sets, l2Assoc, l2Blk int
+	pred                   int
 }
 
 func (s state) params(name string) config.FreeParams {
@@ -182,6 +198,7 @@ func (s state) params(name string) config.FreeParams {
 		L2Sets:        setsMenu[s.l2Sets],
 		L2Assoc:       assocMenu[s.l2Assoc],
 		L2Block:       blockMenu[s.l2Blk],
+		Predictor:     predMenu[s.pred],
 	}
 }
 
@@ -204,14 +221,20 @@ func defaultState() state {
 		clock: 5, width: 2, rob: 3, iq: 1, lsq: 2,
 		l1Sets: 3, l1Assoc: 1, l1Blk: 3,
 		l2Sets: 4, l2Assoc: 3, l2Blk: 4,
+		pred: 2, // Appendix-A gshare
 	}
 }
 
-// neighbor perturbs one randomly chosen axis by one menu step.
+// neighbor perturbs one randomly chosen axis by one menu step. The axis
+// count includes the predictor menu (axis 11, added in PR 9): walks from a
+// pre-existing seed therefore visit different states than before, but every
+// determinism property — identical trajectories across Lookahead and
+// Parallelism, split proposal/acceptance streams — is unchanged (see
+// DESIGN.md §15 for the trajectory-safety argument).
 func neighbor(s state, r *xrand.RNG) state {
 	for {
 		n := s
-		axis := r.Intn(11)
+		axis := r.Intn(12)
 		dir := 1
 		if r.Bool(0.5) {
 			dir = -1
@@ -249,6 +272,8 @@ func neighbor(s state, r *xrand.RNG) state {
 			n.l2Assoc = bump(n.l2Assoc, len(assocMenu))
 		case 10:
 			n.l2Blk = bump(n.l2Blk, len(blockMenu))
+		case 11:
+			n.pred = bump(n.pred, len(predMenu))
 		}
 		if n != s && n.valid() {
 			return n

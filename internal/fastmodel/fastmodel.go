@@ -20,6 +20,7 @@ package fastmodel
 import (
 	"sync"
 
+	"archcontest/internal/branch"
 	"archcontest/internal/cache"
 	"archcontest/internal/config"
 	"archcontest/internal/isa"
@@ -62,11 +63,10 @@ func New(tr *trace.Trace) *Model {
 	}
 }
 
-type predKey struct {
-	kind        string
-	logSize     int
-	historyBits int
-}
+// predKey is the full predictor configuration: branch.Config is a
+// comparable struct, so keying the memo by value keeps the replay exact for
+// every kind — gshare, bimodal, and TAGE geometry alike.
+type predKey = branch.Config
 
 type geomKey struct {
 	l1Sets, l1Assoc, l1Block int
@@ -103,7 +103,7 @@ type memReplay struct {
 // predFor replays the predictor configuration over the trace's branches,
 // memoized by predictor geometry.
 func (m *Model) predFor(cfg config.CoreConfig) (*predReplay, error) {
-	key := predKey{cfg.Predictor.Kind, cfg.Predictor.LogSize, cfg.Predictor.HistoryBits}
+	key := predKey(cfg.Predictor)
 	m.mu.Lock()
 	pr, ok := m.preds[key]
 	if !ok {

@@ -31,23 +31,37 @@ type Options struct {
 	// TransferNs is the register-state transfer latency per migration; the
 	// paper's core-to-core latency is the natural floor. Zero selects 10ns
 	// (a drained pipeline handing ~64 registers over a 1ns-away bus is
-	// charitably fast for a migrational design).
+	// charitably fast for a migrational design). A negative value selects
+	// an explicitly free transfer — the zero value keeps the default, so
+	// the free-migration bound needs its own encoding.
 	TransferNs float64
 	// DrainPenaltyInstrs approximates the pipeline drain + refill cost in
 	// instructions of lost issue on each side of a migration. Zero selects
-	// 100 (roughly one window of an average configuration).
+	// 100 (roughly one window of an average configuration); a negative
+	// value selects an explicitly free drain, as with TransferNs.
 	DrainPenaltyInstrs int
+	// WarmupNs charges an explicit destination warm-up interval per
+	// migration, the migrational counterpart of the contest layer's
+	// state-transfer knobs (contest.Options.ReforkWarmupNs). Zero charges
+	// nothing, preserving existing results bit-for-bit.
+	WarmupNs float64
 	// WarmCaches, if true, pretends the destination core's caches are warm
 	// (an optimistic bound isolating the transfer/drain costs).
 	WarmCaches bool
 }
 
 func (o *Options) applyDefaults() {
-	if o.TransferNs == 0 {
+	switch {
+	case o.TransferNs == 0:
 		o.TransferNs = 10
+	case o.TransferNs < 0:
+		o.TransferNs = 0
 	}
-	if o.DrainPenaltyInstrs == 0 {
+	switch {
+	case o.DrainPenaltyInstrs == 0:
 		o.DrainPenaltyInstrs = 100
+	case o.DrainPenaltyInstrs < 0:
+		o.DrainPenaltyInstrs = 0
 	}
 }
 
@@ -95,11 +109,15 @@ func OracleMigration(a, b sim.Result, cfgA, cfgB config.CoreConfig, opts Options
 	if len(a.Regions) != len(b.Regions) {
 		return Result{}, fmt.Errorf("migrate: region logs differ: %d vs %d", len(a.Regions), len(b.Regions))
 	}
+	if opts.WarmupNs < 0 {
+		return Result{}, fmt.Errorf("migrate: negative warm-up %gns", opts.WarmupNs)
+	}
 	da := switching.RegionTimes(a.Regions)
 	db := switching.RegionTimes(b.Regions)
 	step := opts.Granularity / sim.RegionSize
 
 	transfer := ticks.FromNanoseconds(opts.TransferNs)
+	warmup := ticks.FromNanoseconds(opts.WarmupNs)
 	var total ticks.Duration
 	migrations := 0
 	onA := true // start wherever the first region is faster
@@ -123,9 +141,11 @@ func OracleMigration(a, b sim.Result, cfgA, cfgB config.CoreConfig, opts Options
 			onA = wantA
 			migrations++
 			switched = true
-			total += transfer
+			total += transfer + warmup
 			// Drain/refill: the cost of DrainPenaltyInstrs at the slower of
-			// the two cores' paces in this region.
+			// the two cores' paces in this region. The window's instruction
+			// count is exact even for a short trailing window, because the
+			// region log only ever covers full regions.
 			worst := ta
 			if tb > worst {
 				worst = tb
@@ -150,8 +170,12 @@ func OracleMigration(a, b sim.Result, cfgA, cfgB config.CoreConfig, opts Options
 		total += regionTime
 	}
 	return Result{
-		Time:        total,
-		Insts:       a.Insts,
+		Time: total,
+		// The region log only covers full regions, so a trailing partial
+		// region contributes no time to total; counting its instructions
+		// anyway would overstate IPT on traces whose length is not a
+		// multiple of the region size.
+		Insts:       int64(len(da)) * int64(sim.RegionSize),
 		Migrations:  migrations,
 		Granularity: opts.Granularity,
 	}, nil

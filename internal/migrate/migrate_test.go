@@ -66,6 +66,72 @@ func TestOracleMigrationRejects(t *testing.T) {
 	}
 }
 
+// TestExplicitZeroCosts locks the negative-selects-zero encoding: with
+// explicitly free transfer and drain and warm caches, the oracle migration
+// time is exactly the sum of the per-region minima — on the old defaulting
+// rule, -1 slipped through applyDefaults and *subtracted* time per
+// migration.
+func TestExplicitZeroCosts(t *testing.T) {
+	a := regionRun([]ticks.Time{100, 400, 500, 800}, 80) // 100,300,100,300
+	b := regionRun([]ticks.Time{300, 400, 700, 800}, 80) // 300,100,300,100
+	cfg := config.MustPaletteCore("gcc")
+	r, err := OracleMigration(a, b, cfg, cfg, Options{
+		Granularity: 20, TransferNs: -1, DrainPenaltyInstrs: -1, WarmCaches: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations != 3 {
+		t.Fatalf("migrations %d, want 3", r.Migrations)
+	}
+	if want := ticks.Duration(4 * 100); r.Time != want {
+		t.Errorf("free-migration oracle time %d, want %d", r.Time, want)
+	}
+}
+
+// TestInstsCoverLoggedRegionsOnly locks the accounting fix for traces whose
+// length is not a multiple of the region size: the region log covers only
+// full regions, so Insts (and hence IPT) must match the covered span, not
+// the raw trace length.
+func TestInstsCoverLoggedRegionsOnly(t *testing.T) {
+	// 50 instructions: two full 20-instruction regions logged, 10 trailing
+	// instructions unlogged and untimed.
+	a := regionRun([]ticks.Time{100, 200}, 50)
+	b := regionRun([]ticks.Time{150, 250}, 50)
+	cfg := config.MustPaletteCore("gcc")
+	r, err := OracleMigration(a, b, cfg, cfg, Options{Granularity: 20, WarmCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts != 40 {
+		t.Errorf("insts %d, want the 40 covered by the region log", r.Insts)
+	}
+}
+
+func TestWarmupChargedPerMigration(t *testing.T) {
+	a := regionRun([]ticks.Time{100, 400, 500, 800}, 80)
+	b := regionRun([]ticks.Time{300, 400, 700, 800}, 80)
+	cfg := config.MustPaletteCore("gcc")
+	opts := Options{Granularity: 20, TransferNs: -1, DrainPenaltyInstrs: -1, WarmCaches: true}
+	base, err := OracleMigration(a, b, cfg, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.WarmupNs = 2
+	warm, err := OracleMigration(a, b, cfg, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charge := ticks.FromNanoseconds(2) * ticks.Duration(base.Migrations)
+	if warm.Time != base.Time+charge {
+		t.Errorf("warm-up time %d, want %d + %d", warm.Time, base.Time, charge)
+	}
+	opts.WarmupNs = -1
+	if _, err := OracleMigration(a, b, cfg, cfg, opts); err == nil {
+		t.Error("negative warm-up accepted")
+	}
+}
+
 func TestSweepAgainstRealRuns(t *testing.T) {
 	tr := workload.MustGenerate("twolf", 30000)
 	a := config.MustPaletteCore("twolf")

@@ -228,9 +228,11 @@ type Core struct {
 	onRetire func(idx int64, at ticks.Time)
 	checker  Checker
 	legacy   bool
-	// gshare is the predictor devirtualized when it is the common gshare
-	// implementation; nil otherwise (fetch falls back to the interface).
+	// gshare/tage devirtualize the predictor when it is one of the known
+	// concrete implementations; both nil otherwise (fetch falls back to
+	// the interface). At most one is non-nil.
 	gshare *branch.Gshare
+	tage   *branch.TAGE
 	// Hot CoreConfig limits mirrored the same way: fetch, dispatch, issue
 	// and the next-event scan all test them every cycle.
 	width   int
@@ -374,8 +376,11 @@ func NewCore(cfg config.CoreConfig, tr *trace.Trace, opts Options) (*Core, error
 		iqSize:        cfg.IQSize,
 		lsqSize:       cfg.LSQSize,
 	}
-	if g, ok := pred.(*branch.Gshare); ok {
-		c.gshare = g
+	switch p := pred.(type) {
+	case *branch.Gshare:
+		c.gshare = p
+	case *branch.TAGE:
+		c.tage = p
 	}
 	// One backing allocation for every int64 field array, plus the flags.
 	backing := make([]int64, 12*ringSize)
@@ -462,6 +467,18 @@ func (c *Core) Stats() Stats {
 // (every RegionSize-th instruction). The returned slice aliases internal
 // state and must not be modified.
 func (c *Core) RegionTimes() []ticks.Time { return c.regions }
+
+// ResetPredictor clears the branch predictor's learned state. The contest
+// layer uses it to model the cold tables of a killed-and-reforked thread:
+// the refork destroys the microarchitectural state the thread had trained
+// on its core, and the warm-up mispredicts that follow are then paid inside
+// the simulation rather than by an external estimate.
+func (c *Core) ResetPredictor() { c.pred.Reset() }
+
+// InvalidateCaches drops every line in the core's cache hierarchy while
+// keeping hit/miss statistics and port scheduling intact — the cold-cache
+// counterpart of ResetPredictor for kill-refork state-transfer modelling.
+func (c *Core) InvalidateCaches() { c.hier.Invalidate() }
 
 // Step advances the core by one clock cycle.
 func (c *Core) Step() {
@@ -1281,6 +1298,8 @@ func (c *Core) doFetch() {
 				if !c.opts.NoTrainOnInject {
 					if g := c.gshare; g != nil {
 						g.Update(in.PC, in.Taken)
+					} else if tg := c.tage; tg != nil {
+						tg.Update(in.PC, in.Taken)
 					} else {
 						c.pred.Update(in.PC, in.Taken)
 					}
@@ -1290,6 +1309,8 @@ func (c *Core) doFetch() {
 			var predicted bool
 			if g := c.gshare; g != nil {
 				predicted = g.Predict(in.PC)
+			} else if tg := c.tage; tg != nil {
+				predicted = tg.Predict(in.PC)
 			} else {
 				predicted = c.pred.Predict(in.PC)
 			}
@@ -1303,6 +1324,8 @@ func (c *Core) doFetch() {
 			// plus in-order counter training.
 			if g := c.gshare; g != nil {
 				g.Update(in.PC, in.Taken)
+			} else if tg := c.tage; tg != nil {
+				tg.Update(in.PC, in.Taken)
 			} else {
 				c.pred.Update(in.PC, in.Taken)
 			}

@@ -239,6 +239,16 @@ func (sp *Spec) Validate() error {
 		if sp.Contest.LatencyNs < 0 {
 			return fmt.Errorf("spec: negative contest latency_ns %g", sp.Contest.LatencyNs)
 		}
+		if sp.Contest.ReforkWarmupNs < 0 {
+			return fmt.Errorf("spec: negative contest refork warm-up %g", sp.Contest.ReforkWarmupNs)
+		}
+		if sp.Contest.LeadChangeWarmupNs < 0 {
+			return fmt.Errorf("spec: negative contest lead-change warm-up %g", sp.Contest.LeadChangeWarmupNs)
+		}
+		if !sp.Contest.ExceptionKillRefork &&
+			(sp.Contest.ReforkWarmupNs > 0 || sp.Contest.ReforkColdPredictor || sp.Contest.ReforkColdCaches) {
+			return fmt.Errorf("spec: refork warm-up options need exception_kill_refork")
+		}
 	}
 	if sp.Run != nil && sp.Kind != KindRun {
 		return fmt.Errorf("spec: run options on kind %q", sp.Kind)

@@ -190,17 +190,17 @@ func TestBestPairAtSingleConfiguration(t *testing.T) {
 
 func TestTopPairsBounds(t *testing.T) {
 	s := studyFrom(t, 0, durs(2, 2), durs(1, 3), durs(3, 1))
-	if got := s.TopPairs(100); len(got) != 3 {
-		t.Fatalf("k beyond pair count: %d pairs", len(got))
+	if got, err := s.TopPairs(100); err != nil || len(got) != 3 {
+		t.Fatalf("k beyond pair count: %d pairs (err %v)", len(got), err)
 	}
-	got := s.TopPairs(1)
-	if len(got) != 1 || got[0].A != 1 || got[0].B != 2 {
-		t.Fatalf("top pair %+v", got)
+	got, err := s.TopPairs(1)
+	if err != nil || len(got) != 1 || got[0].A != 1 || got[0].B != 2 {
+		t.Fatalf("top pair %+v (err %v)", got, err)
 	}
-	if got := s.TopPairs(0); len(got) != 0 {
-		t.Fatalf("k=0 returned pairs: %+v", got)
+	if got, err := s.TopPairs(0); err != nil || len(got) != 0 {
+		t.Fatalf("k=0 returned pairs: %+v (err %v)", got, err)
 	}
-	if got := s.TopPairs(-3); len(got) != 0 {
-		t.Fatalf("negative k returned pairs: %+v", got)
+	if got, err := s.TopPairs(-3); err != nil || len(got) != 0 {
+		t.Fatalf("negative k returned pairs: %+v (err %v)", got, err)
 	}
 }

@@ -66,7 +66,9 @@ func OracleTime(a, b []ticks.Duration) (ticks.Duration, error) {
 type PairResult struct {
 	// A and B index the two configurations of the best pair.
 	A, B int
-	// Speedup is oracle time of the pair over the baseline time.
+	// Speedup is the pair's relative oracle speedup over the baseline:
+	// baselineTime/oracleTime − 1, so 0.25 means the oracle switcher
+	// finishes 25% faster than the baseline (negative means slower).
 	Speedup float64
 }
 
@@ -172,8 +174,11 @@ func (s *Study) Sweep(baseRegion int) ([]GranularityPoint, error) {
 
 // TopPairs returns up to k distinct configuration pairs ranked by their
 // fine-grain (base granularity) oracle time — the shortlist used to select
-// contesting candidates without contesting all pairs.
-func (s *Study) TopPairs(k int) []PairResult {
+// contesting candidates without contesting all pairs. Region logs of
+// mismatched lengths (impossible for a study built by NewStudy, which
+// enforces the invariant) are an error: silently skipping such pairs would
+// mask a region-length regression as a shorter shortlist.
+func (s *Study) TopPairs(k int) ([]PairResult, error) {
 	type scored struct {
 		pr PairResult
 		t  ticks.Duration
@@ -183,7 +188,7 @@ func (s *Study) TopPairs(k int) []PairResult {
 		for b := a + 1; b < len(s.Regions); b++ {
 			t, err := OracleTime(s.Regions[a], s.Regions[b])
 			if err != nil {
-				continue
+				return nil, fmt.Errorf("switching: pair (%s,%s): %w", s.Names[a], s.Names[b], err)
 			}
 			sp := float64(s.BaselineTime)/float64(t) - 1
 			all = append(all, scored{pr: PairResult{A: a, B: b, Speedup: sp}, t: t})
@@ -206,5 +211,5 @@ func (s *Study) TopPairs(k int) []PairResult {
 	for _, sc := range all[:k] {
 		out = append(out, sc.pr)
 	}
-	return out
+	return out, nil
 }

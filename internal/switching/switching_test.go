@@ -175,7 +175,10 @@ func TestTopPairs(t *testing.T) {
 		mkRun([]ticks.Time{150, 200, 350, 400}),
 	}
 	s, _ := NewStudy([]string{"base", "x", "y"}, runs, 0)
-	top := s.TopPairs(2)
+	top, err := s.TopPairs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(top) != 2 {
 		t.Fatalf("top pairs %d", len(top))
 	}
@@ -185,7 +188,55 @@ func TestTopPairs(t *testing.T) {
 	if top[0].Speedup < top[1].Speedup {
 		t.Error("pairs not ranked")
 	}
-	if got := s.TopPairs(100); len(got) != 3 {
-		t.Errorf("requesting more pairs than exist returned %d", len(got))
+	if got, err := s.TopPairs(100); err != nil || len(got) != 3 {
+		t.Errorf("requesting more pairs than exist returned %d (err %v)", len(got), err)
+	}
+}
+
+// TestTopPairsSurfacesRaggedRegions locks the NewStudy invariant into
+// TopPairs: a hand-built study whose region logs disagree in length must
+// produce an error, not a silently shortened shortlist that would mask a
+// region-length regression.
+func TestTopPairsSurfacesRaggedRegions(t *testing.T) {
+	s := &Study{
+		Names: []string{"a", "b"},
+		Regions: [][]ticks.Duration{
+			{10, 20, 30},
+			{10, 20},
+		},
+		BaselineTime: 60,
+	}
+	if _, err := s.TopPairs(1); err == nil {
+		t.Error("ragged region logs ranked without error")
+	}
+}
+
+// TestSpeedupValuePinned pins the Speedup definition to
+// baselineTime/oracleTime − 1: baseline 400, oracle pair time 300 (regions
+// min(100,150)+min(100,50)+min(100,150)+min(100,50)) → 400/300 − 1 = 1/3.
+func TestSpeedupValuePinned(t *testing.T) {
+	runs := []sim.Result{
+		mkRun([]ticks.Time{100, 200, 300, 400}), // 100,100,100,100
+		mkRun([]ticks.Time{150, 200, 350, 400}), // 150,50,150,50
+	}
+	s, err := NewStudy([]string{"base", "alt"}, runs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, oracle := 400.0, 300.0
+	want := base/oracle - 1
+	best, err := s.BestPairAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Speedup != want {
+		t.Errorf("BestPairAt speedup %v, want %v", best.Speedup, want)
+	}
+	top, err := s.TopPairs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Speedup != want {
+		t.Errorf("TopPairs speedup %+v, want %v", top, want)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"archcontest/internal/branch"
 	"archcontest/internal/invariant"
 	"archcontest/internal/oracle"
 	"archcontest/internal/sim"
@@ -86,6 +87,49 @@ func TestInvariantGoldenContested(t *testing.T) {
 			if res.Insts != int64(tr.Len()) {
 				t.Fatalf("%s vs %s on %s: retired %d of %d", p.a, p.b, b, res.Insts, tr.Len())
 			}
+		}
+	}
+}
+
+// TestInvariantGoldenPredictors re-runs the predictor-palette golden legs
+// under the full verification subsystem: bimodal and TAGE own cores with
+// the differential oracle attached, then the gshare-vs-TAGE contest under
+// the kill-refork state-transfer model (warm-up charge, cold predictor and
+// caches, lead-change accounting) with the invariant checker and system
+// observer watching every cycle.
+func TestInvariantGoldenPredictors(t *testing.T) {
+	for _, b := range []string{"gcc", "twolf"} {
+		tr := MustGenerateTrace(b, goldenInsts)
+		for _, p := range goldenPredictors {
+			cfg := MustPaletteCore(b)
+			cfg.Name = b + "-" + p.name
+			cfg.Predictor = p.cfg
+			res, err := RunVerifiedWith(cfg, tr, RunOptions{}, VerifyOptions{ScanEvery: verifyScanEvery})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", b, cfg.Name, err)
+			}
+			if res.Insts != int64(tr.Len()) {
+				t.Fatalf("%s on %s: retired %d of %d", b, cfg.Name, res.Insts, tr.Len())
+			}
+		}
+		cfgG := MustPaletteCore(b)
+		cfgT := cfgG
+		cfgT.Name = b + "-tage"
+		cfgT.Predictor = branch.DefaultTAGEConfig()
+		opts := ContestOptions{
+			ExceptionEvery: 640, ExceptionKillRefork: true,
+			ReforkWarmupNs: 250, ReforkColdPredictor: true, ReforkColdCaches: true,
+			LeadChangeWarmupNs: 25,
+		}
+		res, err := ContestRunVerifiedWith([]CoreConfig{cfgG, cfgT}, tr, opts, VerifyOptions{ScanEvery: verifyScanEvery})
+		if err != nil {
+			t.Fatalf("%s warm-up contest: %v", b, err)
+		}
+		if res.Insts != int64(tr.Len()) {
+			t.Fatalf("%s warm-up contest: retired %d of %d", b, res.Insts, tr.Len())
+		}
+		if res.StateTransfer <= 0 {
+			t.Errorf("%s warm-up contest: no state-transfer cost recorded (%+v)", b, res)
 		}
 	}
 }
