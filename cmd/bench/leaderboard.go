@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"archcontest/internal/cmdutil"
+	"archcontest/internal/experiments"
+)
+
+// leaderboardReport is BENCH_leaderboard.json: the full-suite championship
+// of every registered predictor x replacement policy x prefetcher
+// combination, ranked per workload and overall, with each workload's top
+// two combos contested head-to-head.
+type leaderboardReport struct {
+	Generated string `json:"generated"`
+	Insts     int    `json:"insts"`
+	NumCPU    int    `json:"num_cpu"`
+	// Combos is the size of the cross-product actually raced.
+	Combos int `json:"combos"`
+	experiments.LeaderboardReport
+}
+
+// runLeaderboardBench races the registered component cross-product over the
+// whole workload suite and writes the ranking report.
+func runLeaderboardBench(ctx context.Context, n int, out string) {
+	if n <= 0 {
+		log.Fatalf("-leaderboard.n must be positive, got %d", n)
+	}
+	l := experiments.NewLab(experiments.Config{N: n})
+	start := time.Now()
+	rep, err := experiments.LeaderboardRun(ctx, l, l.Benchmarks())
+	if err != nil {
+		log.Fatalf("leaderboard: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%-28s %14s %6s\n", "combo", "geomean (norm)", "wins")
+	for i, s := range rep.Standings {
+		if i >= 10 {
+			fmt.Printf("... %d more combos\n", len(rep.Standings)-i)
+			break
+		}
+		fmt.Printf("%-28s %14.3f %6d\n", s.Name, s.Geomean, s.Wins)
+	}
+	for _, h := range rep.HeadToHead {
+		fmt.Printf("head-to-head %-8s %s vs %s: contest %.2f IPT (%+.1f%% vs best single, %d lead changes)\n",
+			h.Bench, h.A, h.B, h.ContestIPT, 100*h.Speedup, h.LeadChanges)
+	}
+	stats := l.CampaignStats()
+	fmt.Printf("raced %d combos over %d workloads in %.1fs (%d simulations, %d contests)\n",
+		len(rep.Standings), len(rep.Benches), elapsed.Seconds(), stats.Simulations, stats.Contests)
+
+	full := leaderboardReport{
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		Insts:             n,
+		NumCPU:            runtime.NumCPU(),
+		Combos:            len(rep.Standings),
+		LeaderboardReport: *rep,
+	}
+	data, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmdutil.WriteFileAtomic(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}

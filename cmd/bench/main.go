@@ -22,6 +22,7 @@
 //	bench -campaign            # campaign benchmark -> BENCH_campaign.json
 //	bench -campaign -campaign.n 100000
 //	bench -statecost           # kill-refork warm-up sweep -> BENCH_statecost.json
+//	bench -leaderboard         # component championship -> BENCH_leaderboard.json
 //	bench -campaign -campaign.workers "1,2,4"  # cold-cache worker scaling rows
 package main
 
@@ -330,6 +331,9 @@ func main() {
 	statecostBench := flag.Bool("statecost", false, "sweep the kill-refork state-transfer warm-up cost instead of benchmarking the execution engine")
 	statecostN := flag.Int("statecost.n", 200_000, "state-transfer sweep trace length in instructions")
 	statecostOut := flag.String("statecost.o", "BENCH_statecost.json", "state-transfer sweep output JSON path")
+	leaderboardBench := flag.Bool("leaderboard", false, "race every registered predictor x replacement x prefetcher combination over the workload suite instead of benchmarking the execution engine")
+	leaderboardN := flag.Int("leaderboard.n", 60_000, "leaderboard trace length in instructions")
+	leaderboardOut := flag.String("leaderboard.o", "BENCH_leaderboard.json", "leaderboard output JSON path")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (source for cmd/bench/default.pgo)")
 	workers := flag.String("workers", "", "comma-separated worker counts for the multi-core scaling leg (e.g. \"1,2,4\"); empty skips it")
 	contestWorkers := flag.String("contest.workers", "", "comma-separated worker counts for the contest-batch scaling leg (ContestRunBatch); empty skips it")
@@ -365,6 +369,10 @@ func main() {
 	}
 	if *statecostBench {
 		runStatecostBench(ctx, *statecostN, *statecostOut)
+		return
+	}
+	if *leaderboardBench {
+		runLeaderboardBench(ctx, *leaderboardN, *leaderboardOut)
 		return
 	}
 	if *n <= 0 {

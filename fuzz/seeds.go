@@ -4,7 +4,9 @@ package fuzz
 // into one of the regimes the verification subsystem most needs to see —
 // engine defaults, exception rendezvous (both handler styles), a saturated
 // lagger, store-queue backpressure, a 3-way contest, predictor diversity
-// (TAGE vs bimodal), and cold-state kill-refork warm-up. `go run ./fuzz/gen`
+// (TAGE vs bimodal), cold-state kill-refork warm-up, and cache-component
+// diversity (SRRIP/random replacement with both prefetchers). `go run
+// ./fuzz/gen`
 // writes these into testdata/fuzz/<target>/ for every fuzz target; the
 // targets also f.Add them, so `go test` exercises each regime even without
 // -fuzz.
@@ -29,8 +31,11 @@ func buildSeed(bench byte, n uint16, mut []byte, cores [][]byte, opts []byte) []
 }
 
 // Core mutation bytes: [base, width, rob, iq, lsq, wake, sched, fe, mem,
-// clock, predKind, predGeomA, predGeomB] — predKind 0 keeps the palette
-// gshare, 1/2/3 decode bimodal/gshare/TAGE geometries.
+// clock, predKind, predGeomA, predGeomB, replByte, prefByte] — predKind 0
+// keeps the palette gshare, 1/2/3 decode bimodal/gshare/TAGE geometries;
+// replByte picks L1 (bits 0-1) and L2 (bits 2-3) replacement ladder rungs,
+// prefByte picks the prefetcher ladder rung; zero keeps the fused-LRU,
+// no-prefetch defaults.
 var (
 	fastCore = []byte{0, 3, 3, 0, 3, 0, 1, 0, 30, 0}  // 4-wide, ROB 128, 0.25ns
 	midCore  = []byte{4, 1, 2, 1, 2, 1, 0, 4, 80, 2}  // 2-wide, ROB 64, 0.5ns
@@ -40,6 +45,12 @@ var (
 	// TAGE fast path in one contest.
 	tageCore    = []byte{0, 3, 3, 0, 3, 0, 1, 0, 30, 0, 3, 2, 1}
 	bimodalCore = []byte{4, 1, 2, 1, 2, 1, 0, 4, 80, 2, 1, 4, 0}
+	// Component-diverse cores: fastCore with random L1 / SRRIP L2 and a
+	// stride prefetcher, midCore's bimodal variant with SRRIP L1 and a
+	// next-line prefetcher — the generic replacer paths and both prefetch
+	// kinds in one contest.
+	componentCoreA = []byte{0, 3, 3, 0, 3, 0, 1, 0, 30, 0, 0, 0, 0, 5, 2}
+	componentCoreB = []byte{4, 1, 2, 1, 2, 1, 0, 4, 80, 2, 1, 4, 0, 1, 1}
 )
 
 // Option bytes: [latencyIdx, maxLagIdx, sqCapIdx, excIdx, flags, warmByte];
@@ -69,6 +80,9 @@ func SeedCorpus() [][]byte {
 		// Kill-refork with the full state-transfer model: 1000ns warm-up,
 		// cold predictor and caches, 50ns lead-change charge (0x1e).
 		buildSeed(3, 1800, nil, [][]byte{tageCore, midCore}, []byte{0, 0, 0, 3, 1, 0x1e}),
+		// Component diversity: non-default replacement policies and both
+		// prefetchers, contested under exception rendezvous.
+		buildSeed(4, 1600, nil, [][]byte{componentCoreA, componentCoreB}, []byte{0, 0, 0, 2, 0}),
 		// Empty input: everything decodes to its ladder's first rung.
 		{},
 	}

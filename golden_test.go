@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"archcontest/internal/branch"
+	"archcontest/internal/cache"
 )
 
 const goldenInsts = 20_000
@@ -108,6 +109,87 @@ func TestGoldenEquivalencePredictorPalette(t *testing.T) {
 			}
 			if !reflect.DeepEqual(slow, fast) {
 				t.Errorf("%s on %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", b, cfg.Name, slow, fast)
+			}
+		}
+	}
+}
+
+// goldenComponents are the non-default cache-component variants of the
+// golden grid: the palette is all-LRU with no prefetching, so without these
+// legs the generic replacer path and the prefetch fill timing had no golden
+// coverage. Each entry swaps the replacement policy on both cache levels
+// and/or attaches a prefetcher to the hierarchy.
+var goldenComponents = []struct {
+	name, repl, pref string
+}{
+	{"srrip", "srrip", ""},
+	{"random", "random", ""},
+	{"nextline", "", "nextline"},
+	{"stride", "", "stride"},
+	{"srrip-stride", "srrip", "stride"},
+}
+
+// componentCore equips the bench's own palette core with the named
+// replacement policy (both levels) and prefetcher.
+func componentCore(bench, name, repl, pref string) CoreConfig {
+	cfg := MustPaletteCore(bench)
+	cfg.Name = bench + "-" + name
+	cfg.L1D.Replacement = repl
+	cfg.L2D.Replacement = repl
+	cfg.Prefetch = cache.PrefetchConfig{Name: pref}
+	return cfg
+}
+
+func TestGoldenEquivalenceComponentPalette(t *testing.T) {
+	for _, b := range []string{"gcc", "mcf", "twolf"} {
+		tr := MustGenerateTrace(b, goldenInsts)
+		for _, c := range goldenComponents {
+			cfg := componentCore(b, c.name, c.repl, c.pref)
+			slow, err := Run(cfg, tr, RunOptions{LogRegions: true, SingleStep: true})
+			if err != nil {
+				t.Fatalf("%s on %s (single-step): %v", b, cfg.Name, err)
+			}
+			fast, err := Run(cfg, tr, RunOptions{LogRegions: true})
+			if err != nil {
+				t.Fatalf("%s on %s (event-driven): %v", b, cfg.Name, err)
+			}
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s on %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", b, cfg.Name, slow, fast)
+			}
+		}
+	}
+}
+
+// TestGoldenEquivalenceComponentContested contests a component-equipped core
+// against the unmodified default core, so the generic replacer and prefetch
+// paths are also locked under broadcast/inject traffic and lead changes.
+func TestGoldenEquivalenceComponentContested(t *testing.T) {
+	legs := []struct {
+		name, repl, pref string
+		opts             ContestOptions
+	}{
+		{"srrip-stride", "srrip", "stride", ContestOptions{}},
+		{"random-nextline", "random", "nextline", ContestOptions{ExceptionEvery: 640, ExceptionKillRefork: true, ReforkWarmupNs: 250, ReforkColdCaches: true}},
+	}
+	for _, b := range []string{"gcc", "twolf"} {
+		tr := MustGenerateTrace(b, goldenInsts)
+		for _, leg := range legs {
+			cfgs := []CoreConfig{MustPaletteCore(b), componentCore(b, leg.name, leg.repl, leg.pref)}
+			slowOpts := leg.opts
+			slowOpts.RegionSize = 20
+			slowOpts.SingleStep = true
+			fastOpts := leg.opts
+			fastOpts.RegionSize = 20
+			slow, err := ContestRun(cfgs, tr, slowOpts)
+			if err != nil {
+				t.Fatalf("%s %s (single-step): %v", b, leg.name, err)
+			}
+			fast, err := ContestRun(cfgs, tr, fastOpts)
+			if err != nil {
+				t.Fatalf("%s %s (event-driven): %v", b, leg.name, err)
+			}
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s %s: event-driven result diverges from single-step\nslow: %+v\nfast: %+v", b, leg.name, slow, fast)
 			}
 		}
 	}

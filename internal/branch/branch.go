@@ -162,6 +162,11 @@ type Config struct {
 	// series (TageMaxHist <= 64).
 	TageMinHist int
 	TageMaxHist int
+
+	// Params is an opaque parameter string passed through to registered
+	// predictor factories (see Register). The built-in kinds take their
+	// geometry from the typed fields above and reject a non-empty Params.
+	Params string `json:",omitempty"`
 }
 
 // DefaultConfig is the predictor used by every Appendix-A core: a 4K-entry
@@ -183,27 +188,48 @@ func DefaultTAGEConfig() Config {
 	}
 }
 
-// New builds the predictor described by the config. All geometry problems
-// surface as errors.
+// New builds the predictor described by the config. The built-in kinds are
+// constructed directly; any other kind is resolved through the registry
+// (see Register). All geometry problems surface as errors.
 func (c Config) New() (Predictor, error) {
 	switch c.Kind {
 	case "gshare":
 		if c.hasTageGeometry() {
 			return nil, fmt.Errorf("branch: gshare config with TAGE geometry %+v", c)
 		}
+		if c.Params != "" {
+			return nil, fmt.Errorf("branch: gshare config with opaque params %q", c.Params)
+		}
 		return NewGshare(c.LogSize, c.HistoryBits)
 	case "bimodal":
 		if c.HistoryBits != 0 || c.hasTageGeometry() {
 			return nil, fmt.Errorf("branch: bimodal config with extraneous geometry %+v", c)
+		}
+		if c.Params != "" {
+			return nil, fmt.Errorf("branch: bimodal config with opaque params %q", c.Params)
 		}
 		return NewBimodal(c.LogSize)
 	case "tage":
 		if c.HistoryBits != 0 {
 			return nil, fmt.Errorf("branch: tage config sets gshare HistoryBits %d", c.HistoryBits)
 		}
+		if c.Params != "" {
+			return nil, fmt.Errorf("branch: tage config with opaque params %q", c.Params)
+		}
 		return NewTAGE(c.LogSize, c.TageTables, c.TageLogSize, c.TageTagBits, c.TageMinHist, c.TageMaxHist)
 	default:
-		return nil, fmt.Errorf("branch: unknown predictor kind %q", c.Kind)
+		f, ok := lookup(c.Kind)
+		if !ok {
+			return nil, fmt.Errorf("branch: unknown predictor kind %q", c.Kind)
+		}
+		p, err := f(c)
+		if err != nil {
+			return nil, fmt.Errorf("branch: registered kind %q: %w", c.Kind, err)
+		}
+		if p == nil {
+			return nil, fmt.Errorf("branch: registered kind %q returned a nil predictor", c.Kind)
+		}
+		return p, nil
 	}
 }
 

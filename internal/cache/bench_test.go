@@ -37,7 +37,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 	addrs := benchAddrs(1<<14, 1<<22)
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
-			c := New(tc.cfg)
+			c := MustNew(tc.cfg)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

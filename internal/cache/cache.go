@@ -24,6 +24,13 @@ type Config struct {
 	BlockBytes int
 	// LatencyCycles is the access (hit) latency in core cycles.
 	LatencyCycles int
+
+	// Replacement names the replacement policy. Empty and "lru" select the
+	// built-in true-LRU fast path; any other name resolves through the
+	// replacement-policy registry (RegisterReplacer). ReplParams is the
+	// opaque parameter string handed to a registered policy's factory.
+	Replacement string `json:",omitempty"`
+	ReplParams  string `json:",omitempty"`
 }
 
 // Validate reports whether the configuration is well formed.
@@ -39,6 +46,12 @@ func (c Config) Validate() error {
 	}
 	if c.LatencyCycles < 1 {
 		return fmt.Errorf("cache: latency %d below one cycle", c.LatencyCycles)
+	}
+	if !validReplacerName(c.Replacement) {
+		return fmt.Errorf("cache: unknown replacement policy %q", c.Replacement)
+	}
+	if c.ReplParams != "" && (c.Replacement == "" || c.Replacement == "lru") {
+		return fmt.Errorf("cache: built-in LRU takes no params, got %q", c.ReplParams)
 	}
 	return nil
 }
@@ -61,7 +74,9 @@ type line struct {
 	stamp uint64 // last-use timestamp; lowest is LRU, 0 is invalid
 }
 
-// Cache is one set-associative level with true-LRU replacement.
+// Cache is one set-associative level. Replacement is true LRU by default
+// (the fused fast path below); naming a registered policy in the config
+// routes victim choice through the Replacer interface instead.
 type Cache struct {
 	cfg        Config
 	lines      []line // sets*assoc entries
@@ -71,6 +86,9 @@ type Cache struct {
 	blockShift uint
 	setShift   uint // log2(Sets), for the tag extraction in set()
 	assoc      int  // cfg.Assoc hoisted next to the hot fields
+	// repl is nil for the built-in LRU; non-nil routes Access through the
+	// generic replacement path.
+	repl Replacer
 
 	// Stats accumulates access counts.
 	Stats Stats
@@ -91,11 +109,17 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// New builds a cache level from the config. It panics on an invalid config;
-// validate configurations at the boundary with Config.Validate.
-func New(cfg Config) *Cache {
+// New builds a cache level from the config. Invalid geometry and unknown
+// replacement policies surface as errors, mirroring the predictor
+// constructors, so configurations decoded from untrusted specs are
+// rejected without taking down the process.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
+	}
+	repl, err := newReplacer(cfg.Replacement, cfg.Sets, cfg.Assoc, cfg.ReplParams)
+	if err != nil {
+		return nil, err
 	}
 	n := cfg.Sets * cfg.Assoc
 	c := &Cache{
@@ -104,11 +128,21 @@ func New(cfg Config) *Cache {
 		dirty:   make([]bool, n),
 		setMask: uint64(cfg.Sets - 1),
 		assoc:   cfg.Assoc,
+		repl:    repl,
 	}
 	for bs := cfg.BlockBytes; bs > 1; bs >>= 1 {
 		c.blockShift++
 	}
 	c.setShift = uintLog2(cfg.Sets)
+	return c, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -123,6 +157,9 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.Stats = Stats{}
+	if c.repl != nil {
+		c.repl.Reset()
+	}
 }
 
 // Invalidate drops every line but keeps the accumulated statistics and the
@@ -134,6 +171,11 @@ func (c *Cache) Invalidate() {
 	for i := range c.lines {
 		c.dirty[i] = false
 		c.lines[i] = line{}
+	}
+	// A non-default policy's metadata describes the dropped lines; cold tag
+	// arrays mean cold replacement state too.
+	if c.repl != nil {
+		c.repl.Reset()
 	}
 }
 
@@ -179,6 +221,9 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, wroteBack bool) {
 	base := int(block&c.setMask) * c.assoc
 	tag := block >> c.setShift
 	set := c.lines[base : base+c.assoc]
+	if c.repl != nil {
+		return c.accessReplacer(int(block&c.setMask), base, tag, set, write)
+	}
 	// One fused pass: probe for the tag and track the LRU victim at the
 	// same time, so a miss pays a single walk over the set instead of a
 	// hit-scan followed by a victim-scan. The hit exits at the first
@@ -247,6 +292,95 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, wroteBack bool) {
 	return false, wroteBack
 }
 
+// accessReplacer is the Access tail for a non-default replacement policy:
+// the cache still owns tags, validity (stamp != 0), and dirty state; the
+// Replacer owns recency metadata and the victim choice on a full set. The
+// stamps are maintained exactly as on the LRU path so Probe, Prefill, and
+// Invalidate need no policy awareness.
+func (c *Cache) accessReplacer(setIdx, base int, tag uint64, set []line, write bool) (hit bool, wroteBack bool) {
+	for w := range set {
+		if set[w].stamp != 0 && set[w].tag == tag {
+			c.tick++
+			set[w].stamp = c.tick
+			c.repl.Touch(setIdx, w)
+			if write {
+				c.dirty[base+w] = true
+			}
+			return true, false
+		}
+	}
+	c.Stats.Misses++
+	victim := -1
+	for w := range set {
+		if set[w].stamp == 0 {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.repl.Victim(setIdx)
+		if victim < 0 || victim >= c.assoc {
+			// A misbehaving third-party policy must not corrupt memory; way
+			// 0 keeps the run deterministic and the conformance suite is
+			// where the bug gets reported.
+			victim = 0
+		}
+		if c.dirty[base+victim] {
+			wroteBack = true
+			c.Stats.Writebacks++
+		}
+	}
+	c.tick++
+	set[victim] = line{tag: tag, stamp: c.tick}
+	c.dirty[base+victim] = write
+	c.repl.Insert(setIdx, victim)
+	return false, wroteBack
+}
+
+// Prefill installs addr's block without touching demand statistics or
+// promoting an already-present line: the fill path for prefetches. It
+// returns whether a fill happened (false when the block was already
+// resident). A dirty victim still counts a writeback — the eviction
+// traffic is real regardless of what triggered it.
+func (c *Cache) Prefill(addr uint64) bool {
+	block := addr >> c.blockShift
+	setIdx := int(block & c.setMask)
+	base := setIdx * c.assoc
+	tag := block >> c.setShift
+	set := c.lines[base : base+c.assoc]
+	victim, best := -1, ^uint64(0)
+	for w := range set {
+		if set[w].stamp != 0 && set[w].tag == tag {
+			return false
+		}
+		if set[w].stamp == 0 {
+			if victim < 0 || set[victim].stamp != 0 {
+				victim = w
+				best = 0
+			}
+		} else if c.repl == nil && set[w].stamp < best {
+			victim = w
+			best = set[w].stamp
+		}
+	}
+	if victim < 0 {
+		victim = c.repl.Victim(setIdx)
+		if victim < 0 || victim >= c.assoc {
+			victim = 0
+		}
+	}
+	if set[victim].stamp != 0 && c.dirty[base+victim] {
+		c.Stats.Writebacks++
+	}
+	c.tick++
+	set[victim] = line{tag: tag, stamp: c.tick}
+	c.dirty[base+victim] = false
+	if c.repl != nil {
+		c.repl.Insert(setIdx, victim)
+	}
+	return true
+}
+
 // WritePolicy selects how stores interact with the private levels.
 type WritePolicy uint8
 
@@ -305,6 +439,17 @@ type Hierarchy struct {
 	// does not re-derive them from the level configs on every access.
 	l1Lat, l2Lat  int64
 	l2Occ, memOcc int64
+
+	// pf, when non-nil, observes every demand load and issues prefetch
+	// fills behind the demand stream (see AttachPrefetcher). pfBuf is its
+	// reusable scratch, sized so no conforming prefetcher needs to grow it.
+	pf    Prefetcher
+	pfCfg PrefetchConfig
+	pfBuf [8]uint64
+
+	// Prefetches counts issued prefetch fills (blocks actually brought into
+	// the L1; already-resident candidates are not counted).
+	Prefetches uint64
 }
 
 // NewHierarchy builds the hierarchy. Configurations must be valid.
@@ -318,9 +463,17 @@ func NewHierarchy(l1, l2 Config, memLatency int, policy WritePolicy) (*Hierarchy
 	if memLatency < 1 {
 		return nil, fmt.Errorf("cache: memory latency %d below one cycle", memLatency)
 	}
+	c1, err := New(l1)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	c2, err := New(l2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
 	return &Hierarchy{
-		L1:               New(l1),
-		L2:               New(l2),
+		L1:               c1,
+		L2:               c2,
 		MemLatencyCycles: memLatency,
 		Policy:           policy,
 		l1Lat:            int64(l1.LatencyCycles),
@@ -330,12 +483,32 @@ func NewHierarchy(l1, l2 Config, memLatency int, policy WritePolicy) (*Hierarchy
 	}, nil
 }
 
+// AttachPrefetcher resolves and installs the configured prefetcher. The
+// zero config detaches (today's behaviour — no hook in the load path).
+func (h *Hierarchy) AttachPrefetcher(cfg PrefetchConfig) error {
+	pf, err := NewPrefetcher(cfg, h.L1.Config().BlockBytes)
+	if err != nil {
+		return err
+	}
+	h.pf = pf
+	h.pfCfg = cfg
+	return nil
+}
+
+// PrefetchConfigured reports the attached prefetcher's configuration (the
+// zero value when none is attached).
+func (h *Hierarchy) PrefetchConfigured() PrefetchConfig { return h.pfCfg }
+
 // Reset invalidates both levels and clears statistics and port state.
 func (h *Hierarchy) Reset() {
 	h.L1.Reset()
 	h.L2.Reset()
 	h.l2Free = 0
 	h.memFree = 0
+	h.Prefetches = 0
+	if h.pf != nil {
+		h.pf.Reset()
+	}
 }
 
 // Invalidate drops every line in both levels while keeping statistics and
@@ -344,6 +517,9 @@ func (h *Hierarchy) Reset() {
 func (h *Hierarchy) Invalidate() {
 	h.L1.Invalidate()
 	h.L2.Invalidate()
+	if h.pf != nil {
+		h.pf.Reset()
+	}
 }
 
 // l2Access runs one access through the L2 port starting no earlier than
@@ -371,17 +547,57 @@ func (h *Hierarchy) memAccess(earliest int64) int64 {
 
 // Load looks up a read of addr issued at cycle `now` and returns its
 // latency in cycles, including any queueing on the L2 port and the memory
-// channel.
+// channel. With a prefetcher attached, prefetch fills are issued after the
+// demand access resolves: they occupy the L2 port (and the memory channel
+// on an L2 miss) behind the demand stream, so aggressive prefetching costs
+// bandwidth, but they never lengthen the triggering load itself.
 func (h *Hierarchy) Load(addr uint64, now int64) int {
 	l1Done := now + h.l1Lat
 	if hit, _ := h.L1.Access(addr, false); hit {
+		if h.pf != nil {
+			h.prefetchAfter(addr, false, l1Done)
+		}
 		return int(l1Done - now)
 	}
 	l2Done, hit := h.l2Access(addr, l1Done, false)
 	if hit {
+		if h.pf != nil {
+			h.prefetchAfter(addr, true, l2Done)
+		}
 		return int(l2Done - now)
 	}
-	return int(h.memAccess(l2Done) - now)
+	done := h.memAccess(l2Done)
+	if h.pf != nil {
+		h.prefetchAfter(addr, true, done)
+	}
+	return int(done - now)
+}
+
+// prefetchAfter consults the prefetcher about the demand access and issues
+// the fills it asks for. A candidate already resident in L1 is dropped; a
+// fill probes L2 without demand stats, charges L2-port occupancy, and on
+// an L2 miss charges memory-channel occupancy and fills L2 too.
+func (h *Hierarchy) prefetchAfter(addr uint64, miss bool, earliest int64) {
+	for _, pa := range h.pf.OnAccess(addr, miss, h.pfBuf[:0]) {
+		if h.L1.Probe(pa) {
+			continue
+		}
+		h.Prefetches++
+		start := earliest
+		if h.l2Free > start {
+			start = h.l2Free
+		}
+		h.l2Free = start + h.l2Occ
+		if !h.L2.Probe(pa) {
+			mstart := start + h.l2Lat
+			if h.memFree > mstart {
+				mstart = h.memFree
+			}
+			h.memFree = mstart + h.memOcc
+			h.L2.Prefill(pa)
+		}
+		h.L1.Prefill(pa)
+	}
 }
 
 // Store performs a write of addr at cycle `now` and returns the latency the

@@ -47,7 +47,7 @@ func TestSizeBytes(t *testing.T) {
 }
 
 func TestHitAfterMiss(t *testing.T) {
-	c := New(cfg(16, 2, 64, 1))
+	c := MustNew(cfg(16, 2, 64, 1))
 	if hit, _ := c.Access(0x1000, false); hit {
 		t.Fatal("first access should miss")
 	}
@@ -66,7 +66,7 @@ func TestHitAfterMiss(t *testing.T) {
 
 func TestLRUReplacement(t *testing.T) {
 	// Direct-mapped-by-set: 1 set total exposes pure LRU ordering.
-	c := New(cfg(1, 2, 64, 1))
+	c := MustNew(cfg(1, 2, 64, 1))
 	c.Access(0x0000, false) // A
 	c.Access(0x1000, false) // B; set is {A,B}, LRU=A
 	c.Access(0x0000, false) // touch A; LRU=B
@@ -84,7 +84,7 @@ func TestLRUReplacement(t *testing.T) {
 
 func TestConflictMisses(t *testing.T) {
 	// Direct-mapped: two blocks mapping to the same set thrash.
-	c := New(cfg(4, 1, 64, 1))
+	c := MustNew(cfg(4, 1, 64, 1))
 	a := uint64(0x0000)
 	b := a + 4*64 // same set, different tag
 	c.Access(a, false)
@@ -95,7 +95,7 @@ func TestConflictMisses(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := New(cfg(1, 1, 64, 1))
+	c := MustNew(cfg(1, 1, 64, 1))
 	c.Access(0x0000, true) // dirty fill
 	_, wb := c.Access(0x1000, false)
 	if !wb {
@@ -111,7 +111,7 @@ func TestDirtyWriteback(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	c := New(cfg(16, 2, 64, 1))
+	c := MustNew(cfg(16, 2, 64, 1))
 	for i := 0; i < 10; i++ {
 		c.Access(uint64(i)*64, false)
 	}
@@ -130,7 +130,7 @@ func TestStats(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := New(cfg(16, 2, 64, 1))
+	c := MustNew(cfg(16, 2, 64, 1))
 	c.Access(0x40, false)
 	c.Reset()
 	if c.Probe(0x40) {
@@ -249,7 +249,7 @@ func TestMRUHitsProperty(t *testing.T) {
 	f := func(seed uint64, setsPow, assocRaw uint8) bool {
 		sets := 1 << (setsPow%6 + 1)
 		assoc := int(assocRaw)%4 + 1
-		c := New(cfg(sets, assoc, 64, 1))
+		c := MustNew(cfg(sets, assoc, 64, 1))
 		r := xrand.New(seed)
 		for i := 0; i < 500; i++ {
 			addr := uint64(r.Intn(1 << 16))
@@ -269,7 +269,7 @@ func TestMRUHitsProperty(t *testing.T) {
 // in the cache converge to zero misses on re-traversal.
 func TestFittingWorkingSetProperty(t *testing.T) {
 	f := func(seed uint64) bool {
-		c := New(cfg(64, 4, 64, 1)) // 16KB
+		c := MustNew(cfg(64, 4, 64, 1)) // 16KB
 		// Working set: 128 blocks = 8KB, fits with room to spare.
 		var addrs []uint64
 		r := xrand.New(seed)

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Prefetcher is the prefetch half of the cache SPI. The hierarchy calls
+// OnAccess once per demand load, after the L1 lookup; the prefetcher
+// appends the block-aligned-or-not addresses it wants fetched into buf and
+// returns the extended slice. Returning buf unchanged means no prefetch.
+// The append-into-caller-scratch shape keeps the hot path allocation-free:
+// a conforming prefetcher must not allocate in OnAccess and must be
+// deterministic; Reset restores the cold state.
+//
+// A nil prefetcher (the default — PrefetchConfig zero value) is not a
+// degenerate implementation but the absence of the hook: the hierarchy's
+// load path is bit-identical to the pre-SPI engine.
+type Prefetcher interface {
+	OnAccess(addr uint64, miss bool, buf []uint64) []uint64
+	Reset()
+}
+
+// PrefetcherFactory builds a prefetcher. blockBytes is the L1 line size
+// (the stride most prefetchers want to think in); params is the opaque
+// PrefetchConfig.Params string.
+type PrefetcherFactory func(blockBytes int, params string) (Prefetcher, error)
+
+// PrefetchConfig names a prefetcher and its opaque parameters. The zero
+// value selects no prefetching.
+type PrefetchConfig struct {
+	Name   string `json:",omitempty"`
+	Params string `json:",omitempty"`
+}
+
+// Validate reports whether the named prefetcher exists (the zero value is
+// always valid).
+func (p PrefetchConfig) Validate() error {
+	if p.Name == "" {
+		if p.Params != "" {
+			return fmt.Errorf("cache: prefetch params %q without a prefetcher name", p.Params)
+		}
+		return nil
+	}
+	prefMu.RLock()
+	_, ok := prefFactories[p.Name]
+	prefMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("cache: unknown prefetcher %q", p.Name)
+	}
+	return nil
+}
+
+var (
+	prefMu        sync.RWMutex
+	prefFactories = map[string]PrefetcherFactory{}
+)
+
+// RegisterPrefetcher adds a prefetcher under the given name. The empty
+// name denotes "no prefetcher" and cannot be registered.
+func RegisterPrefetcher(name string, f PrefetcherFactory) error {
+	if name == "" {
+		return fmt.Errorf("cache: register prefetcher with empty name")
+	}
+	if f == nil {
+		return fmt.Errorf("cache: prefetcher %q registered with nil factory", name)
+	}
+	prefMu.Lock()
+	defer prefMu.Unlock()
+	if _, dup := prefFactories[name]; dup {
+		return fmt.Errorf("cache: prefetcher %q already registered", name)
+	}
+	prefFactories[name] = f
+	return nil
+}
+
+// PrefetcherNames lists every registered prefetcher in sorted order (the
+// no-prefetch default is the empty name and is not listed).
+func PrefetcherNames() []string {
+	prefMu.RLock()
+	names := make([]string, 0, len(prefFactories))
+	for n := range prefFactories {
+		names = append(names, n)
+	}
+	prefMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// NewPrefetcher resolves a PrefetchConfig into a prefetcher instance; the
+// zero value resolves to (nil, nil). Exported for replay harnesses (the
+// fast model mirrors the hierarchy's prefetch fills) and component tests.
+func NewPrefetcher(cfg PrefetchConfig, blockBytes int) (Prefetcher, error) {
+	if cfg.Name == "" {
+		if cfg.Params != "" {
+			return nil, fmt.Errorf("cache: prefetch params %q without a prefetcher name", cfg.Params)
+		}
+		return nil, nil
+	}
+	prefMu.RLock()
+	f, ok := prefFactories[cfg.Name]
+	prefMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cache: unknown prefetcher %q", cfg.Name)
+	}
+	p, err := f(blockBytes, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("cache: prefetcher %q: %w", cfg.Name, err)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("cache: prefetcher %q returned nil", cfg.Name)
+	}
+	return p, nil
+}
+
+// nextLine prefetches the sequentially next block on every demand miss —
+// the classic one-block-lookahead scheme.
+type nextLine struct {
+	block uint64
+}
+
+func newNextLine(blockBytes int, params string) (Prefetcher, error) {
+	if params != "" {
+		return nil, fmt.Errorf("nextline takes no params, got %q", params)
+	}
+	return &nextLine{block: uint64(blockBytes)}, nil
+}
+
+func (n *nextLine) OnAccess(addr uint64, miss bool, buf []uint64) []uint64 {
+	if miss {
+		buf = append(buf, addr+n.block)
+	}
+	return buf
+}
+func (n *nextLine) Reset() {}
+
+// stride is a single-stream stride detector: it confirms a stride after
+// two consecutive equal deltas and then runs one prefetch ahead of the
+// stream. The cache level sees no PC, so this is the PC-less variant; a
+// PC-indexed table is exactly what the SPI exists to let third parties
+// bring.
+type stride struct {
+	last      uint64
+	lastDelta int64
+	confirmed bool
+	primed    bool
+}
+
+func newStride(blockBytes int, params string) (Prefetcher, error) {
+	if params != "" {
+		return nil, fmt.Errorf("stride takes no params, got %q", params)
+	}
+	return &stride{}, nil
+}
+
+func (s *stride) OnAccess(addr uint64, miss bool, buf []uint64) []uint64 {
+	if s.primed {
+		delta := int64(addr - s.last)
+		s.confirmed = delta != 0 && delta == s.lastDelta
+		s.lastDelta = delta
+	}
+	s.last = addr
+	s.primed = true
+	if s.confirmed {
+		buf = append(buf, addr+uint64(s.lastDelta))
+	}
+	return buf
+}
+
+func (s *stride) Reset() { *s = stride{} }
+
+func init() {
+	if err := RegisterPrefetcher("nextline", newNextLine); err != nil {
+		panic(err)
+	}
+	if err := RegisterPrefetcher("stride", newStride); err != nil {
+		panic(err)
+	}
+}

@@ -46,6 +46,11 @@ type CoreConfig struct {
 	// Predictor is the branch predictor; the palette uses the same default
 	// for every core (the paper's configurations do not vary it).
 	Predictor branch.Config
+
+	// Prefetch names the data prefetcher observing the core's demand loads.
+	// The zero value — the palette default — attaches none, leaving the
+	// load path exactly as it was before the prefetch seam existed.
+	Prefetch cache.PrefetchConfig `json:",omitempty"`
 }
 
 // Validate reports whether the configuration is well formed.
@@ -89,6 +94,9 @@ func (c CoreConfig) Validate() error {
 		return fmt.Errorf("config %s: L2D: %w", c.Name, err)
 	}
 	if _, err := c.Predictor.New(); err != nil {
+		return fmt.Errorf("config %s: %w", c.Name, err)
+	}
+	if err := c.Prefetch.Validate(); err != nil {
 		return fmt.Errorf("config %s: %w", c.Name, err)
 	}
 	return nil

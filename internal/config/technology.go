@@ -39,6 +39,12 @@ type FreeParams struct {
 	// Predictor selects the branch predictor; the zero value means the
 	// Appendix-A default, so pre-existing callers are unchanged.
 	Predictor branch.Config
+	// Replacement names the replacement policy applied to both private
+	// cache levels ("" keeps the built-in true LRU), and Prefetcher names
+	// the data prefetcher ("" attaches none) — the explore axes added
+	// beside the predictor menu.
+	Replacement string
+	Prefetcher  string
 }
 
 // Derive completes a core configuration from free parameters using the
@@ -48,8 +54,8 @@ func Derive(p FreeParams) (CoreConfig, error) {
 	if p.ClockPeriodNs <= 0 {
 		return CoreConfig{}, fmt.Errorf("config: non-positive clock period %g", p.ClockPeriodNs)
 	}
-	l1 := cache.Config{Sets: p.L1Sets, Assoc: p.L1Assoc, BlockBytes: p.L1Block}
-	l2 := cache.Config{Sets: p.L2Sets, Assoc: p.L2Assoc, BlockBytes: p.L2Block}
+	l1 := cache.Config{Sets: p.L1Sets, Assoc: p.L1Assoc, BlockBytes: p.L1Block, Replacement: p.Replacement}
+	l2 := cache.Config{Sets: p.L2Sets, Assoc: p.L2Assoc, BlockBytes: p.L2Block, Replacement: p.Replacement}
 	l1.LatencyCycles = cacheLatencyCycles(l1NsFor(l1), p.ClockPeriodNs)
 	l2.LatencyCycles = cacheLatencyCycles(l2NsFor(l2), p.ClockPeriodNs)
 
@@ -77,6 +83,7 @@ func Derive(p FreeParams) (CoreConfig, error) {
 		L1D:              l1,
 		L2D:              l2,
 		Predictor:        pred,
+		Prefetch:         cache.PrefetchConfig{Name: p.Prefetcher},
 	}
 	if err := c.Validate(); err != nil {
 		return CoreConfig{}, err

@@ -37,6 +37,7 @@ var Registry = map[string]Experiment{
 	"exceptions":       Exceptions,
 	"predictors":       Predictors,
 	"statecost":        StateCost,
+	"leaderboard":      Leaderboard,
 }
 
 // RegistryOrder lists the experiments in presentation order.
@@ -45,7 +46,7 @@ var RegistryOrder = []string{
 	"fig10", "fig11", "fig12", "fig13", "appendixA", "appendixAConfigs",
 	"ablationQueue", "ablationLag", "ablationTrain",
 	"migration", "power", "nway", "exceptions",
-	"predictors", "statecost",
+	"predictors", "statecost", "leaderboard",
 }
 
 // Figure1 reproduces the Section 2 motivation study: the oracle speedup of

@@ -66,6 +66,14 @@ var (
 		branch.DefaultTAGEConfig(), // 6 tables, hist 4..64
 		{Kind: "tage", LogSize: 12, TageTables: 8, TageLogSize: 10, TageTagBits: 10, TageMinHist: 2, TageMaxHist: 64},
 	}
+	// replMenu orders the replacement policies by hardware cost: random
+	// keeps no per-line state, SRRIP two bits per line, true LRU (the
+	// Appendix-A default, selected by the empty name) full recency order.
+	// Index 2 is the default. prefMenu likewise runs none -> next-line ->
+	// stride; index 0 is the default. Both apply through FreeParams, so the
+	// technology model sees them like any other free axis.
+	replMenu = []string{"random", "srrip", ""}
+	prefMenu = []string{"", "nextline", "stride"}
 )
 
 // Options configures an annealing run.
@@ -182,6 +190,7 @@ type state struct {
 	l1Sets, l1Assoc, l1Blk int
 	l2Sets, l2Assoc, l2Blk int
 	pred                   int
+	repl, pref             int
 }
 
 func (s state) params(name string) config.FreeParams {
@@ -199,6 +208,8 @@ func (s state) params(name string) config.FreeParams {
 		L2Assoc:       assocMenu[s.l2Assoc],
 		L2Block:       blockMenu[s.l2Blk],
 		Predictor:     predMenu[s.pred],
+		Replacement:   replMenu[s.repl],
+		Prefetcher:    prefMenu[s.pref],
 	}
 }
 
@@ -222,19 +233,22 @@ func defaultState() state {
 		l1Sets: 3, l1Assoc: 1, l1Blk: 3,
 		l2Sets: 4, l2Assoc: 3, l2Blk: 4,
 		pred: 2, // Appendix-A gshare
+		repl: 2, // true LRU
+		pref: 0, // no prefetcher
 	}
 }
 
 // neighbor perturbs one randomly chosen axis by one menu step. The axis
-// count includes the predictor menu (axis 11, added in PR 9): walks from a
-// pre-existing seed therefore visit different states than before, but every
-// determinism property — identical trajectories across Lookahead and
-// Parallelism, split proposal/acceptance streams — is unchanged (see
-// DESIGN.md §15 for the trajectory-safety argument).
+// count includes the predictor menu (axis 11, added in PR 9) and the
+// replacement-policy and prefetcher menus (axes 12 and 13, the SPI PR):
+// walks from a pre-existing seed therefore visit different states than
+// before, but every determinism property — identical trajectories across
+// Lookahead and Parallelism, split proposal/acceptance streams — is
+// unchanged (see DESIGN.md §15 and §16 for the trajectory-safety argument).
 func neighbor(s state, r *xrand.RNG) state {
 	for {
 		n := s
-		axis := r.Intn(12)
+		axis := r.Intn(14)
 		dir := 1
 		if r.Bool(0.5) {
 			dir = -1
@@ -274,6 +288,10 @@ func neighbor(s state, r *xrand.RNG) state {
 			n.l2Blk = bump(n.l2Blk, len(blockMenu))
 		case 11:
 			n.pred = bump(n.pred, len(predMenu))
+		case 12:
+			n.repl = bump(n.repl, len(replMenu))
+		case 13:
+			n.pref = bump(n.pref, len(prefMenu))
 		}
 		if n != s && n.valid() {
 			return n

@@ -65,12 +65,18 @@ func New(tr *trace.Trace) *Model {
 
 // predKey is the full predictor configuration: branch.Config is a
 // comparable struct, so keying the memo by value keeps the replay exact for
-// every kind — gshare, bimodal, and TAGE geometry alike.
+// every kind — gshare, bimodal, TAGE, and registered families (whose
+// opaque Params string is part of the value) alike.
 type predKey = branch.Config
 
+// geomKey is the full memory-side component configuration: both cache
+// levels (with the latency fields zeroed — they do not change which
+// accesses miss) plus the prefetcher, whose fills do. Keying on the whole
+// structs keeps the memo exact across replacement policies and opaque
+// parameter strings without enumerating fields.
 type geomKey struct {
-	l1Sets, l1Assoc, l1Block int
-	l2Sets, l2Assoc, l2Block int
+	l1, l2 cache.Config
+	pf     cache.PrefetchConfig
 }
 
 type predReplay struct {
@@ -88,6 +94,7 @@ const (
 
 type memReplay struct {
 	once     sync.Once
+	err      error
 	l1Misses int64
 	l2Misses int64
 	// level classifies every trace index (non-memory entries stay
@@ -136,13 +143,16 @@ func (m *Model) predFor(cfg config.CoreConfig) (*predReplay, error) {
 }
 
 // memFor replays the memory accesses through tag-only L1/L2 arrays,
-// memoized by cache geometry. Latency fields are excluded from the key:
-// they do not change which accesses miss.
-func (m *Model) memFor(cfg config.CoreConfig) *memReplay {
-	key := geomKey{
-		cfg.L1D.Sets, cfg.L1D.Assoc, cfg.L1D.BlockBytes,
-		cfg.L2D.Sets, cfg.L2D.Assoc, cfg.L2D.BlockBytes,
-	}
+// memoized by the full memory-side component configuration (latencies
+// excluded — they do not change which accesses miss). The replay mirrors
+// the hierarchy's tag behaviour exactly: the configured replacement
+// policies drive victim choice, and the configured prefetcher observes
+// demand loads and prefills both levels the way Hierarchy.Load does, so
+// the miss classification stays exact for every component combination.
+func (m *Model) memFor(cfg config.CoreConfig) (*memReplay, error) {
+	l1Cfg, l2Cfg := cfg.L1D, cfg.L2D
+	l1Cfg.LatencyCycles, l2Cfg.LatencyCycles = 0, 0
+	key := geomKey{l1: l1Cfg, l2: l2Cfg, pf: cfg.Prefetch}
 	m.mu.Lock()
 	mr, ok := m.geoms[key]
 	if !ok {
@@ -151,8 +161,33 @@ func (m *Model) memFor(cfg config.CoreConfig) *memReplay {
 	}
 	m.mu.Unlock()
 	mr.once.Do(func() {
-		l1 := cache.New(cfg.L1D)
-		l2 := cache.New(cfg.L2D)
+		l1, err := cache.New(cfg.L1D)
+		if err != nil {
+			mr.err = err
+			return
+		}
+		l2, err := cache.New(cfg.L2D)
+		if err != nil {
+			mr.err = err
+			return
+		}
+		pf, err := cache.NewPrefetcher(cfg.Prefetch, cfg.L1D.BlockBytes)
+		if err != nil {
+			mr.err = err
+			return
+		}
+		var pfBuf [8]uint64
+		prefetch := func(addr uint64, miss bool) {
+			for _, pa := range pf.OnAccess(addr, miss, pfBuf[:0]) {
+				if l1.Probe(pa) {
+					continue
+				}
+				if !l2.Probe(pa) {
+					l2.Prefill(pa)
+				}
+				l1.Prefill(pa)
+			}
+		}
 		tr := m.tr
 		mr.level = make([]uint8, tr.Len())
 		for i, n := int64(0), int64(tr.Len()); i < n; i++ {
@@ -162,6 +197,9 @@ func (m *Model) memFor(cfg config.CoreConfig) *memReplay {
 			}
 			write := in.Op == isa.OpStore
 			if hit, _ := l1.Access(in.Addr, write); hit {
+				if pf != nil && !write {
+					prefetch(in.Addr, false)
+				}
 				continue
 			}
 			mr.l1Misses++
@@ -173,9 +211,15 @@ func (m *Model) memFor(cfg config.CoreConfig) *memReplay {
 				mr.l2Misses++
 				mr.l2MissIdx = append(mr.l2MissIdx, int32(i))
 			}
+			if pf != nil && !write {
+				prefetch(in.Addr, true)
+			}
 		}
 	})
-	return mr
+	if mr.err != nil {
+		return nil, mr.err
+	}
+	return mr, nil
 }
 
 // clusters counts miss clusters under a reorder window of w instructions:
@@ -209,7 +253,10 @@ func (m *Model) Estimate(cfg config.CoreConfig) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	mr := m.memFor(cfg)
+	mr, err := m.memFor(cfg)
+	if err != nil {
+		return Estimate{}, err
+	}
 	tr := m.tr
 	n := int64(tr.Len())
 

@@ -158,7 +158,10 @@ type Stats struct {
 	Injected      int64
 	Forwarded     int64
 	L1D, L2D      cache.Stats
-	FinishTime    ticks.Time
+	// Prefetches counts issued prefetch fills; always zero for the default
+	// (no-prefetcher) configuration.
+	Prefetches uint64 `json:",omitempty"`
+	FinishTime ticks.Time
 }
 
 // IPC reports retired instructions per cycle.
@@ -344,6 +347,9 @@ func NewCore(cfg config.CoreConfig, tr *trace.Trace, opts Options) (*Core, error
 	if err != nil {
 		return nil, err
 	}
+	if err := hier.AttachPrefetcher(cfg.Prefetch); err != nil {
+		return nil, err
+	}
 	windowCap := int64(cfg.ROBSize + cfg.Width*cfg.FrontEndDepth + 2*cfg.Width)
 	ringSize := int64(1)
 	for ringSize < windowCap {
@@ -460,6 +466,7 @@ func (c *Core) Stats() Stats {
 	s := c.stats
 	s.L1D = c.hier.L1.Stats
 	s.L2D = c.hier.L2.Stats
+	s.Prefetches = c.hier.Prefetches
 	return s
 }
 

@@ -134,6 +134,36 @@ func TestInvariantGoldenPredictors(t *testing.T) {
 	}
 }
 
+// TestInvariantGoldenComponents re-runs the component-palette golden legs
+// under the full verification subsystem: every non-default replacement
+// policy and prefetcher variant stand-alone with the differential oracle
+// attached, then a component-equipped core contested against the default
+// core under kill-refork cold caches with the invariant checker watching.
+func TestInvariantGoldenComponents(t *testing.T) {
+	for _, b := range []string{"gcc", "twolf"} {
+		tr := MustGenerateTrace(b, goldenInsts)
+		for _, c := range goldenComponents {
+			cfg := componentCore(b, c.name, c.repl, c.pref)
+			res, err := RunVerifiedWith(cfg, tr, RunOptions{}, VerifyOptions{ScanEvery: verifyScanEvery})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", b, cfg.Name, err)
+			}
+			if res.Insts != int64(tr.Len()) {
+				t.Fatalf("%s on %s: retired %d of %d", b, cfg.Name, res.Insts, tr.Len())
+			}
+		}
+		cfgs := []CoreConfig{MustPaletteCore(b), componentCore(b, "srrip-stride", "srrip", "stride")}
+		opts := ContestOptions{ExceptionEvery: 640, ExceptionKillRefork: true, ReforkWarmupNs: 250, ReforkColdCaches: true}
+		res, err := ContestRunVerifiedWith(cfgs, tr, opts, VerifyOptions{ScanEvery: verifyScanEvery})
+		if err != nil {
+			t.Fatalf("%s component contest: %v", b, err)
+		}
+		if res.Insts != int64(tr.Len()) {
+			t.Fatalf("%s component contest: retired %d of %d", b, res.Insts, tr.Len())
+		}
+	}
+}
+
 // TestInvariantVerifiedMatchesPlain locks that attaching the verification
 // subsystem never perturbs a run: verified and plain results are identical,
 // single and contested.
